@@ -1,0 +1,85 @@
+// E11 — digital-twin synchronization frontier (§IV-A "Digital twins").
+//
+// "The metaverse will be then an evolving world that is synchronized with the
+// physical one." 1000 twins with drifting + jumping physical state; sync
+// strategies swept along their knob (period / threshold). Reported as the
+// divergence-vs-bandwidth frontier. Paper shape: threshold (delta) sync
+// dominates periodic; on-event sync is cheapest but leaves drift uncorrected.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "twin/twin.h"
+
+namespace {
+
+using namespace mv;
+using namespace mv::twin;
+
+constexpr std::size_t kTwins = 1000;
+constexpr std::uint64_t kTicks = 2000;
+
+void run_and_print(const char* label, SyncConfig config, std::uint64_t seed) {
+  TwinSim sim(kTwins, 3, config, Rng(seed));
+  sim.run(kTicks);
+  const auto& m = sim.metrics();
+  std::printf("%-12s %-14s %16.4f %14.4f %12.3f\n", to_string(config.strategy),
+              label, m.message_rate(kTwins, kTicks), m.avg_divergence(),
+              m.max_divergence);
+}
+
+void print_table() {
+  std::printf("=== E11: twin sync — divergence vs bandwidth frontier ===\n");
+  std::printf("%zu twins, %llu ticks, drift sigma 0.02, events 1%%/tick @ 2.0\n\n",
+              kTwins, static_cast<unsigned long long>(kTicks));
+  std::printf("%-12s %-14s %16s %14s %12s\n", "strategy", "knob",
+              "msgs/twin/tick", "avg diverg", "max diverg");
+  for (const Tick period : {5, 20, 50, 200}) {
+    SyncConfig c;
+    c.strategy = SyncStrategy::kPeriodic;
+    c.period = period;
+    run_and_print(("period=" + std::to_string(period)).c_str(), c, 42);
+  }
+  for (const double threshold : {0.1, 0.3, 0.6, 1.2}) {
+    SyncConfig c;
+    c.strategy = SyncStrategy::kThreshold;
+    c.delta_threshold = threshold;
+    run_and_print(("delta=" + std::to_string(threshold).substr(0, 3)).c_str(), c, 42);
+  }
+  {
+    SyncConfig c;
+    c.strategy = SyncStrategy::kOnEvent;
+    run_and_print("-", c, 42);
+  }
+  std::printf("\nshape: at matched message rates, threshold sync sits strictly\n"
+              "below periodic on average divergence (it spends messages where\n"
+              "the state actually moved); on-event misses slow drift entirely.\n\n");
+}
+
+void BM_TwinStep(benchmark::State& state) {
+  SyncConfig config;
+  config.strategy = SyncStrategy::kThreshold;
+  TwinSim sim(static_cast<std::size_t>(state.range(0)), 3, config, Rng(1));
+  Tick now = 0;
+  for (auto _ : state) sim.step(++now);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_TwinStep)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_StateDigest(benchmark::State& state) {
+  TwinState s;
+  s.values.resize(16, 1.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(state_digest(s));
+  }
+}
+BENCHMARK(BM_StateDigest);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E14 — avatar customization as an equaliser (§IV-B "Equality").
+//
+// "The metaverse can be seen as an equaliser where gender, race, disability,
+// and social status are eliminated. Users can customise their avatars...
+// This feature will allow the metaverse to build a fair and more sustainable
+// society in the virtual world."
+// Measured: outcome gap between attribute groups and the talent-outcome
+// correlation under three presentation regimes. Paper shape: with custom
+// avatars the group gap collapses and talent becomes the dominant predictor;
+// default (mirroring) avatars merely import the physical world's bias.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "world/equality.h"
+
+namespace {
+
+using namespace mv;
+using namespace mv::world;
+
+void print_table() {
+  std::printf("=== E14: avatar customization as an equaliser ===\n");
+  EqualityConfig config;
+  std::printf("%zu people, %zu granters (%.0f%% biased, %.0f%% out-group discount), "
+              "%zu rounds, 3 seeds\n\n",
+              config.people, config.granters, 100 * config.biased_fraction,
+              100 * config.bias, config.rounds);
+  std::printf("%-18s %18s %20s %14s\n", "regime", "group gap",
+              "talent correlation", "mean outcome");
+  for (const auto regime :
+       {PresentationRegime::kPhysical, PresentationRegime::kDefaultAvatars,
+        PresentationRegime::kCustomAvatars}) {
+    double gap = 0, talent = 0, mean = 0;
+    const int seeds = 3;
+    for (int s = 0; s < seeds; ++s) {
+      EqualitySim sim(config, Rng(static_cast<std::uint64_t>(900 + s)));
+      const auto m = sim.run(regime);
+      gap += m.group_outcome_gap / seeds;
+      talent += m.talent_correlation / seeds;
+      mean += m.mean_outcome / seeds;
+    }
+    std::printf("%-18s %18.3f %20.3f %14.2f\n", to_string(regime), gap, talent,
+                mean);
+  }
+  std::printf("\nshape: default avatars reproduce the physical gap; custom\n"
+              "avatars collapse the group gap toward 0 while talent stays the\n"
+              "dominant predictor — the same bias exists but is no longer\n"
+              "stratified by who people are.\n\n");
+}
+
+void BM_EqualityRound(benchmark::State& state) {
+  EqualityConfig config;
+  config.people = static_cast<std::size_t>(state.range(0));
+  config.rounds = 1;
+  for (auto _ : state) {
+    EqualitySim sim(config, Rng(7));
+    benchmark::DoNotOptimize(sim.run(PresentationRegime::kCustomAvatars));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EqualityRound)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

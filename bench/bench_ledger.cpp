@@ -1,0 +1,146 @@
+// E7 — ledger throughput and the on-chain audit registry (§II-D, §III-B).
+//
+// "A distributed ledger (Blockchain) can register any party's data collection
+// and processing activities in the metaverse." Feasibility = the BFT
+// committee sustains audit-record throughput comparable to plain transfers,
+// and inclusion proofs stay logarithmic. Swept over committee size and tx mix.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ledger/audit.h"
+#include "ledger/consensus.h"
+
+namespace {
+
+using namespace mv;
+using namespace mv::ledger;
+
+struct Row {
+  double txs_per_round = 0.0;
+  double commit_ticks = 0.0;
+  double failed = 0.0;
+};
+
+Row run(std::size_t validators, double audit_fraction, std::size_t rounds) {
+  Rng rng(2024);
+  SimClock clock;
+  net::Network network(clock, Rng(77),
+                       net::LinkParams{.base_latency = 1.0, .jitter = 2.0, .drop_rate = 0.0});
+  auto contracts = std::make_shared<ContractRegistry>();
+  crypto::Wallet alice(rng);
+  crypto::Wallet device(rng);
+  LedgerState genesis;
+  genesis.credit(alice.address(), 100'000'000);
+  genesis.credit(device.address(), 100'000'000);  // audit fees
+  ValidatorCommittee committee(network, validators, contracts, genesis, 256, rng);
+
+  std::uint64_t alice_nonce = 0, device_nonce = 0;
+  AuditClient audit_client(device, rng);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (int i = 0; i < 200; ++i) {
+      if (rng.uniform() < audit_fraction) {
+        committee.submit(make_audit_record(
+            device, device_nonce++,
+            AuditRecordBody{"gaze", "render", 7, "laplace(eps=1.0)"}, 1, rng));
+      } else {
+        committee.submit(
+            make_transfer(alice, alice_nonce++, crypto::Address{9}, 1, 1, rng));
+      }
+    }
+    (void)committee.run_round();
+  }
+  Row row;
+  const auto& stats = committee.stats();
+  row.txs_per_round = stats.committed_blocks
+                          ? static_cast<double>(stats.committed_txs) /
+                                static_cast<double>(stats.committed_blocks)
+                          : 0.0;
+  row.commit_ticks = stats.avg_commit_ticks();
+  row.failed = static_cast<double>(stats.failed_rounds);
+  return row;
+}
+
+void print_table() {
+  std::printf("=== E7: BFT ledger throughput & audit-record overhead ===\n");
+  std::printf("200 txs submitted per round, 10 rounds, block cap 256\n\n");
+  std::printf("%12s %12s %16s %14s %8s\n", "validators", "audit mix",
+              "txs/block", "commit ticks", "failed");
+  for (const std::size_t v : {4u, 7u, 10u, 16u}) {
+    for (const double mix : {0.0, 0.5, 1.0}) {
+      const Row row = run(v, mix, 10);
+      std::printf("%12zu %11.0f%% %16.1f %14.1f %8.0f\n", v, mix * 100,
+                  row.txs_per_round, row.commit_ticks, row.failed);
+    }
+  }
+  std::printf("\nshape: throughput is flat in the audit mix (audit records cost\n"
+              "what transfers cost); commit latency grows mildly with committee\n"
+              "size (quorum fan-in), not with the record type.\n\n");
+}
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  Bytes data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  Rng rng(1);
+  const auto kp = crypto::generate_keypair(rng);
+  const Bytes msg(64, 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sign(kp.priv, msg, rng));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  Rng rng(2);
+  const auto kp = crypto::generate_keypair(rng);
+  const Bytes msg(64, 0x11);
+  const auto sig = crypto::sign(kp.priv, msg, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify(kp.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_TxApplyTransfer(benchmark::State& state) {
+  Rng rng(3);
+  ContractRegistry contracts;
+  crypto::Wallet alice(rng);
+  LedgerState ledger_state;
+  ledger_state.credit(alice.address(), 1'000'000'000);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    const auto tx = make_transfer(alice, nonce++, crypto::Address{5}, 1, 0, rng);
+    benchmark::DoNotOptimize(ledger_state.apply(tx, contracts, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TxApplyTransfer);
+
+void BM_MerkleProof256(benchmark::State& state) {
+  std::vector<crypto::Digest> leaves;
+  for (int i = 0; i < 256; ++i) {
+    leaves.push_back(crypto::sha256(std::string_view{"leaf" + std::to_string(i)}));
+  }
+  const crypto::MerkleTree tree(leaves);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.prove(i++ % 256));
+  }
+}
+BENCHMARK(BM_MerkleProof256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

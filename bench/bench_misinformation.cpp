@@ -1,0 +1,87 @@
+// E5 — misinformation cascades vs trust defences (§IV-B Trust).
+//
+// "A reputation-based system under the Blockchain will enable the metaverse
+// with a tool to... limit the spread of misinformation. Incentive systems to
+// share trust among avatars will be key functionality to reduce the sharing
+// of misinformation."
+// Independent cascades from low-credibility seeds on Watts-Strogatz and
+// Barabasi-Albert graphs. Paper shape: reputation weighting and flagging
+// incentives each shrink the spread; combined they stack.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "trust/misinformation.h"
+
+namespace {
+
+using namespace mv;
+using namespace mv::trust;
+
+constexpr std::size_t kNodes = 20000;
+constexpr int kCascades = 20;
+
+double mean_spread(const SocialGraph& graph, bool reputation, bool flagging,
+                   std::uint64_t seed) {
+  PropagationConfig config;
+  config.reputation_weighted = reputation;
+  config.flagging_incentives = flagging;
+  double total = 0.0;
+  for (int c = 0; c < kCascades; ++c) {
+    MisinfoSim sim(graph, config, Rng(seed + static_cast<std::uint64_t>(c)));
+    total += sim.run().spread_fraction(graph.size());
+  }
+  return total / kCascades;
+}
+
+void print_table() {
+  std::printf("=== E5: misinformation spread vs trust defences ===\n");
+  std::printf("n=%zu, %d cascades per cell, 0.5%% low-credibility seeds=5\n\n",
+              kNodes, kCascades);
+  Rng gen(11);
+  const auto ws = SocialGraph::watts_strogatz(kNodes, 8, 0.1, gen);
+  const auto ba = SocialGraph::barabasi_albert(kNodes, 4, gen);
+  std::printf("%-18s %14s %14s %14s %14s\n", "graph", "no defence",
+              "rep-weighted", "flagging", "both");
+  struct Case { const char* name; const SocialGraph& g; };
+  for (const Case c : {Case{"watts-strogatz", ws}, Case{"barabasi-albert", ba}}) {
+    std::printf("%-18s %14.3f %14.3f %14.3f %14.3f\n", c.name,
+                mean_spread(c.g, false, false, 100),
+                mean_spread(c.g, true, false, 100),
+                mean_spread(c.g, false, true, 100),
+                mean_spread(c.g, true, true, 100));
+  }
+  std::printf("\nshape: each defence shrinks the cascade; combined they stack;\n"
+              "hubs (BA) spread harder, making the defences matter more.\n\n");
+}
+
+void BM_CascadeWS(benchmark::State& state) {
+  Rng gen(12);
+  const auto g = SocialGraph::watts_strogatz(
+      static_cast<std::size_t>(state.range(0)), 8, 0.1, gen);
+  PropagationConfig config;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    MisinfoSim sim(g, config, Rng(seed++));
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_CascadeWS)->Arg(2000)->Arg(20000);
+
+void BM_GraphGeneration(benchmark::State& state) {
+  Rng gen(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SocialGraph::barabasi_albert(static_cast<std::size_t>(state.range(0)), 4, gen));
+  }
+}
+BENCHMARK(BM_GraphGeneration)->Arg(10000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E12 — punitive vs preventive community governance (§III-D).
+//
+// Reproduces the actionable finding of the youth-Minecraft study [20]:
+// "online platforms should consider tools to deal with players' misbehaviour
+// (i.e., punitive approaches) and tools for encouraging positive behaviours
+// (i.e., preventive approaches)". Agent-based community, 60 rounds. Paper
+// shape: punitive-only suppresses negativity but barely raises positivity;
+// preventive-only shifts behaviour up over time; the mix dominates.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "moderation/community.h"
+
+namespace {
+
+using namespace mv;
+using namespace mv::moderation;
+
+CommunityConfig config_for(PolicyMix mix) {
+  CommunityConfig c;
+  c.agents = 5000;
+  c.rounds = 60;
+  c.mix = mix;
+  return c;
+}
+
+void print_table() {
+  std::printf("=== E12: punitive vs preventive community tools ===\n");
+  std::printf("5000 agents (8%% toxic, 25%% prosocial), 60 rounds, 3 seeds\n\n");
+  std::printf("%-22s %12s %12s %10s %10s %10s   %s\n", "policy mix",
+              "final pos%%", "neg actions", "sanctions", "mutes", "rewards",
+              "pos-share trend");
+  for (const auto mix :
+       {PolicyMix::kNone, PolicyMix::kPunitiveOnly, PolicyMix::kPreventiveOnly,
+        PolicyMix::kMixed}) {
+    double final_pos = 0;
+    double negatives = 0, sanctions = 0, mutes = 0, rewards = 0;
+    Histogram trend(0, 60, 30);
+    std::vector<double> series;
+    for (std::uint64_t s = 0; s < 3; ++s) {
+      CommunitySim sim(config_for(mix), Rng(500 + s));
+      const auto m = sim.run();
+      final_pos += m.final_positive_share / 3;
+      negatives += static_cast<double>(m.negative_actions) / 3;
+      sanctions += static_cast<double>(m.sanctions) / 3;
+      mutes += static_cast<double>(m.mutes) / 3;
+      rewards += static_cast<double>(m.rewards) / 3;
+      if (s == 0) series = sim.positive_share_series();
+    }
+    // Sparkline of the positive-share time series (first seed).
+    Histogram spark(0.0, 1.0, 1);
+    (void)spark;
+    std::string line;
+    for (std::size_t i = 0; i < series.size(); i += 2) {
+      static const char* kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+      const auto level = static_cast<std::size_t>(series[i] * 7.999);
+      line += kLevels[std::min<std::size_t>(level, 7)];
+    }
+    std::printf("%-22s %11.1f%% %12.0f %10.0f %10.0f %10.0f   %s\n",
+                to_string(mix), 100 * final_pos, negatives, sanctions, mutes,
+                rewards, line.c_str());
+  }
+  std::printf("\nshape: punitive-only cuts negative actions (mutes) without\n"
+              "raising positivity much; preventive-only climbs over time; the\n"
+              "mix ends highest — the study's 'both tools' recommendation.\n\n");
+}
+
+void BM_CommunityRound(benchmark::State& state) {
+  auto config = config_for(PolicyMix::kMixed);
+  config.agents = static_cast<std::size_t>(state.range(0));
+  config.rounds = 1;
+  for (auto _ : state) {
+    CommunitySim sim(config, Rng(7));
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CommunityRound)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// NFT bazaar: the §IV-A creator economy.
+//
+// Part 1 runs the real thing on the ledger: an artist mints, lists, and sells
+// a royalty-bearing NFT through the BFT committee. Part 2 runs the admission-
+// policy market simulation and prints the paper's qualitative table: open
+// markets leak scams, invite-only kills inclusion, reputation gating keeps
+// both in check.
+//
+//   ./nft_bazaar
+#include <iomanip>
+#include <iostream>
+
+#include "core/metaverse.h"
+
+int main() {
+  using namespace mv;
+
+  std::cout << "== nft bazaar ==\n\n-- part 1: on-chain royalty sale --\n";
+
+  core::MetaverseConfig config;
+  config.seed = 1337;
+  core::Metaverse metaverse(config);
+  const auto artist = metaverse.register_user("eu");
+  const auto gallery = metaverse.register_user("eu");
+  const auto collector = metaverse.register_user("eu");
+  metaverse.run_consensus_round();
+
+  Rng rng(4);
+  auto call = [&](const core::UserHandle& who, const std::string& method,
+                  Bytes args) {
+    const auto& wallet = metaverse.wallet(who.user_id);
+    metaverse.submit_tx(ledger::make_contract_call(
+        wallet, metaverse.chain().state().nonce(wallet.address()), "nft",
+        method, std::move(args), 1, rng));
+    metaverse.run_consensus_round();
+  };
+
+  call(artist, "mint", nft::NftContract::encode_mint("mv://drop/genesis-hat", 1500));
+  call(artist, "list", nft::NftContract::encode_list(0, 1000));
+  call(gallery, "buy", nft::NftContract::encode_token(0));
+  call(gallery, "list", nft::NftContract::encode_list(0, 4000));
+  call(collector, "buy", nft::NftContract::encode_token(0));
+
+  const auto token = nft::NftContract::token(metaverse.chain().state(), 0).value();
+  std::cout << "token 0 '" << token.uri << "' owner: "
+            << (token.owner == collector.address ? "collector" : "?")
+            << ", royalty " << token.royalty_bps / 100.0 << "%\n";
+  const auto grant = metaverse.config().genesis_grant;
+  std::cout << "artist balance: " << metaverse.chain().state().balance(artist.address)
+            << " (start " << grant << ", sale 1000, resale royalty 600, fees -2)\n"
+            << "gallery balance: " << metaverse.chain().state().balance(gallery.address)
+            << " (bought 1000, resold keeping 3400, fees -2)\n";
+
+  std::cout << "\n-- part 2: admission policies (5000 creators, 8% scammers) --\n";
+  nft::MarketConfig market;
+  market.creators = 5000;
+  market.buyers = 8000;
+  market.rounds = 20;
+  std::cout << std::left << std::setw(20) << "policy" << std::right
+            << std::setw(12) << "scam rate" << std::setw(12) << "inclusion"
+            << std::setw(12) << "earning" << std::setw(12) << "delisted"
+            << "\n";
+  for (const auto policy :
+       {nft::AdmissionPolicy::kOpen, nft::AdmissionPolicy::kInviteOnly,
+        nft::AdmissionPolicy::kReputationGated}) {
+    nft::MarketSim sim(market, policy, Rng(7));
+    const auto m = sim.run();
+    std::cout << std::left << std::setw(20) << nft::to_string(policy)
+              << std::right << std::fixed << std::setprecision(3)
+              << std::setw(12) << m.scam_sale_rate() << std::setw(12)
+              << m.honest_inclusion() << std::setw(12) << m.honest_earning_rate()
+              << std::setw(12) << m.scammers_delisted << "\n";
+  }
+  std::cout << "\nshape: reputation gating ~open inclusion with ~invite-only scam rate.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Private concert: a mass social event (§IV-B Accessibility: "concerts with
+// millions of people") where every attendee streams XR sensor data.
+//
+// Shows the Figure-2 pipeline at scale: granular switches, consent gates,
+// PET chains per sensor, the device LED, and what an inference attacker can
+// (and cannot) recover from what actually reached the cloud — plus the
+// §II-D "no data monopoly" check over the on-ledger audit log.
+//
+//   ./private_concert
+#include <iomanip>
+#include <iostream>
+
+#include "core/metaverse.h"
+#include "privacy/inference.h"
+
+int main() {
+  using namespace mv;
+
+  core::MetaverseConfig config;
+  config.seed = 5150;
+  core::Metaverse metaverse(config);
+
+  std::cout << "== private concert ==\n\n";
+
+  constexpr int kAttendees = 60;
+  privacy::SensorSim sensors{Rng(3)};
+  std::vector<core::UserHandle> crowd;
+  std::vector<privacy::UserTraits> traits;
+  for (int i = 0; i < kAttendees; ++i) {
+    crowd.push_back(metaverse.register_user("eu"));
+    traits.push_back(sensors.sample_traits());
+  }
+
+  // Two-thirds of the crowd consents to gaze sharing (foveated streaming of
+  // the stage); one third leaves the default consent-off policy.
+  int consented = 0;
+  for (int i = 0; i < kAttendees; ++i) {
+    if (i % 3 != 0) {
+      metaverse.pipeline(crowd[static_cast<std::size_t>(i)].user_id)
+          .set_consent(privacy::SensorType::kGaze, true);
+      ++consented;
+    }
+  }
+
+  // The concert: 60 ticks of gaze streaming, with the stage collecting what
+  // the pipelines release.
+  std::vector<std::vector<privacy::SensorReading>> cloud_view(kAttendees);
+  for (int t = 0; t < 60; ++t) {
+    for (int i = 0; i < kAttendees; ++i) {
+      auto released = metaverse.ingest(
+          crowd[static_cast<std::size_t>(i)].user_id,
+          sensors.gaze(crowd[static_cast<std::size_t>(i)].user_id,
+                       traits[static_cast<std::size_t>(i)], t));
+      if (released.has_value()) {
+        cloud_view[static_cast<std::size_t>(i)].push_back(*released);
+      }
+    }
+    metaverse.tick();
+  }
+  metaverse.run_consensus_round();
+
+  const auto& stats0 = metaverse.pipeline(crowd[1].user_id).stats();
+  std::cout << "attendee 2's pipeline: " << stats0.raw_in << " raw readings, "
+            << stats0.released_cloud << " released to cloud, "
+            << stats0.suppressed_by_pet << " suppressed by PETs\n";
+  std::cout << "device LED of attendee 2 (currently): "
+            << (metaverse.pipeline(crowd[1].user_id).indicator_on(metaverse.clock().now())
+                    ? "ON"
+                    : "off")
+            << "\n\n";
+
+  // The venue's analyst runs the §II-A inference attack on the cloud view.
+  int attacked_ok = 0, had_data = 0;
+  for (int i = 0; i < kAttendees; ++i) {
+    if (cloud_view[static_cast<std::size_t>(i)].empty()) continue;
+    ++had_data;
+    attacked_ok += (privacy::infer_preference(cloud_view[static_cast<std::size_t>(i)]) ==
+                    traits[static_cast<std::size_t>(i)].preference_class);
+  }
+  std::cout << "inference attack on released gaze: " << had_data << "/"
+            << kAttendees << " attendees had any cloud data; attacker recovered "
+            << "the preference class of " << attacked_ok << " ("
+            << std::fixed << std::setprecision(1)
+            << (had_data ? 100.0 * attacked_ok / had_data : 0.0)
+            << "% vs 12.5% chance)\n";
+
+  // Regulator view: the audit log on chain.
+  ledger::AuditQuery audit(metaverse.chain());
+  std::cout << "\non-ledger audit: " << metaverse.chain().state().audit_log().size()
+            << " records, data-concentration HHI "
+            << std::setprecision(4) << audit.data_concentration_hhi()
+            << " (monopoly? " << (audit.has_data_monopoly() ? "YES" : "no") << ")\n";
+
+  std::cout << "\nconsented attendees: " << consented << "/" << kAttendees
+            << "; non-consenting attendees released 0 readings by default.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Safety playroom: co-located VR in a cluttered living room (§II-C).
+//
+// Four HMD-occluded users share a 10x10m room with furniture. Compares no
+// intervention against shadow avatars, potential-field redirected walking,
+// and a chaperone grid — collisions per 100 m walked vs immersion disruption.
+//
+//   ./safety_playroom
+#include <iomanip>
+#include <iostream>
+
+#include "safety/room.h"
+
+int main() {
+  using namespace mv;
+  using safety::Intervention;
+
+  std::cout << "== safety playroom ==\n\n"
+            << "room 10x10m, 4 users, 6 obstacles, 3000 ticks x 20 seeds\n\n"
+            << std::left << std::setw(22) << "intervention" << std::right
+            << std::setw(16) << "coll/100m" << std::setw(12) << "user-user"
+            << std::setw(12) << "obstacle" << std::setw(10) << "wall"
+            << std::setw(14) << "disruption" << "\n";
+
+  for (const auto intervention :
+       {Intervention::kNone, Intervention::kShadowAvatars,
+        Intervention::kRedirectedWalking, Intervention::kChaperone}) {
+    double per100 = 0, uu = 0, ob = 0, wall = 0, disruption = 0;
+    const int seeds = 20;
+    for (int s = 0; s < seeds; ++s) {
+      safety::RoomConfig config;
+      config.intervention = intervention;
+      safety::RoomSim sim(config, Rng(1000 + s));
+      sim.run(3000);
+      const auto& m = sim.metrics();
+      per100 += m.collisions_per_100m();
+      uu += static_cast<double>(m.user_user_collisions);
+      ob += static_cast<double>(m.user_obstacle_collisions);
+      wall += static_cast<double>(m.wall_hits);
+      disruption += m.disruption;
+    }
+    std::cout << std::left << std::setw(22) << safety::to_string(intervention)
+              << std::right << std::fixed << std::setprecision(2)
+              << std::setw(16) << per100 / seeds << std::setw(12) << uu / seeds
+              << std::setw(12) << ob / seeds << std::setw(10) << wall / seeds
+              << std::setw(14) << disruption / seeds << "\n";
+  }
+
+  std::cout << "\nshape: every intervention cuts collisions vs occluded walking;\n"
+            << "shadow avatars only address user-user bumps (furniture stays\n"
+            << "invisible); redirected walking covers everything at a continuous\n"
+            << "low-grade disruption; the chaperone trades hard stops for safety.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Twin gallery: cultural preservation via digital twins (§IV-A "Digital
+// twins" + §IV-B "Humanity": "the metaverse can be the platform to preserve
+// and restore art pieces").
+//
+// A museum digitizes physical artworks as twins. Physical state drifts
+// (ageing, lighting) and occasionally jumps (restoration, relocation). The
+// gallery compares sync strategies, anchors every synchronized state on the
+// ledger for provenance, and mints an NFT per artwork so ownership and
+// authenticity are checkable by anyone.
+//
+//   ./twin_gallery
+#include <iomanip>
+#include <iostream>
+
+#include "core/metaverse.h"
+#include "twin/twin.h"
+
+int main() {
+  using namespace mv;
+
+  std::cout << "== twin gallery ==\n\n";
+
+  core::MetaverseConfig config;
+  config.seed = 404;
+  core::Metaverse metaverse(config);
+  const auto museum = metaverse.register_user("eu");
+  metaverse.run_consensus_round();
+
+  // 1. Mint provenance NFTs for 5 artworks.
+  Rng rng(405);
+  const auto& wallet = metaverse.wallet(museum.user_id);
+  for (int art = 0; art < 5; ++art) {
+    metaverse.submit_tx(ledger::make_contract_call(
+        wallet, metaverse.chain().state().nonce(wallet.address()) , "nft", "mint",
+        nft::NftContract::encode_mint("museum://artwork/" + std::to_string(art), 0),
+        1, rng));
+    metaverse.run_consensus_round();
+  }
+  std::cout << "minted " << nft::NftContract::token_count(metaverse.chain().state())
+            << " provenance NFTs owned by the museum\n\n";
+
+  // 2. Run the twins under each sync strategy; anchor digests on the ledger
+  //    through the museum device's audit client.
+  std::cout << std::left << std::setw(12) << "strategy" << std::right
+            << std::setw(18) << "msgs/twin/tick" << std::setw(16)
+            << "avg divergence" << std::setw(14) << "anchored" << "\n";
+  for (const auto strategy :
+       {twin::SyncStrategy::kPeriodic, twin::SyncStrategy::kThreshold,
+        twin::SyncStrategy::kOnEvent}) {
+    twin::SyncConfig sync;
+    sync.strategy = strategy;
+    sync.period = 25;
+    sync.delta_threshold = 0.4;
+    twin::TwinSim sim(5, 4, sync, Rng(406));
+    std::uint64_t anchored = 0;
+    sim.set_anchor_hook(
+        [&](TwinId, const crypto::Digest&, Tick) { ++anchored; });
+    sim.run(500);
+    std::cout << std::left << std::setw(12) << twin::to_string(strategy)
+              << std::right << std::fixed << std::setprecision(4)
+              << std::setw(18) << sim.metrics().message_rate(5, 500)
+              << std::setw(16) << sim.metrics().avg_divergence()
+              << std::setw(14) << anchored << "\n";
+  }
+
+  // 3. Anchors as audit records: file one per artwork on chain.
+  {
+    twin::SyncConfig sync;
+    sync.strategy = twin::SyncStrategy::kThreshold;
+    sync.delta_threshold = 0.4;
+    twin::TwinSim sim(5, 4, sync, Rng(407));
+    ledger::AuditClient device(metaverse.wallet(museum.user_id), rng);
+    sim.set_anchor_hook([&](TwinId id, const crypto::Digest& digest, Tick) {
+      ledger::AuditRecordBody body;
+      body.data_category = "twin_state";
+      body.purpose = "provenance:" + crypto::to_hex(digest).substr(0, 12);
+      body.subject = id.value();
+      body.pet_applied = "none";
+      metaverse.submit_tx(device.record(metaverse.chain().state(), std::move(body)));
+    });
+    sim.run(300);
+    metaverse.run_consensus_round();
+    ledger::AuditQuery query(metaverse.chain());
+    const auto records = query.by_collector(museum.address);
+    std::cout << "\n" << records.size()
+              << " twin-state digests anchored on chain; first: "
+              << (records.empty() ? "-" : records.front().body.purpose) << "\n";
+  }
+
+  std::cout << "\nprovenance story: any visitor can verify an artwork's twin\n"
+            << "history against the chain — authenticity without trusting the\n"
+            << "museum's database (the paper's 'digital ledger' approach).\n";
+  return 0;
+}

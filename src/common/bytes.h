@@ -1,0 +1,67 @@
+// Canonical binary serialization.
+//
+// Blocks, transactions, and signed payloads must hash identically across the
+// whole system, so everything that is hashed or signed round-trips through
+// this little-endian, length-prefixed format.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mv {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void str(std::string_view v);
+  void bytes(std::span<const std::uint8_t> v);
+  /// Raw append without a length prefix (for fixed-size digests).
+  void raw(std::span<const std::uint8_t> v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t> u8();
+  [[nodiscard]] Result<std::uint32_t> u32();
+  [[nodiscard]] Result<std::uint64_t> u64();
+  [[nodiscard]] Result<std::int64_t> i64();
+  [[nodiscard]] Result<double> f64();
+  [[nodiscard]] Result<std::string> str();
+  [[nodiscard]] Result<Bytes> bytes();
+  /// Read exactly n raw bytes (no length prefix).
+  [[nodiscard]] Result<Bytes> raw(std::size_t n);
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  [[nodiscard]] bool need(std::size_t n) const { return pos_ + n <= data_.size(); }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Hex encoding for digests in logs and docs.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+
+}  // namespace mv

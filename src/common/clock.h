@@ -1,0 +1,25 @@
+// Logical simulation time.
+//
+// All simulation components share a SimClock owned by the scenario driver.
+// Ticks are dimensionless; each simulation declares its own tick meaning
+// (the safety sim uses 10ms ticks, the ledger uses 1 tick per round).
+#pragma once
+
+#include <cstdint>
+
+namespace mv {
+
+using Tick = std::int64_t;
+
+class SimClock {
+ public:
+  [[nodiscard]] Tick now() const { return now_; }
+
+  void advance(Tick delta = 1) { now_ += delta; }
+  void reset() { now_ = 0; }
+
+ private:
+  Tick now_ = 0;
+};
+
+}  // namespace mv

@@ -1,0 +1,60 @@
+// Typed publish/subscribe bus.
+//
+// Modules are deliberately decoupled (DESIGN.md S15: interchangeable modules);
+// cross-module notifications (a moderation verdict, a policy swap, an audit
+// record) travel through the bus rather than through direct references.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+namespace mv {
+
+class EventBus {
+ public:
+  using SubscriptionId = std::uint64_t;
+
+  template <typename Event>
+  SubscriptionId subscribe(std::function<void(const Event&)> handler) {
+    const SubscriptionId id = next_id_++;
+    auto& list = handlers_[std::type_index(typeid(Event))];
+    list.push_back({id, [h = std::move(handler)](const void* e) {
+                      h(*static_cast<const Event*>(e));
+                    }});
+    return id;
+  }
+
+  template <typename Event>
+  void unsubscribe(SubscriptionId id) {
+    auto it = handlers_.find(std::type_index(typeid(Event)));
+    if (it == handlers_.end()) return;
+    std::erase_if(it->second, [id](const Entry& e) { return e.id == id; });
+  }
+
+  template <typename Event>
+  void publish(const Event& event) {
+    auto it = handlers_.find(std::type_index(typeid(Event)));
+    if (it == handlers_.end()) return;
+    // Copy: handlers may subscribe/unsubscribe reentrantly.
+    const auto snapshot = it->second;
+    for (const auto& entry : snapshot) entry.fn(&event);
+    ++published_;
+  }
+
+  [[nodiscard]] std::uint64_t published_count() const { return published_; }
+
+ private:
+  struct Entry {
+    SubscriptionId id;
+    std::function<void(const void*)> fn;
+  };
+
+  std::unordered_map<std::type_index, std::vector<Entry>> handlers_;
+  SubscriptionId next_id_ = 1;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace mv

@@ -1,0 +1,90 @@
+// Strong identifier types.
+//
+// Every domain entity in the framework (avatar, proposal, asset, ...) is keyed
+// by a distinct id type so that ids from different domains cannot be mixed up
+// at compile time. Ids are thin wrappers over a 64-bit value.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mv {
+
+/// A type-safe 64-bit identifier. `Tag` is a phantom type; two StrongId
+/// instantiations with different tags do not convert to each other.
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint64_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << Tag::prefix() << id.value_;
+  }
+
+  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId(kInvalid); }
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+// Domain id tags. Each carries a short printable prefix for logs.
+struct AvatarTag        { static constexpr const char* prefix() { return "avatar:"; } };
+struct AccountTag       { static constexpr const char* prefix() { return "acct:"; } };
+struct AssetTag         { static constexpr const char* prefix() { return "asset:"; } };
+struct ProposalTag      { static constexpr const char* prefix() { return "prop:"; } };
+struct ModuleTag        { static constexpr const char* prefix() { return "module:"; } };
+struct SpaceTag         { static constexpr const char* prefix() { return "space:"; } };
+struct SensorTag        { static constexpr const char* prefix() { return "sensor:"; } };
+struct ReportTag        { static constexpr const char* prefix() { return "report:"; } };
+struct TwinTag          { static constexpr const char* prefix() { return "twin:"; } };
+struct NodeTag          { static constexpr const char* prefix() { return "node:"; } };
+struct TxTag            { static constexpr const char* prefix() { return "tx:"; } };
+struct ContractTag      { static constexpr const char* prefix() { return "contract:"; } };
+struct ListingTag       { static constexpr const char* prefix() { return "listing:"; } };
+struct DataFlowTag      { static constexpr const char* prefix() { return "flow:"; } };
+
+using AvatarId   = StrongId<AvatarTag>;
+using AccountId  = StrongId<AccountTag>;
+using AssetId    = StrongId<AssetTag>;
+using ProposalId = StrongId<ProposalTag>;
+using ModuleId   = StrongId<ModuleTag>;
+using SpaceId    = StrongId<SpaceTag>;
+using SensorId   = StrongId<SensorTag>;
+using ReportId   = StrongId<ReportTag>;
+using TwinId     = StrongId<TwinTag>;
+using NodeId     = StrongId<NodeTag>;
+using TxId       = StrongId<TxTag>;
+using ContractId = StrongId<ContractTag>;
+using ListingId  = StrongId<ListingTag>;
+using DataFlowId = StrongId<DataFlowTag>;
+
+/// Monotonic id factory; one per domain, typically owned by a registry.
+template <typename Id>
+class IdAllocator {
+ public:
+  [[nodiscard]] Id next() { return Id(next_++); }
+  [[nodiscard]] std::uint64_t issued() const { return next_; }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace mv
+
+namespace std {
+template <typename Tag>
+struct hash<mv::StrongId<Tag>> {
+  size_t operator()(mv::StrongId<Tag> id) const noexcept {
+    return std::hash<uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

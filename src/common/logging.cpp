@@ -1,0 +1,28 @@
+#include "common/logging.h"
+
+namespace mv {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  if (level < level_) return;
+  std::clog << "[" << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace mv

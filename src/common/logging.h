@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// Simulation code logs through this instead of writing to std::cout so tests
+// can silence it and benches can keep their stdout clean for result rows.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  void write(LogLevel level, const std::string& msg);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace mv
+
+#define MV_LOG_DEBUG ::mv::detail::LogLine(::mv::LogLevel::kDebug)
+#define MV_LOG_INFO ::mv::detail::LogLine(::mv::LogLevel::kInfo)
+#define MV_LOG_WARN ::mv::detail::LogLine(::mv::LogLevel::kWarn)
+#define MV_LOG_ERROR ::mv::detail::LogLine(::mv::LogLevel::kError)

@@ -1,0 +1,82 @@
+// Result<T>: value-or-error for expected domain failures.
+//
+// Domain operations that can legitimately fail (an invalid transaction, a
+// rejected vote, a policy violation) return Result<T> instead of throwing;
+// exceptions are reserved for broken invariants.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mv {
+
+/// Error payload: machine-readable code plus human-readable detail.
+struct Error {
+  std::string code;     ///< stable, e.g. "tx.bad_signature"
+  std::string message;  ///< free-form context
+
+  [[nodiscard]] std::string to_string() const { return code + ": " + message; }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error_->to_string());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error_->to_string());
+    return std::move(*value_);
+  }
+  [[nodiscard]] const T& value_or(const T& fallback) const& {
+    return ok() ? *value_ : fallback;
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                     // ok
+  Status(Error error) : error_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Status ok_status() { return Status{}; }
+  [[nodiscard]] static Status fail(std::string code, std::string message) {
+    return Status(Error{std::move(code), std::move(message)});
+  }
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Error make_error(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+}  // namespace mv

@@ -1,0 +1,70 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace mv {
+
+int Rng::poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean > 30.0) {
+    // Normal approximation for large means keeps this O(1).
+    const double v = normal(mean, std::sqrt(mean));
+    return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  assert(n > 0);
+  // Inverse-CDF on the harmonic partial sums would need a table; instead use
+  // rejection sampling against the continuous envelope (Devroye).
+  if (n == 1) return 0;
+  const double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    const double u = uniform();
+    const double v = uniform();
+    const double x = std::floor(std::pow(static_cast<double>(n) + 1.0, u));
+    // x in [1, n+1); accept with the standard Zipf rejection test.
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      const auto idx = static_cast<std::size_t>(x) - 1;
+      if (idx < n) return idx;
+    }
+  }
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  assert(k <= n);
+  if (k == 0) return {};
+  if (k * 3 >= n) {
+    // Dense: partial Fisher-Yates over the full index range.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(all[i], all[i + next_below(n - i)]);
+    }
+    all.resize(k);
+    return all;
+  }
+  // Sparse: rejection into a set.
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const std::size_t idx = next_below(n);
+    if (seen.insert(idx).second) out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace mv

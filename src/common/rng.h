@@ -1,0 +1,97 @@
+// Deterministic random number generation.
+//
+// All stochastic components take an explicit Rng& so that every simulation,
+// test, and benchmark is reproducible from a single seed. The core generator
+// is SplitMix64 (fast, passes BigCrush for our purposes, trivially seedable);
+// `fork()` derives an independent stream, which lets parallel entities own
+// private generators without sharing state.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace mv {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller.
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Laplace(0, b) — the differential-privacy workhorse.
+  double laplace(double scale) {
+    const double u = uniform() - 0.5;
+    return -scale * std::copysign(std::log(1.0 - 2.0 * std::fabs(u)), u);
+  }
+
+  /// Exponential with given rate (mean 1/rate).
+  double exponential(double rate) {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Poisson-distributed count (Knuth; fine for small means).
+  int poisson(double mean);
+
+  /// Geometric-ish Zipf sample in [0, n) with exponent s (approximate, via CDF table-free rejection).
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Derive an independent generator (stable function of current state).
+  [[nodiscard]] Rng fork() {
+    return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n). k <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mv

@@ -1,0 +1,68 @@
+// Streaming statistics used by every benchmark and several online components
+// (reputation decay calibration, moderation queue telemetry).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mv {
+
+/// Welford one-pass mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Reservoir of raw samples; exact percentiles for bench reporting.
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  [[nodiscard]] double percentile(double p) const;  ///< p in [0,100]
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram for distribution shape reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Render a one-line ASCII sparkline — used by bench binaries.
+  [[nodiscard]] std::string sparkline() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mv

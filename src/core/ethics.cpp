@@ -1,0 +1,50 @@
+#include "core/ethics.h"
+
+namespace mv::core {
+
+const char* to_string(EthicalLayer layer) {
+  switch (layer) {
+    case EthicalLayer::kHumanRights: return "human_rights";
+    case EthicalLayer::kHumanEffort: return "human_effort";
+    case EthicalLayer::kHumanExperience: return "human_experience";
+  }
+  return "?";
+}
+
+double EthicsReport::layer_score(EthicalLayer layer) const {
+  std::size_t total = 0, satisfied = 0;
+  for (const auto& check : checks) {
+    if (check.layer != layer) continue;
+    ++total;
+    satisfied += check.satisfied;
+  }
+  return total ? static_cast<double>(satisfied) / static_cast<double>(total) : 1.0;
+}
+
+double EthicsReport::overall_score() const {
+  if (checks.empty()) return 1.0;
+  std::size_t satisfied = 0;
+  for (const auto& check : checks) satisfied += check.satisfied;
+  return static_cast<double>(satisfied) / static_cast<double>(checks.size());
+}
+
+std::vector<std::string> EthicsReport::missing(EthicalLayer layer) const {
+  std::vector<std::string> out;
+  for (const auto& check : checks) {
+    if (check.layer == layer && !check.satisfied) out.push_back(check.capability);
+  }
+  return out;
+}
+
+bool EthicsReport::layer_supported(EthicalLayer layer, double threshold) const {
+  // Pyramid semantics: every layer below must clear the threshold too.
+  const auto order = {EthicalLayer::kHumanRights, EthicalLayer::kHumanEffort,
+                      EthicalLayer::kHumanExperience};
+  for (const EthicalLayer l : order) {
+    if (layer_score(l) < threshold) return false;
+    if (l == layer) return true;
+  }
+  return false;
+}
+
+}  // namespace mv::core

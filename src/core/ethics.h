@@ -1,0 +1,43 @@
+// Ethical-Hierarchy-of-Needs audit (§IV-C, Figure 3).
+//
+// The paper aligns its modular architecture with the 'Ethical Hierarchy of
+// Needs': Human Rights at the base, Human Effort above, Human Experience on
+// top. The audit inspects a platform's *actual configuration* (which modules
+// are installed and how) and scores each layer by the fraction of its
+// capabilities the configuration provides, listing what is missing — an
+// executable version of the paper's design checklist.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mv::core {
+
+enum class EthicalLayer : std::uint8_t {
+  kHumanRights,
+  kHumanEffort,
+  kHumanExperience,
+};
+
+[[nodiscard]] const char* to_string(EthicalLayer layer);
+
+/// One capability the hierarchy expects, with the observed verdict.
+struct EthicalCheck {
+  EthicalLayer layer;
+  std::string capability;  ///< e.g. "privacy_by_default"
+  bool satisfied = false;
+  std::string evidence;  ///< what was inspected
+};
+
+struct EthicsReport {
+  std::vector<EthicalCheck> checks;
+
+  [[nodiscard]] double layer_score(EthicalLayer layer) const;
+  [[nodiscard]] double overall_score() const;
+  [[nodiscard]] std::vector<std::string> missing(EthicalLayer layer) const;
+  /// The hierarchy is a pyramid: a layer only counts as supported when every
+  /// layer below it scores at least `threshold`.
+  [[nodiscard]] bool layer_supported(EthicalLayer layer, double threshold = 0.75) const;
+};
+
+}  // namespace mv::core

@@ -1,0 +1,68 @@
+#include "crypto/schnorr.h"
+
+#include "common/bytes.h"
+
+namespace mv::crypto {
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mul_mod(result, base, m);
+    base = mul_mod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+namespace {
+
+/// Challenge hash: H(r || message) reduced mod q, never zero.
+std::uint64_t challenge(std::uint64_t r, std::span<const std::uint8_t> message) {
+  ByteWriter w;
+  w.u64(r);
+  w.bytes(message);
+  const Digest d = sha256(w.data());
+  const std::uint64_t e = digest_prefix64(d) % kGroupQ;
+  return e == 0 ? 1 : e;
+}
+
+}  // namespace
+
+KeyPair generate_keypair(Rng& rng) {
+  KeyPair kp;
+  kp.priv.x = 1 + rng.next_below(kGroupQ - 1);
+  kp.pub.y = pow_mod(kGenerator, kp.priv.x, kFieldP);
+  return kp;
+}
+
+Signature sign(const PrivateKey& priv, std::span<const std::uint8_t> message,
+               Rng& rng) {
+  const std::uint64_t k = 1 + rng.next_below(kGroupQ - 1);
+  const std::uint64_t r = pow_mod(kGenerator, k, kFieldP);
+  Signature sig;
+  sig.e = challenge(r, message);
+  // s = (k - x*e) mod q
+  const std::uint64_t xe = mul_mod(priv.x % kGroupQ, sig.e, kGroupQ);
+  sig.s = (k + kGroupQ - xe) % kGroupQ;
+  return sig;
+}
+
+bool verify(const PublicKey& pub, std::span<const std::uint8_t> message,
+            const Signature& sig) {
+  if (pub.y == 0 || sig.e == 0 || sig.e >= kGroupQ || sig.s >= kGroupQ) {
+    return false;
+  }
+  // r' = g^s * y^e mod p
+  const std::uint64_t gs = pow_mod(kGenerator, sig.s, kFieldP);
+  const std::uint64_t ye = pow_mod(pub.y, sig.e, kFieldP);
+  const std::uint64_t r = mul_mod(gs, ye, kFieldP);
+  return challenge(r, message) == sig.e;
+}
+
+}  // namespace mv::crypto

@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4). Full from-scratch implementation; used for block
+// hashes, Merkle roots, transaction ids, addresses, and Schnorr challenges.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace mv::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+
+  /// Finalize and return the digest. The object must not be reused afterwards.
+  [[nodiscard]] Digest finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+[[nodiscard]] Digest sha256(std::span<const std::uint8_t> data);
+[[nodiscard]] Digest sha256(std::string_view data);
+
+/// First 8 bytes of a digest as u64 (little-endian) — compact ids.
+[[nodiscard]] std::uint64_t digest_prefix64(const Digest& d);
+
+[[nodiscard]] std::string to_hex(const Digest& d);
+
+}  // namespace mv::crypto

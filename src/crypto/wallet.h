@@ -1,0 +1,51 @@
+// Wallets: keypair + address. An address is the 64-bit SHA-256 prefix of the
+// public key — the identity that owns accounts, NFTs, votes, and reputation
+// on the ledger.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "crypto/schnorr.h"
+
+namespace mv::crypto {
+
+/// On-chain identity derived from a public key.
+struct Address {
+  std::uint64_t value = 0;
+
+  friend constexpr auto operator<=>(Address, Address) = default;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] Address address_of(const PublicKey& pub);
+
+class Wallet {
+ public:
+  /// Create a wallet with a fresh keypair.
+  explicit Wallet(Rng& rng);
+
+  [[nodiscard]] const PublicKey& public_key() const { return keys_.pub; }
+  [[nodiscard]] Address address() const { return address_; }
+
+  /// Sign arbitrary bytes with the wallet's private key.
+  [[nodiscard]] Signature sign(std::span<const std::uint8_t> message, Rng& rng) const;
+
+ private:
+  KeyPair keys_;
+  Address address_;
+};
+
+}  // namespace mv::crypto
+
+namespace std {
+template <>
+struct hash<mv::crypto::Address> {
+  size_t operator()(mv::crypto::Address a) const noexcept {
+    return std::hash<uint64_t>{}(a.value);
+  }
+};
+}  // namespace std

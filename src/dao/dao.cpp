@@ -1,0 +1,217 @@
+#include "dao/dao.h"
+
+namespace mv::dao {
+
+Dao::Dao(DaoConfig config, Rng rng)
+    : config_(std::move(config)), rng_(rng) {}
+
+Result<ProposalId> Dao::propose(AccountId author, ModuleId scope,
+                                std::string title, Tick now) {
+  if (members_.find(author) == nullptr) {
+    return make_error("dao.not_a_member", "author is not a member");
+  }
+  Proposal p;
+  p.id = proposal_ids_.next();
+  p.scope = scope;
+  p.author = author;
+  p.title = std::move(title);
+  p.created_at = now;
+  p.voting_ends = now + config_.voting_period;
+  if (config_.commit_reveal) {
+    p.reveal_ends = p.voting_ends + config_.reveal_period;
+  }
+  p.jury = config_.scheme->select_jury(members_, rng_);
+
+  ++stats_.proposals_created;
+  stats_.eligible_ballot_requests +=
+      p.jury.empty() ? members_.size() : p.jury.size();
+
+  const ProposalId id = p.id;
+  proposals_.emplace(id, std::move(p));
+  return id;
+}
+
+Status Dao::record_ballot(Proposal& p, AccountId voter, VoteChoice choice,
+                          Tick now, double intensity) {
+  Member* member = members_.find_mutable(voter);
+  if (member == nullptr) {
+    return Status::fail("dao.not_a_member", "voter is not a member");
+  }
+  if (!p.jury.empty() && !p.jury.contains(voter)) {
+    return Status::fail("dao.not_on_jury", "sortition jury excludes voter");
+  }
+  if (p.ballots.contains(voter)) {
+    return Status::fail("dao.double_vote", "ballot already cast");
+  }
+  auto weight = config_.scheme->ballot_weight(*member, intensity);
+  if (!weight.ok()) return Status::fail(weight.error().code, weight.error().message);
+
+  p.ballots.emplace(voter, Ballot{choice, weight.value(), now});
+  ++stats_.ballots_cast;
+  return {};
+}
+
+Status Dao::cast_vote(ProposalId id, AccountId voter, VoteChoice choice,
+                      Tick now, double intensity) {
+  if (config_.commit_reveal) {
+    return Status::fail("dao.sealed_ballots",
+                        "this DAO runs commit/reveal voting");
+  }
+  const auto it = proposals_.find(id);
+  if (it == proposals_.end()) {
+    return Status::fail("dao.no_such_proposal", "unknown proposal");
+  }
+  Proposal& p = it->second;
+  if (!p.open(now)) {
+    return Status::fail("dao.voting_closed", "proposal is not open");
+  }
+  return record_ballot(p, voter, choice, now, intensity);
+}
+
+crypto::Digest Dao::make_commitment(VoteChoice choice, std::uint64_t salt,
+                                    AccountId voter) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(choice));
+  w.u64(salt);
+  w.u64(voter.value());
+  return crypto::sha256(w.data());
+}
+
+Status Dao::commit_vote(ProposalId id, AccountId voter,
+                        const crypto::Digest& commitment, Tick now) {
+  if (!config_.commit_reveal) {
+    return Status::fail("dao.not_sealed", "this DAO runs plain voting");
+  }
+  const auto it = proposals_.find(id);
+  if (it == proposals_.end()) {
+    return Status::fail("dao.no_such_proposal", "unknown proposal");
+  }
+  Proposal& p = it->second;
+  if (!p.open(now)) {
+    return Status::fail("dao.voting_closed", "commit window is over");
+  }
+  if (members_.find(voter) == nullptr) {
+    return Status::fail("dao.not_a_member", "voter is not a member");
+  }
+  if (!p.jury.empty() && !p.jury.contains(voter)) {
+    return Status::fail("dao.not_on_jury", "sortition jury excludes voter");
+  }
+  if (p.commitments.contains(voter)) {
+    return Status::fail("dao.double_vote", "commitment already filed");
+  }
+  p.commitments.emplace(voter, commitment);
+  return {};
+}
+
+Status Dao::reveal_vote(ProposalId id, AccountId voter, VoteChoice choice,
+                        std::uint64_t salt, Tick now, double intensity) {
+  if (!config_.commit_reveal) {
+    return Status::fail("dao.not_sealed", "this DAO runs plain voting");
+  }
+  const auto it = proposals_.find(id);
+  if (it == proposals_.end()) {
+    return Status::fail("dao.no_such_proposal", "unknown proposal");
+  }
+  Proposal& p = it->second;
+  if (p.status != ProposalStatus::kVoting || now < p.voting_ends) {
+    return Status::fail("dao.reveal_closed", "reveal window not open yet");
+  }
+  if (now >= p.reveal_ends) {
+    return Status::fail("dao.reveal_closed", "reveal window is over");
+  }
+  const auto commitment = p.commitments.find(voter);
+  if (commitment == p.commitments.end()) {
+    return Status::fail("dao.no_commitment", "no sealed ballot on file");
+  }
+  if (make_commitment(choice, salt, voter) != commitment->second) {
+    return Status::fail("dao.bad_reveal", "reveal does not match commitment");
+  }
+  return record_ballot(p, voter, choice, now, intensity);
+}
+
+double Dao::eligible_weight(const Proposal& p) const {
+  double total = 0.0;
+  if (!p.jury.empty()) {
+    for (const AccountId id : p.jury) {
+      if (const Member* m = members_.find(id); m != nullptr) {
+        total += config_.scheme->base_weight(*m);
+      }
+    }
+    return total;
+  }
+  for (const auto& [id, member] : members_.all()) {
+    total += config_.scheme->base_weight(member);
+  }
+  return total;
+}
+
+void Dao::tally_delegations(Proposal& p) const {
+  // Route each non-voter's unit weight along their delegation chain; it lands
+  // on the terminal delegatee's ballot if that delegatee voted directly.
+  for (const auto& [id, member] : members_.all()) {
+    if (p.ballots.contains(id)) continue;
+    const AccountId rep = members_.resolve_delegate(id);
+    if (rep == id) continue;
+    const auto ballot = p.ballots.find(rep);
+    if (ballot == p.ballots.end()) continue;
+    switch (ballot->second.choice) {
+      case VoteChoice::kYes: p.tally.yes += 1.0; break;
+      case VoteChoice::kNo: p.tally.no += 1.0; break;
+      case VoteChoice::kAbstain: p.tally.abstain += 1.0; break;
+    }
+  }
+}
+
+Result<ProposalStatus> Dao::finalize(ProposalId id, Tick now) {
+  const auto it = proposals_.find(id);
+  if (it == proposals_.end()) {
+    return make_error("dao.no_such_proposal", "unknown proposal");
+  }
+  Proposal& p = it->second;
+  if (p.status != ProposalStatus::kVoting) {
+    return make_error("dao.already_finalized", "proposal is closed");
+  }
+  const Tick closes = config_.commit_reveal ? p.reveal_ends : p.voting_ends;
+  if (now < closes) {
+    return make_error("dao.voting_open", "voting/reveal window not over");
+  }
+
+  p.tally = Tally{};
+  p.tally.eligible_weight = eligible_weight(p);
+  for (const auto& [voter, ballot] : p.ballots) {
+    switch (ballot.choice) {
+      case VoteChoice::kYes: p.tally.yes += ballot.weight; break;
+      case VoteChoice::kNo: p.tally.no += ballot.weight; break;
+      case VoteChoice::kAbstain: p.tally.abstain += ballot.weight; break;
+    }
+  }
+  if (config_.scheme->supports_delegation()) tally_delegations(p);
+
+  const bool quorate = p.tally.turnout() >= config_.quorum;
+  const bool majority = p.tally.yes_share() > config_.pass_threshold;
+  p.status = (quorate && majority) ? ProposalStatus::kPassed
+                                   : ProposalStatus::kRejected;
+  if (p.status == ProposalStatus::kPassed && executor_) {
+    executor_(p);
+    p.status = ProposalStatus::kExecuted;
+  }
+  return p.status;
+}
+
+std::size_t Dao::finalize_due(Tick now) {
+  std::size_t done = 0;
+  for (auto& [id, p] : proposals_) {
+    const Tick closes = config_.commit_reveal ? p.reveal_ends : p.voting_ends;
+    if (p.status == ProposalStatus::kVoting && now >= closes) {
+      if (finalize(id, now).ok()) ++done;
+    }
+  }
+  return done;
+}
+
+const Proposal* Dao::find(ProposalId id) const {
+  const auto it = proposals_.find(id);
+  return it == proposals_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mv::dao

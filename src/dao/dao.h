@@ -1,0 +1,109 @@
+// The DAO engine: proposals, ballots, tallies, execution.
+//
+// "Generally, DAOs are usually flat and fully democratized, where each member
+// can participate in the voting system to implement any changes in the
+// platform." (§III-B). This class is that flat DAO; FederatedDao composes
+// many of them into the paper's modular alternative.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "dao/voting.h"
+
+namespace mv::dao {
+
+struct DaoConfig {
+  double quorum = 0.2;          ///< minimum turnout fraction of eligible weight
+  double pass_threshold = 0.5;  ///< yes share (exclusive) required to pass
+  Tick voting_period = 100;
+  std::shared_ptr<const VotingScheme> scheme =
+      std::make_shared<OneMemberOneVote>();
+  /// Sealed ballots (§II-B behavioural privacy applied to governance):
+  /// voters commit H(choice || salt || voter) during the voting window and
+  /// open the commitment during a reveal window; nobody — including the
+  /// platform — learns running tallies or who voted how before the close.
+  bool commit_reveal = false;
+  Tick reveal_period = 50;
+};
+
+/// Per-member participation telemetry — the measurements behind the paper's
+/// "voting sessions can become cumbersome" claim (bench E2).
+struct ParticipationStats {
+  std::uint64_t proposals_created = 0;
+  std::uint64_t ballots_cast = 0;
+  /// Summed over members: proposals each member was eligible to vote on.
+  std::uint64_t eligible_ballot_requests = 0;
+
+  [[nodiscard]] double avg_requests_per_member(std::size_t members) const {
+    return members ? static_cast<double>(eligible_ballot_requests) /
+                         static_cast<double>(members)
+                   : 0.0;
+  }
+};
+
+class Dao {
+ public:
+  using Executor = std::function<void(const Proposal&)>;
+
+  Dao(DaoConfig config, Rng rng);
+
+  [[nodiscard]] MemberRegistry& members() { return members_; }
+  [[nodiscard]] const MemberRegistry& members() const { return members_; }
+  [[nodiscard]] const DaoConfig& config() const { return config_; }
+
+  /// Runs when a proposal passes; registered by the platform module that
+  /// owns this DAO (e.g. policy swap, moderation rule change).
+  void set_executor(Executor executor) { executor_ = std::move(executor); }
+
+  /// Open a proposal; voting starts immediately.
+  [[nodiscard]] Result<ProposalId> propose(AccountId author, ModuleId scope,
+                                           std::string title, Tick now);
+
+  /// Cast a ballot. `intensity` only matters for quadratic voting.
+  /// Rejected when the DAO runs sealed ballots (use commit/reveal).
+  [[nodiscard]] Status cast_vote(ProposalId id, AccountId voter,
+                                 VoteChoice choice, Tick now,
+                                 double intensity = 1.0);
+
+  /// Sealed ballots: the commitment voters file during the voting window.
+  [[nodiscard]] static crypto::Digest make_commitment(VoteChoice choice,
+                                                      std::uint64_t salt,
+                                                      AccountId voter);
+  /// File a sealed ballot (voting window).
+  [[nodiscard]] Status commit_vote(ProposalId id, AccountId voter,
+                                   const crypto::Digest& commitment, Tick now);
+  /// Open a sealed ballot (reveal window); must match the commitment.
+  [[nodiscard]] Status reveal_vote(ProposalId id, AccountId voter,
+                                   VoteChoice choice, std::uint64_t salt,
+                                   Tick now, double intensity = 1.0);
+
+  /// Close and tally a proposal whose voting window has ended.
+  [[nodiscard]] Result<ProposalStatus> finalize(ProposalId id, Tick now);
+
+  /// Finalize everything whose window ended; returns number finalized.
+  std::size_t finalize_due(Tick now);
+
+  [[nodiscard]] const Proposal* find(ProposalId id) const;
+  [[nodiscard]] std::size_t proposal_count() const { return proposals_.size(); }
+  [[nodiscard]] const ParticipationStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] double eligible_weight(const Proposal& p) const;
+  void tally_delegations(Proposal& p) const;
+  /// Shared tail of cast_vote / reveal_vote: eligibility + weight + record.
+  [[nodiscard]] Status record_ballot(Proposal& p, AccountId voter,
+                                     VoteChoice choice, Tick now,
+                                     double intensity);
+
+  DaoConfig config_;
+  Rng rng_;
+  MemberRegistry members_;
+  std::unordered_map<ProposalId, Proposal> proposals_;
+  IdAllocator<ProposalId> proposal_ids_;
+  Executor executor_;
+  ParticipationStats stats_;
+};
+
+}  // namespace mv::dao

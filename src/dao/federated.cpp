@@ -1,0 +1,148 @@
+#include "dao/federated.h"
+
+#include <stdexcept>
+
+namespace mv::dao {
+
+FederatedDao::FederatedDao(FederatedConfig config, Rng rng)
+    : config_(config), rng_(rng), global_(config.global_config, rng_.fork()) {}
+
+ModuleId FederatedDao::create_module(std::string name) {
+  const ModuleId id(modules_.size());
+  modules_.push_back(ModuleEntry{std::move(name), Dao(config_.module_config, rng_.fork())});
+  return id;
+}
+
+const std::string& FederatedDao::module_name(ModuleId id) const {
+  return modules_.at(id.value()).name;
+}
+
+Status FederatedDao::enroll(Member member) { return global_.members().add(member); }
+
+Status FederatedDao::subscribe(AccountId member, ModuleId module) {
+  const Member* m = global_.members().find(member);
+  if (m == nullptr) {
+    return Status::fail("dao.not_enrolled", "subscribe requires enrollment");
+  }
+  if (module.value() >= modules_.size()) {
+    return Status::fail("dao.no_such_module", "unknown module");
+  }
+  return modules_[module.value()].dao.members().add(*m);
+}
+
+Result<ProposalId> FederatedDao::propose(AccountId author, ModuleId scope,
+                                         std::string title, Tick now) {
+  Route route;
+  if (scope.valid() && scope.value() < modules_.size() &&
+      modules_[scope.value()].dao.members().find(author) != nullptr) {
+    route.module = scope;
+  }
+  Dao& dao = route.module ? modules_[route.module->value()].dao : global_;
+  auto local = dao.propose(author, scope, std::move(title), now);
+  if (!local.ok()) return local.error();
+  route.local = local.value();
+  const ProposalId handle = handle_ids_.next();
+  routes_.emplace(handle, route);
+  return handle;
+}
+
+Dao& FederatedDao::dao_for(const Route& route) {
+  return route.module ? modules_[route.module->value()].dao : global_;
+}
+
+const Dao& FederatedDao::dao_for(const Route& route) const {
+  return route.module ? modules_[route.module->value()].dao : global_;
+}
+
+Status FederatedDao::cast_vote(ProposalId id, AccountId voter, VoteChoice choice,
+                               Tick now, double intensity) {
+  const auto it = routes_.find(id);
+  if (it == routes_.end()) {
+    return Status::fail("dao.no_such_proposal", "unknown handle");
+  }
+  return dao_for(it->second).cast_vote(it->second.local, voter, choice, now, intensity);
+}
+
+Status FederatedDao::commit_vote(ProposalId id, AccountId voter,
+                                 const crypto::Digest& commitment, Tick now) {
+  const auto it = routes_.find(id);
+  if (it == routes_.end()) {
+    return Status::fail("dao.no_such_proposal", "unknown handle");
+  }
+  return dao_for(it->second).commit_vote(it->second.local, voter, commitment, now);
+}
+
+Status FederatedDao::reveal_vote(ProposalId id, AccountId voter,
+                                 VoteChoice choice, std::uint64_t salt,
+                                 Tick now, double intensity) {
+  const auto it = routes_.find(id);
+  if (it == routes_.end()) {
+    return Status::fail("dao.no_such_proposal", "unknown handle");
+  }
+  return dao_for(it->second)
+      .reveal_vote(it->second.local, voter, choice, salt, now, intensity);
+}
+
+Result<FederatedOutcome> FederatedDao::finalize(ProposalId id, Tick now) {
+  const auto it = routes_.find(id);
+  if (it == routes_.end()) {
+    return make_error("dao.no_such_proposal", "unknown handle");
+  }
+  Dao& dao = dao_for(it->second);
+  auto status = dao.finalize(it->second.local, now);
+  if (!status.ok()) return status.error();
+
+  FederatedOutcome outcome;
+  outcome.status = status.value();
+
+  // Contested module outcomes escalate to the whole platform (§III-C:
+  // modules "interact with other governance systems").
+  if (it->second.module.has_value()) {
+    const Proposal* p = dao.find(it->second.local);
+    if (p != nullptr && p->tally.margin() < config_.escalation_margin) {
+      auto global_handle = propose(p->author, ModuleId::invalid(),
+                                   "[escalated] " + p->title, now);
+      if (global_handle.ok()) {
+        ++escalations_;
+        outcome.escalated_to = global_handle.value();
+      }
+    }
+  }
+  return outcome;
+}
+
+bool FederatedDao::is_module_scoped(ProposalId id) const {
+  const auto it = routes_.find(id);
+  return it != routes_.end() && it->second.module.has_value();
+}
+
+const Proposal* FederatedDao::find(ProposalId id) const {
+  const auto it = routes_.find(id);
+  if (it == routes_.end()) return nullptr;
+  return dao_for(it->second).find(it->second.local);
+}
+
+const Dao& FederatedDao::module_dao(ModuleId id) const {
+  return modules_.at(id.value()).dao;
+}
+
+Dao* FederatedDao::module_dao_mutable(ModuleId id) {
+  return id.value() < modules_.size() ? &modules_[id.value()].dao : nullptr;
+}
+
+std::uint64_t FederatedDao::total_ballot_requests() const {
+  std::uint64_t total = global_.stats().eligible_ballot_requests;
+  for (const auto& entry : modules_) {
+    total += entry.dao.stats().eligible_ballot_requests;
+  }
+  return total;
+}
+
+double FederatedDao::avg_requests_per_member() const {
+  const std::size_t members = global_.members().size();
+  return members ? static_cast<double>(total_ballot_requests()) /
+                       static_cast<double>(members)
+                 : 0.0;
+}
+
+}  // namespace mv::dao

@@ -1,0 +1,106 @@
+// Federated (modular) governance — the paper's §III-C / §IV-C design.
+//
+// "We believe that DAOs can solve the scalability problems when those are
+// spread across (modular approach) different features of the metaverse."
+// Each governance concern (privacy rules, moderation, economy, ...) gets its
+// own committee DAO; members subscribe only to the concerns they care about.
+// Proposals route to their module's committee; contested outcomes (small
+// decision margin) escalate to the global DAO, so modules stay "connected to
+// other decision modules" as in Figure 3.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dao/dao.h"
+
+namespace mv::dao {
+
+struct FederatedConfig {
+  DaoConfig module_config;
+  DaoConfig global_config;
+  /// Module outcomes with decision margin below this escalate to the global
+  /// DAO for a platform-wide re-vote.
+  double escalation_margin = 0.1;
+};
+
+struct FederatedOutcome {
+  ProposalStatus status = ProposalStatus::kRejected;
+  /// Set when the module outcome was contested and re-proposed globally.
+  std::optional<ProposalId> escalated_to;
+};
+
+class FederatedDao {
+ public:
+  FederatedDao(FederatedConfig config, Rng rng);
+
+  /// Create a governance module (concern) with its own committee DAO.
+  ModuleId create_module(std::string name);
+  [[nodiscard]] std::size_t module_count() const { return modules_.size(); }
+  [[nodiscard]] const std::string& module_name(ModuleId id) const;
+
+  /// Platform-wide enrollment (joins the global DAO).
+  [[nodiscard]] Status enroll(Member member);
+  /// Join a module's committee (the member must be enrolled).
+  [[nodiscard]] Status subscribe(AccountId member, ModuleId module);
+
+  /// Open a proposal. Scoped proposals go to the module committee; proposals
+  /// with an invalid scope (or an empty committee) go to the global DAO.
+  [[nodiscard]] Result<ProposalId> propose(AccountId author, ModuleId scope,
+                                           std::string title, Tick now);
+
+  [[nodiscard]] Status cast_vote(ProposalId id, AccountId voter,
+                                 VoteChoice choice, Tick now,
+                                 double intensity = 1.0);
+
+  /// Sealed-ballot passthroughs (active when the routed DAO's config has
+  /// commit_reveal set).
+  [[nodiscard]] Status commit_vote(ProposalId id, AccountId voter,
+                                   const crypto::Digest& commitment, Tick now);
+  [[nodiscard]] Status reveal_vote(ProposalId id, AccountId voter,
+                                   VoteChoice choice, std::uint64_t salt,
+                                   Tick now, double intensity = 1.0);
+
+  [[nodiscard]] Result<FederatedOutcome> finalize(ProposalId id, Tick now);
+
+  /// True when the proposal routed to a module committee (vs the global DAO).
+  [[nodiscard]] bool is_module_scoped(ProposalId id) const;
+  [[nodiscard]] const Proposal* find(ProposalId id) const;
+
+  [[nodiscard]] Dao& global() { return global_; }
+  [[nodiscard]] const Dao& global() const { return global_; }
+  [[nodiscard]] const Dao& module_dao(ModuleId id) const;
+  [[nodiscard]] Dao* module_dao_mutable(ModuleId id);
+
+  /// Aggregate ballot requests per enrolled member across all committees —
+  /// the federated counterpart of Dao::ParticipationStats (bench E2).
+  [[nodiscard]] double avg_requests_per_member() const;
+  [[nodiscard]] std::uint64_t total_ballot_requests() const;
+  [[nodiscard]] std::uint64_t escalations() const { return escalations_; }
+
+ private:
+  struct Route {
+    std::optional<ModuleId> module;  ///< nullopt = global
+    ProposalId local;
+  };
+
+  struct ModuleEntry {
+    std::string name;
+    Dao dao;
+  };
+
+  [[nodiscard]] Dao& dao_for(const Route& route);
+  [[nodiscard]] const Dao& dao_for(const Route& route) const;
+
+  FederatedConfig config_;
+  Rng rng_;
+  Dao global_;
+  std::vector<ModuleEntry> modules_;
+  std::unordered_map<ProposalId, Route> routes_;
+  IdAllocator<ProposalId> handle_ids_;
+  std::uint64_t escalations_ = 0;
+};
+
+}  // namespace mv::dao

@@ -1,0 +1,45 @@
+#include "dao/member.h"
+
+#include <unordered_set>
+
+namespace mv::dao {
+
+Status MemberRegistry::add(Member member) {
+  if (!member.id.valid()) {
+    return Status::fail("dao.invalid_member", "member id is invalid");
+  }
+  const auto [it, inserted] = members_.emplace(member.id, member);
+  (void)it;
+  if (!inserted) {
+    return Status::fail("dao.duplicate_member", "member already registered");
+  }
+  return {};
+}
+
+const Member* MemberRegistry::find(AccountId id) const {
+  const auto it = members_.find(id);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+Member* MemberRegistry::find_mutable(AccountId id) {
+  const auto it = members_.find(id);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+AccountId MemberRegistry::resolve_delegate(AccountId id) const {
+  std::unordered_set<AccountId> visited;
+  AccountId current = id;
+  while (true) {
+    if (!visited.insert(current).second) return id;  // cycle → self
+    const Member* m = find(current);
+    if (m == nullptr) return id;  // broken link → self
+    if (!m->delegate.has_value()) return current;
+    current = *m->delegate;
+  }
+}
+
+void MemberRegistry::set_delegate(AccountId who, std::optional<AccountId> target) {
+  if (Member* m = find_mutable(who); m != nullptr) m->delegate = target;
+}
+
+}  // namespace mv::dao

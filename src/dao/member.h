@@ -1,0 +1,44 @@
+// DAO membership registry.
+//
+// Members carry the resources the different voting schemes weigh: governance
+// tokens (token-weighted), voice credits (quadratic), reputation
+// (reputation-weighted), and an optional standing delegate (liquid
+// democracy).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/ids.h"
+#include "common/result.h"
+
+namespace mv::dao {
+
+struct Member {
+  AccountId id;
+  std::uint64_t tokens = 1;
+  double voice_credits = 100.0;  ///< quadratic-voting budget
+  double reputation = 1.0;
+  std::optional<AccountId> delegate;  ///< standing delegation target
+};
+
+class MemberRegistry {
+ public:
+  /// Add a member; fails on duplicate id.
+  [[nodiscard]] Status add(Member member);
+  [[nodiscard]] const Member* find(AccountId id) const;
+  [[nodiscard]] Member* find_mutable(AccountId id);
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] const std::map<AccountId, Member>& all() const { return members_; }
+
+  /// Resolve a delegation chain to its terminal delegatee. Cycles and broken
+  /// links resolve to the starting member (self-representation fallback).
+  [[nodiscard]] AccountId resolve_delegate(AccountId id) const;
+
+  void set_delegate(AccountId who, std::optional<AccountId> target);
+
+ private:
+  std::map<AccountId, Member> members_;
+};
+
+}  // namespace mv::dao

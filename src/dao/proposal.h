@@ -1,0 +1,73 @@
+// Governance proposals and ballots.
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "crypto/sha256.h"
+
+namespace mv::dao {
+
+enum class VoteChoice : std::uint8_t { kYes, kNo, kAbstain };
+
+enum class ProposalStatus : std::uint8_t {
+  kVoting,
+  kPassed,
+  kRejected,
+  kExecuted,
+};
+
+struct Ballot {
+  VoteChoice choice = VoteChoice::kAbstain;
+  double weight = 0.0;
+  Tick cast_at = 0;
+};
+
+struct Tally {
+  double yes = 0.0;
+  double no = 0.0;
+  double abstain = 0.0;
+  double eligible_weight = 0.0;  ///< denominator for quorum
+
+  [[nodiscard]] double turnout() const {
+    return eligible_weight > 0.0 ? (yes + no + abstain) / eligible_weight : 0.0;
+  }
+  /// Yes share among decisive (non-abstain) votes.
+  [[nodiscard]] double yes_share() const {
+    const double decisive = yes + no;
+    return decisive > 0.0 ? yes / decisive : 0.0;
+  }
+  /// Margin of the decision in [0,1]; small margins mark contested outcomes.
+  [[nodiscard]] double margin() const {
+    const double decisive = yes + no;
+    return decisive > 0.0 ? std::abs(yes - no) / decisive : 0.0;
+  }
+};
+
+struct Proposal {
+  ProposalId id;
+  ModuleId scope;  ///< governance concern this proposal belongs to
+  AccountId author;
+  std::string title;
+  Tick created_at = 0;
+  Tick voting_ends = 0;
+  ProposalStatus status = ProposalStatus::kVoting;
+  std::map<AccountId, Ballot> ballots;
+  /// Sealed-ballot mode: commitments filed during the voting window,
+  /// opened during the reveal window. Unrevealed commitments never count.
+  std::map<AccountId, crypto::Digest> commitments;
+  Tick reveal_ends = 0;  ///< 0 = plain (non-sealed) voting
+  /// Non-empty for sortition: only these members may vote.
+  std::set<AccountId> jury;
+  Tally tally;  ///< filled by finalize()
+
+  [[nodiscard]] bool open(Tick now) const {
+    return status == ProposalStatus::kVoting && now < voting_ends;
+  }
+};
+
+}  // namespace mv::dao

@@ -1,0 +1,34 @@
+#include "dao/voting.h"
+
+#include <vector>
+
+namespace mv::dao {
+
+Result<double> QuadraticVoting::ballot_weight(Member& m, double intensity) const {
+  if (intensity <= 0.0) {
+    return make_error("dao.bad_intensity", "intensity must be positive");
+  }
+  const double cost = intensity * intensity;
+  if (m.voice_credits < cost) {
+    return make_error("dao.no_credits",
+                      "quadratic cost " + std::to_string(cost) +
+                          " exceeds remaining credits");
+  }
+  m.voice_credits -= cost;
+  return intensity;
+}
+
+std::set<AccountId> SortitionJury::select_jury(const MemberRegistry& members,
+                                               Rng& rng) const {
+  std::vector<AccountId> ids;
+  ids.reserve(members.size());
+  for (const auto& [id, member] : members.all()) ids.push_back(id);
+  if (ids.size() <= jury_size_) return {ids.begin(), ids.end()};
+  std::set<AccountId> jury;
+  for (const auto idx : rng.sample_indices(ids.size(), jury_size_)) {
+    jury.insert(ids[idx]);
+  }
+  return jury;
+}
+
+}  // namespace mv::dao

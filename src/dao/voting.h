@@ -1,0 +1,117 @@
+// Voting schemes (§III-B, §III-C).
+//
+// The paper surveys DAO voting as "usually flat and fully democratized" and
+// points at scalability and involvement problems. The scheme is a strategy
+// object so a Dao (or a module of a federated DAO) can swap it: one person one
+// vote, token-weighted, quadratic, reputation-weighted, liquid delegation, and
+// sortition juries.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "dao/member.h"
+#include "dao/proposal.h"
+
+namespace mv::dao {
+
+class VotingScheme {
+ public:
+  virtual ~VotingScheme() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Weight a ballot of the given intensity contributes. May mutate the
+  /// member (quadratic voting spends voice credits). Fails when the member
+  /// cannot cast the ballot (e.g. credits exhausted).
+  [[nodiscard]] virtual Result<double> ballot_weight(Member& member,
+                                                     double intensity) const = 0;
+
+  /// Weight a member contributes to the quorum denominator.
+  [[nodiscard]] virtual double base_weight(const Member& member) const = 0;
+
+  /// Sortition hook: pick the jury for a new proposal; empty = everyone.
+  [[nodiscard]] virtual std::set<AccountId> select_jury(
+      const MemberRegistry& members, Rng& rng) const {
+    (void)members;
+    (void)rng;
+    return {};
+  }
+
+  /// Liquid-democracy hook: when true, the tally routes non-voters' weight
+  /// along delegation chains.
+  [[nodiscard]] virtual bool supports_delegation() const { return false; }
+};
+
+/// Flat, fully democratized: one member, one vote.
+class OneMemberOneVote final : public VotingScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "1m1v"; }
+  [[nodiscard]] Result<double> ballot_weight(Member&, double) const override {
+    return 1.0;
+  }
+  [[nodiscard]] double base_weight(const Member&) const override { return 1.0; }
+};
+
+/// Plutocratic: weight equals governance-token holdings.
+class TokenWeighted final : public VotingScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "token"; }
+  [[nodiscard]] Result<double> ballot_weight(Member& m, double) const override {
+    return static_cast<double>(m.tokens);
+  }
+  [[nodiscard]] double base_weight(const Member& m) const override {
+    return static_cast<double>(m.tokens);
+  }
+};
+
+/// Quadratic voting: casting intensity v costs v^2 voice credits.
+class QuadraticVoting final : public VotingScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "quadratic"; }
+  [[nodiscard]] Result<double> ballot_weight(Member& m, double intensity) const override;
+  [[nodiscard]] double base_weight(const Member&) const override { return 1.0; }
+};
+
+/// Reputation-weighted (the paper's §IV-C reputation system feeding votes).
+class ReputationWeighted final : public VotingScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "reputation"; }
+  [[nodiscard]] Result<double> ballot_weight(Member& m, double) const override {
+    return std::max(0.0, m.reputation);
+  }
+  [[nodiscard]] double base_weight(const Member& m) const override {
+    return std::max(0.0, m.reputation);
+  }
+};
+
+/// Liquid democracy: non-voters' unit weight flows along delegation chains.
+class DelegatedVoting final : public VotingScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "delegated"; }
+  [[nodiscard]] Result<double> ballot_weight(Member&, double) const override {
+    return 1.0;  // direct ballots count once; delegated weight added at tally
+  }
+  [[nodiscard]] double base_weight(const Member&) const override { return 1.0; }
+  [[nodiscard]] bool supports_delegation() const override { return true; }
+};
+
+/// Sortition: a random jury of fixed size decides on behalf of everyone —
+/// the paper's "juries, formal debates" processes from modular politics [17].
+class SortitionJury final : public VotingScheme {
+ public:
+  explicit SortitionJury(std::size_t jury_size) : jury_size_(jury_size) {}
+  [[nodiscard]] std::string name() const override { return "sortition"; }
+  [[nodiscard]] Result<double> ballot_weight(Member&, double) const override {
+    return 1.0;
+  }
+  [[nodiscard]] double base_weight(const Member&) const override { return 1.0; }
+  [[nodiscard]] std::set<AccountId> select_jury(const MemberRegistry& members,
+                                                Rng& rng) const override;
+
+ private:
+  std::size_t jury_size_;
+};
+
+}  // namespace mv::dao

@@ -1,0 +1,69 @@
+#include "ledger/audit.h"
+
+namespace mv::ledger {
+
+Transaction AuditClient::record(const LedgerState& state, AuditRecordBody body,
+                                std::uint64_t fee) {
+  next_nonce_ = std::max(next_nonce_, state.nonce(wallet_.address()));
+  return make_audit_record(wallet_, next_nonce_++, std::move(body), fee, rng_);
+}
+
+std::vector<StoredAuditRecord> AuditQuery::by_subject(std::uint64_t subject) const {
+  std::vector<StoredAuditRecord> out;
+  for (const auto& rec : chain_.state().audit_log()) {
+    if (rec.body.subject == subject) out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<StoredAuditRecord> AuditQuery::by_collector(
+    crypto::Address collector) const {
+  std::vector<StoredAuditRecord> out;
+  for (const auto& rec : chain_.state().audit_log()) {
+    if (rec.collector == collector) out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<CollectorProfile> AuditQuery::collector_profiles() const {
+  std::map<crypto::Address, CollectorProfile> profiles;
+  for (const auto& rec : chain_.state().audit_log()) {
+    auto& p = profiles[rec.collector];
+    p.collector = rec.collector;
+    ++p.records;
+    ++p.by_category[rec.body.data_category];
+    if (rec.body.pet_applied == "none") ++p.without_pet;
+  }
+  std::vector<CollectorProfile> out;
+  out.reserve(profiles.size());
+  for (auto& [addr, p] : profiles) out.push_back(std::move(p));
+  return out;
+}
+
+double AuditQuery::data_concentration_hhi() const {
+  const auto profiles = collector_profiles();
+  std::uint64_t total = 0;
+  for (const auto& p : profiles) total += p.records;
+  if (total == 0) return 0.0;
+  double hhi = 0.0;
+  for (const auto& p : profiles) {
+    const double share = static_cast<double>(p.records) / static_cast<double>(total);
+    hhi += share * share;
+  }
+  return hhi;
+}
+
+bool AuditQuery::has_data_monopoly(double threshold) const {
+  const auto profiles = collector_profiles();
+  std::uint64_t total = 0;
+  for (const auto& p : profiles) total += p.records;
+  if (total == 0) return false;
+  for (const auto& p : profiles) {
+    if (static_cast<double>(p.records) / static_cast<double>(total) > threshold) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mv::ledger

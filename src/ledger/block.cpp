@@ -1,0 +1,103 @@
+#include "ledger/block.h"
+
+namespace mv::ledger {
+
+Bytes BlockHeader::signing_bytes() const {
+  ByteWriter w;
+  w.i64(height);
+  w.raw(prev_hash);
+  w.raw(tx_root);
+  w.raw(state_root);
+  w.i64(timestamp);
+  w.u64(proposer_pub.y);
+  return w.take();
+}
+
+Bytes BlockHeader::encode() const {
+  ByteWriter w;
+  w.raw(signing_bytes());
+  w.u64(proposer_sig.e);
+  w.u64(proposer_sig.s);
+  return w.take();
+}
+
+crypto::Digest BlockHeader::hash() const { return crypto::sha256(encode()); }
+
+Bytes Block::encode() const {
+  ByteWriter w;
+  w.bytes(header.encode());
+  w.u32(static_cast<std::uint32_t>(txs.size()));
+  for (const auto& tx : txs) w.bytes(tx.encode());
+  return w.take();
+}
+
+Result<Block> Block::decode(const Bytes& bytes) {
+  ByteReader r(bytes);
+  auto header_bytes = r.bytes();
+  if (!header_bytes.ok()) return header_bytes.error();
+
+  Block block;
+  {
+    ByteReader hr(header_bytes.value());
+    auto height = hr.i64();
+    if (!height.ok()) return height.error();
+    block.header.height = height.value();
+    auto prev = hr.raw(32);
+    if (!prev.ok()) return prev.error();
+    std::copy(prev.value().begin(), prev.value().end(), block.header.prev_hash.begin());
+    auto tx_root = hr.raw(32);
+    if (!tx_root.ok()) return tx_root.error();
+    std::copy(tx_root.value().begin(), tx_root.value().end(), block.header.tx_root.begin());
+    auto state_root = hr.raw(32);
+    if (!state_root.ok()) return state_root.error();
+    std::copy(state_root.value().begin(), state_root.value().end(),
+              block.header.state_root.begin());
+    auto ts = hr.i64();
+    if (!ts.ok()) return ts.error();
+    block.header.timestamp = ts.value();
+    auto pub = hr.u64();
+    if (!pub.ok()) return pub.error();
+    block.header.proposer_pub.y = pub.value();
+    auto e = hr.u64();
+    if (!e.ok()) return e.error();
+    auto s = hr.u64();
+    if (!s.ok()) return s.error();
+    block.header.proposer_sig = crypto::Signature{e.value(), s.value()};
+  }
+
+  auto count = r.u32();
+  if (!count.ok()) return count.error();
+  // Every encoded tx costs at least its 4-byte length prefix; a count beyond
+  // that bound is forged (and must not drive a huge reserve()).
+  if (count.value() > r.remaining() / 4) {
+    return make_error("block.bad_tx_count", "tx count exceeds payload size");
+  }
+  block.txs.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto tx_bytes = r.bytes();
+    if (!tx_bytes.ok()) return tx_bytes.error();
+    auto tx = Transaction::decode(tx_bytes.value());
+    if (!tx.ok()) return tx.error();
+    block.txs.push_back(std::move(tx).value());
+  }
+  if (!r.exhausted()) {
+    return make_error("block.trailing_bytes", "unparsed trailing data");
+  }
+  return block;
+}
+
+crypto::Digest Block::compute_tx_root(const std::vector<Transaction>& txs) {
+  std::vector<crypto::Digest> leaves;
+  leaves.reserve(txs.size());
+  for (const auto& tx : txs) leaves.push_back(tx.digest());
+  return crypto::MerkleTree(std::move(leaves)).root();
+}
+
+crypto::MerkleTree Block::tx_tree() const {
+  std::vector<crypto::Digest> leaves;
+  leaves.reserve(txs.size());
+  for (const auto& tx : txs) leaves.push_back(tx.digest());
+  return crypto::MerkleTree(std::move(leaves));
+}
+
+}  // namespace mv::ledger

@@ -1,0 +1,156 @@
+#include "ledger/chain.h"
+
+#include <stdexcept>
+
+namespace mv::ledger {
+
+Blockchain::Blockchain(ChainConfig config,
+                       std::shared_ptr<const ContractRegistry> contracts,
+                       LedgerState genesis)
+    : config_(std::move(config)),
+      contracts_(std::move(contracts)),
+      state_(std::move(genesis)) {
+  if (config_.validators.empty()) {
+    throw std::invalid_argument("Blockchain: empty validator set");
+  }
+  ByteWriter w;
+  w.str("genesis");
+  w.raw(state_.state_root());
+  genesis_hash_ = crypto::sha256(w.data());
+}
+
+crypto::Digest Blockchain::tip_hash() const {
+  return blocks_.empty() ? genesis_hash_ : blocks_.back().header.hash();
+}
+
+const crypto::PublicKey& Blockchain::expected_proposer(std::int64_t height) const {
+  return config_.validators[static_cast<std::size_t>(height) %
+                            config_.validators.size()];
+}
+
+Block Blockchain::assemble(const crypto::Wallet& proposer,
+                           const std::vector<Transaction>& candidates,
+                           Tick timestamp, Rng& rng) const {
+  Block block;
+  block.header.height = height();
+  block.header.prev_hash = tip_hash();
+  block.header.timestamp = timestamp;
+  block.header.proposer_pub = proposer.public_key();
+
+  LedgerState scratch = state_;
+  for (const auto& tx : candidates) {
+    if (block.txs.size() >= config_.max_txs_per_block) break;
+    if (scratch.apply(tx, *contracts_, block.header.height).ok()) {
+      block.txs.push_back(tx);
+    }
+  }
+  block.header.tx_root = Block::compute_tx_root(block.txs);
+  block.header.state_root = scratch.state_root();
+  block.header.proposer_sig = proposer.sign(block.header.signing_bytes(), rng);
+  return block;
+}
+
+Result<LedgerState> Blockchain::check(const Block& block) const {
+  const auto& h = block.header;
+  if (h.height != height()) {
+    return make_error("block.bad_height",
+                      "expected " + std::to_string(height()));
+  }
+  if (h.prev_hash != tip_hash()) {
+    return make_error("block.bad_parent", "prev_hash does not match tip");
+  }
+  if (h.proposer_pub != expected_proposer(h.height)) {
+    return make_error("block.wrong_proposer",
+                      "not this round's proposer (PoA round-robin)");
+  }
+  if (!crypto::verify(h.proposer_pub, h.signing_bytes(), h.proposer_sig)) {
+    return make_error("block.bad_proposer_sig", "header signature invalid");
+  }
+  if (block.txs.size() > config_.max_txs_per_block) {
+    return make_error("block.too_many_txs", "exceeds max_txs_per_block");
+  }
+  if (h.tx_root != Block::compute_tx_root(block.txs)) {
+    return make_error("block.bad_tx_root", "Merkle root mismatch");
+  }
+  LedgerState scratch = state_;
+  for (std::size_t i = 0; i < block.txs.size(); ++i) {
+    if (auto s = scratch.apply(block.txs[i], *contracts_, h.height); !s.ok()) {
+      return make_error("block.bad_tx",
+                        "tx " + std::to_string(i) + ": " + s.error().to_string());
+    }
+  }
+  if (scratch.state_root() != h.state_root) {
+    return make_error("block.bad_state_root", "post-state mismatch");
+  }
+  return scratch;
+}
+
+Status Blockchain::validate(const Block& block) const {
+  auto post = check(block);
+  if (!post.ok()) return Status::fail(post.error().code, post.error().message);
+  return {};
+}
+
+Status Blockchain::append(const Block& block) {
+  auto post = check(block);
+  if (!post.ok()) return Status::fail(post.error().code, post.error().message);
+  state_ = std::move(post).value();
+  blocks_.push_back(block);
+  return {};
+}
+
+Result<crypto::MerkleProof> Blockchain::prove_tx(std::int64_t block_height,
+                                                 std::size_t tx_index) const {
+  if (block_height < 0 || block_height >= height()) {
+    return make_error("chain.bad_height", "no such block");
+  }
+  const Block& block = blocks_[static_cast<std::size_t>(block_height)];
+  if (tx_index >= block.txs.size()) {
+    return make_error("chain.bad_tx_index", "no such transaction");
+  }
+  return block.tx_tree().prove(tx_index);
+}
+
+Bytes Blockchain::export_blocks() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(blocks_.size()));
+  for (const auto& block : blocks_) w.bytes(block.encode());
+  return w.take();
+}
+
+Result<std::size_t> Blockchain::import_blocks(const Bytes& data) {
+  ByteReader r(data);
+  auto count = r.u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > r.remaining() / 4) {
+    return make_error("chain.bad_block_count", "count exceeds payload size");
+  }
+  std::size_t appended = 0;
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto block_bytes = r.bytes();
+    if (!block_bytes.ok()) return block_bytes.error();
+    auto block = Block::decode(block_bytes.value());
+    if (!block.ok()) return block.error();
+    // Skip blocks we already have (replaying a full archive onto a node
+    // that is partially synced).
+    if (block.value().header.height < height()) continue;
+    if (auto s = append(block.value()); !s.ok()) {
+      return make_error(s.error().code,
+                        "import stopped at height " +
+                            std::to_string(block.value().header.height) + ": " +
+                            s.error().message);
+    }
+    ++appended;
+  }
+  return appended;
+}
+
+bool Blockchain::verify_tx_inclusion(std::int64_t block_height,
+                                     const crypto::Digest& tx_digest,
+                                     const crypto::MerkleProof& proof) const {
+  if (block_height < 0 || block_height >= height()) return false;
+  const auto& header = blocks_[static_cast<std::size_t>(block_height)].header;
+  return crypto::MerkleTree::verify(tx_digest, proof, header.tx_root);
+}
+
+}  // namespace mv::ledger

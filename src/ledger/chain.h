@@ -1,0 +1,80 @@
+// The blockchain: validated, totally ordered blocks plus the current state.
+//
+// Consensus model is proof-of-authority: a fixed validator set takes turns
+// proposing (round-robin); the BFT vote itself is simulated in consensus.h.
+// Every replica runs this same validation, so a block accepted anywhere is
+// accepted everywhere.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ledger/block.h"
+#include "ledger/state.h"
+
+namespace mv::ledger {
+
+struct ChainConfig {
+  std::vector<crypto::PublicKey> validators;  ///< round-robin proposer order
+  std::size_t max_txs_per_block = 256;
+};
+
+class Blockchain {
+ public:
+  Blockchain(ChainConfig config, std::shared_ptr<const ContractRegistry> contracts,
+             LedgerState genesis);
+
+  [[nodiscard]] const LedgerState& state() const { return state_; }
+  [[nodiscard]] const ChainConfig& config() const { return config_; }
+  [[nodiscard]] const ContractRegistry& contracts() const { return *contracts_; }
+
+  /// Number of committed blocks; the next block has this height.
+  [[nodiscard]] std::int64_t height() const {
+    return static_cast<std::int64_t>(blocks_.size());
+  }
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  [[nodiscard]] crypto::Digest tip_hash() const;
+
+  /// Expected proposer public key for a given height (round-robin PoA).
+  [[nodiscard]] const crypto::PublicKey& expected_proposer(std::int64_t height) const;
+
+  /// Proposer side: trial-apply candidates in order, drop any that fail, and
+  /// build a signed block on top of the current tip.
+  [[nodiscard]] Block assemble(const crypto::Wallet& proposer,
+                               const std::vector<Transaction>& candidates,
+                               Tick timestamp, Rng& rng) const;
+
+  /// Full validation + commit. On any failure the chain is unchanged.
+  [[nodiscard]] Status append(const Block& block);
+
+  /// Validate without committing (votes in the BFT round use this).
+  [[nodiscard]] Status validate(const Block& block) const;
+
+  /// Merkle inclusion proof for tx `tx_index` of block `block_height`.
+  [[nodiscard]] Result<crypto::MerkleProof> prove_tx(std::int64_t block_height,
+                                                     std::size_t tx_index) const;
+
+  /// Verify an inclusion proof against a committed header.
+  [[nodiscard]] bool verify_tx_inclusion(std::int64_t block_height,
+                                         const crypto::Digest& tx_digest,
+                                         const crypto::MerkleProof& proof) const;
+
+  /// Serialize every committed block (bootstrap/archive format).
+  [[nodiscard]] Bytes export_blocks() const;
+  /// Replay an exported stream from this chain's current height, fully
+  /// re-validating each block. Stops at the first invalid block (the valid
+  /// prefix stays committed). Returns the number of blocks appended.
+  [[nodiscard]] Result<std::size_t> import_blocks(const Bytes& data);
+
+ private:
+  /// Validate and, on success, produce the post-state.
+  [[nodiscard]] Result<LedgerState> check(const Block& block) const;
+
+  ChainConfig config_;
+  std::shared_ptr<const ContractRegistry> contracts_;
+  LedgerState state_;
+  crypto::Digest genesis_hash_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace mv::ledger

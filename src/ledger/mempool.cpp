@@ -1,0 +1,84 @@
+#include "ledger/mempool.h"
+
+#include <unordered_map>
+
+namespace mv::ledger {
+
+namespace {
+std::uint64_t dedupe_key(const Transaction& tx) {
+  return crypto::digest_prefix64(tx.digest());
+}
+}  // namespace
+
+Status Mempool::add(Transaction tx, const LedgerState& state) {
+  if (!tx.signature_valid()) {
+    return Status::fail("mempool.bad_signature", "rejected at admission");
+  }
+  const std::uint64_t key = dedupe_key(tx);
+  if (by_digest_.contains(key)) {
+    return Status::fail("mempool.duplicate", "transaction already pending");
+  }
+  if (tx.nonce < state.nonce(tx.sender())) {
+    return Status::fail("mempool.stale_nonce", "nonce already consumed");
+  }
+  by_digest_.insert(key);
+  ordered_.emplace(Key{tx.fee, seq_++}, std::move(tx));
+  return {};
+}
+
+std::vector<Transaction> Mempool::select(std::size_t max_txs,
+                                         const LedgerState& state) const {
+  std::vector<Transaction> out;
+  out.reserve(std::min(max_txs, ordered_.size()));
+  // Track the next expected nonce per sender as we pick.
+  std::unordered_map<std::uint64_t, std::uint64_t> next_nonce;
+  // Fee-ordered greedy pass; a tx whose nonce is not yet due is skipped this
+  // round (its predecessor may be cheaper and appear later in fee order, so
+  // we loop until a pass adds nothing).
+  std::unordered_set<std::uint64_t> taken;
+  bool progress = true;
+  while (out.size() < max_txs && progress) {
+    progress = false;
+    for (const auto& [key, tx] : ordered_) {
+      if (out.size() >= max_txs) break;
+      const std::uint64_t dk = dedupe_key(tx);
+      if (taken.contains(dk)) continue;
+      const std::uint64_t sender = tx.sender().value;
+      const auto it = next_nonce.find(sender);
+      const std::uint64_t expected =
+          it != next_nonce.end() ? it->second : state.nonce(tx.sender());
+      if (tx.nonce != expected) continue;
+      out.push_back(tx);
+      taken.insert(dk);
+      next_nonce[sender] = expected + 1;
+      progress = true;
+    }
+  }
+  return out;
+}
+
+void Mempool::remove_included(const std::vector<Transaction>& txs) {
+  for (const auto& tx : txs) {
+    const std::uint64_t key = dedupe_key(tx);
+    if (!by_digest_.erase(key)) continue;
+    for (auto it = ordered_.begin(); it != ordered_.end(); ++it) {
+      if (dedupe_key(it->second) == key) {
+        ordered_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void Mempool::prune(const LedgerState& state) {
+  for (auto it = ordered_.begin(); it != ordered_.end();) {
+    if (it->second.nonce < state.nonce(it->second.sender())) {
+      by_digest_.erase(dedupe_key(it->second));
+      it = ordered_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace mv::ledger

@@ -1,0 +1,49 @@
+// Mempool: pending transactions awaiting inclusion, ordered fee-first.
+#pragma once
+
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "ledger/state.h"
+#include "ledger/transaction.h"
+
+namespace mv::ledger {
+
+class Mempool {
+ public:
+  /// Admit a transaction. Rejects duplicates, bad signatures, and nonces
+  /// already consumed by `state`.
+  [[nodiscard]] Status add(Transaction tx, const LedgerState& state);
+
+  /// Select up to `max_txs` transactions for a block, highest fee first but
+  /// respecting per-sender nonce order. Selected txs stay in the pool until
+  /// `remove_included` is called (the block may still be rejected).
+  [[nodiscard]] std::vector<Transaction> select(std::size_t max_txs,
+                                                const LedgerState& state) const;
+
+  /// Drop every transaction included in a committed block.
+  void remove_included(const std::vector<Transaction>& txs);
+
+  /// Drop transactions whose nonce has been consumed (stale after commits).
+  void prune(const LedgerState& state);
+
+  [[nodiscard]] std::size_t size() const { return by_digest_.size(); }
+  [[nodiscard]] bool empty() const { return by_digest_.empty(); }
+
+ private:
+  struct Key {
+    std::uint64_t fee;
+    std::uint64_t seq;
+    bool operator<(const Key& other) const {
+      if (fee != other.fee) return fee > other.fee;  // higher fee first
+      return seq < other.seq;                        // then FIFO
+    }
+  };
+
+  std::map<Key, Transaction> ordered_;
+  std::unordered_set<std::uint64_t> by_digest_;  // digest prefix as dedupe key
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace mv::ledger

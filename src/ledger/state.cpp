@@ -1,0 +1,173 @@
+#include "ledger/state.h"
+
+namespace mv::ledger {
+
+std::uint64_t LedgerState::balance(crypto::Address a) const {
+  const auto it = balances_.find(a);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+std::uint64_t LedgerState::nonce(crypto::Address a) const {
+  const auto it = nonces_.find(a);
+  return it == nonces_.end() ? 0 : it->second;
+}
+
+void LedgerState::credit(crypto::Address a, std::uint64_t amount) {
+  balances_[a] += amount;
+}
+
+Status LedgerState::debit(crypto::Address a, std::uint64_t amount) {
+  const auto it = balances_.find(a);
+  if (it == balances_.end() || it->second < amount) {
+    return Status::fail("state.insufficient_funds",
+                        "balance below " + std::to_string(amount));
+  }
+  it->second -= amount;
+  return {};
+}
+
+const ContractStore* LedgerState::find_store(const std::string& contract) const {
+  const auto it = contracts_.find(contract);
+  return it == contracts_.end() ? nullptr : &it->second;
+}
+
+Status LedgerState::apply(const Transaction& tx,
+                          const ContractRegistry& contracts, Tick height) {
+  // apply() is atomic: any failure leaves the state exactly as it was, so
+  // block assembly can trial-apply candidates in sequence and skip failures.
+  if (!tx.signature_valid()) {
+    return Status::fail("tx.bad_signature", "signature does not verify");
+  }
+  const crypto::Address sender = tx.sender();
+  if (tx.nonce != nonce(sender)) {
+    return Status::fail("tx.bad_nonce",
+                        "expected " + std::to_string(nonce(sender)) + " got " +
+                            std::to_string(tx.nonce));
+  }
+  switch (tx.kind) {
+    case TxKind::kTransfer: {
+      auto body = TransferBody::decode(tx.payload);
+      if (!body.ok()) return Status::fail(body.error().code, body.error().message);
+      if (!body.value().to.valid()) {
+        return Status::fail("tx.bad_recipient", "null recipient");
+      }
+      // All checks before any mutation keeps this branch trivially atomic.
+      if (balance(sender) < tx.fee + body.value().amount) {
+        return Status::fail("state.insufficient_funds", "cannot cover amount + fee");
+      }
+      (void)debit(sender, tx.fee + body.value().amount);
+      credit(body.value().to, body.value().amount);
+      break;
+    }
+    case TxKind::kAuditRecord: {
+      auto body = AuditRecordBody::decode(tx.payload);
+      if (!body.ok()) return Status::fail(body.error().code, body.error().message);
+      if (balance(sender) < tx.fee) {
+        return Status::fail("state.insufficient_funds", "cannot cover fee");
+      }
+      (void)debit(sender, tx.fee);
+      audit_log_.push_back(StoredAuditRecord{sender, std::move(body).value(), height});
+      break;
+    }
+    case TxKind::kContractCall: {
+      const Contract* contract = contracts.find(tx.contract);
+      if (contract == nullptr) {
+        return Status::fail("tx.unknown_contract", tx.contract);
+      }
+      if (balance(sender) < tx.fee) {
+        return Status::fail("state.insufficient_funds", "cannot cover fee");
+      }
+      // Contract bodies may fail after arbitrary writes; snapshot-rollback
+      // keeps the whole transaction atomic.
+      LedgerState snapshot = *this;
+      (void)debit(sender, tx.fee);
+      CallContext ctx(*this, tx.contract, sender, height);
+      if (Status status = contract->call(ctx, tx.method, tx.payload); !status.ok()) {
+        *this = std::move(snapshot);
+        return status;
+      }
+      break;
+    }
+    default:
+      return Status::fail("tx.bad_kind", "unknown transaction kind");
+  }
+  nonces_[sender] = tx.nonce + 1;
+  burned_fees_ += tx.fee;
+  return {};
+}
+
+crypto::Digest LedgerState::state_root() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(balances_.size()));
+  for (const auto& [addr, bal] : balances_) {
+    w.u64(addr.value);
+    w.u64(bal);
+  }
+  w.u32(static_cast<std::uint32_t>(nonces_.size()));
+  for (const auto& [addr, n] : nonces_) {
+    w.u64(addr.value);
+    w.u64(n);
+  }
+  w.u32(static_cast<std::uint32_t>(audit_log_.size()));
+  for (const auto& rec : audit_log_) {
+    w.u64(rec.collector.value);
+    w.raw(rec.body.encode());
+    w.i64(rec.height);
+  }
+  w.u32(static_cast<std::uint32_t>(contracts_.size()));
+  for (const auto& [name, store] : contracts_) {
+    w.str(name);
+    w.u32(static_cast<std::uint32_t>(store.size()));
+    for (const auto& [key, value] : store) {
+      w.str(key);
+      w.bytes(value);
+    }
+  }
+  w.u64(burned_fees_);
+  return crypto::sha256(w.data());
+}
+
+const Bytes* CallContext::get(const std::string& key) const {
+  const ContractStore* store = state_.find_store(contract_name_);
+  if (store == nullptr) return nullptr;
+  const auto it = store->find(key);
+  return it == store->end() ? nullptr : &it->second;
+}
+
+void CallContext::put(const std::string& key, Bytes value) {
+  state_.store(contract_name_)[key] = std::move(value);
+}
+
+void CallContext::erase(const std::string& key) {
+  state_.store(contract_name_).erase(key);
+}
+
+std::vector<std::string> CallContext::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  const ContractStore* store = state_.find_store(contract_name_);
+  if (store == nullptr) return out;
+  for (auto it = store->lower_bound(prefix); it != store->end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+Status CallContext::transfer(crypto::Address from, crypto::Address to,
+                             std::uint64_t amount) {
+  if (auto s = state_.debit(from, amount); !s.ok()) return s;
+  state_.credit(to, amount);
+  return {};
+}
+
+void ContractRegistry::install(std::shared_ptr<const Contract> contract) {
+  contracts_[contract->name()] = std::move(contract);
+}
+
+const Contract* ContractRegistry::find(const std::string& name) const {
+  const auto it = contracts_.find(name);
+  return it == contracts_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace mv::ledger

@@ -1,0 +1,125 @@
+// Ledger state: balances, nonces, the on-chain audit log, and per-contract
+// key-value stores.
+//
+// The state is a plain value type (copyable): block assembly trial-applies
+// transactions on a copy and commits only when the whole block validates, so
+// replicas never observe partially applied blocks.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "crypto/sha256.h"
+#include "ledger/transaction.h"
+
+namespace mv::ledger {
+
+class ContractRegistry;
+
+/// Audit record as stored on-chain (body + provenance).
+struct StoredAuditRecord {
+  crypto::Address collector;
+  AuditRecordBody body;
+  Tick height = 0;
+};
+
+/// Per-contract ordered KV store. Ordered so the state root is canonical.
+using ContractStore = std::map<std::string, Bytes>;
+
+class LedgerState {
+ public:
+  // ---- accounts ----
+  [[nodiscard]] std::uint64_t balance(crypto::Address a) const;
+  [[nodiscard]] std::uint64_t nonce(crypto::Address a) const;
+  void credit(crypto::Address a, std::uint64_t amount);
+  /// Debit; fails if the balance is insufficient.
+  [[nodiscard]] Status debit(crypto::Address a, std::uint64_t amount);
+
+  // ---- audit log (§II-D) ----
+  [[nodiscard]] const std::vector<StoredAuditRecord>& audit_log() const {
+    return audit_log_;
+  }
+
+  // ---- contract stores ----
+  [[nodiscard]] ContractStore& store(const std::string& contract) {
+    return contracts_[contract];
+  }
+  [[nodiscard]] const ContractStore* find_store(const std::string& contract) const;
+
+  /// Validate and apply one transaction at the given height.
+  /// Checks: signature, nonce equality, fee affordability, kind-specific body.
+  [[nodiscard]] Status apply(const Transaction& tx, const ContractRegistry& contracts,
+                             Tick height);
+
+  /// Canonical digest over the entire state.
+  [[nodiscard]] crypto::Digest state_root() const;
+
+  [[nodiscard]] std::uint64_t burned_fees() const { return burned_fees_; }
+  [[nodiscard]] std::size_t account_count() const { return balances_.size(); }
+
+ private:
+  std::map<crypto::Address, std::uint64_t> balances_;
+  std::map<crypto::Address, std::uint64_t> nonces_;
+  std::vector<StoredAuditRecord> audit_log_;
+  std::map<std::string, ContractStore> contracts_;
+  std::uint64_t burned_fees_ = 0;
+};
+
+/// Execution context handed to contracts. Contracts touch the ledger only
+/// through this interface; their own store is pre-resolved.
+class CallContext {
+ public:
+  CallContext(LedgerState& state, std::string contract_name,
+              crypto::Address caller, Tick height)
+      : state_(state),
+        contract_name_(std::move(contract_name)),
+        caller_(caller),
+        height_(height) {}
+
+  [[nodiscard]] crypto::Address caller() const { return caller_; }
+  [[nodiscard]] Tick height() const { return height_; }
+
+  // KV on the contract's own store.
+  [[nodiscard]] const Bytes* get(const std::string& key) const;
+  void put(const std::string& key, Bytes value);
+  void erase(const std::string& key);
+  /// Iterate keys with a given prefix (ordered).
+  [[nodiscard]] std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  // Funds held by accounts (escrow flows in the NFT market).
+  [[nodiscard]] std::uint64_t balance(crypto::Address a) const { return state_.balance(a); }
+  [[nodiscard]] Status transfer(crypto::Address from, crypto::Address to,
+                                std::uint64_t amount);
+
+ private:
+  LedgerState& state_;
+  std::string contract_name_;
+  crypto::Address caller_;
+  Tick height_;
+};
+
+/// Contract logic. Stateless — all persistent data lives in the LedgerState
+/// store so that state copies stay consistent.
+class Contract {
+ public:
+  virtual ~Contract() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual Status call(CallContext& ctx, const std::string& method,
+                                    const Bytes& args) const = 0;
+};
+
+class ContractRegistry {
+ public:
+  void install(std::shared_ptr<const Contract> contract);
+  [[nodiscard]] const Contract* find(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return contracts_.size(); }
+
+ private:
+  std::map<std::string, std::shared_ptr<const Contract>> contracts_;
+};
+
+}  // namespace mv::ledger

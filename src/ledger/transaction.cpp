@@ -1,0 +1,153 @@
+#include "ledger/transaction.h"
+
+namespace mv::ledger {
+
+Bytes TransferBody::encode() const {
+  ByteWriter w;
+  w.u64(to.value);
+  w.u64(amount);
+  return w.take();
+}
+
+Result<TransferBody> TransferBody::decode(const Bytes& bytes) {
+  ByteReader r(bytes);
+  auto to = r.u64();
+  if (!to.ok()) return to.error();
+  auto amount = r.u64();
+  if (!amount.ok()) return amount.error();
+  return TransferBody{crypto::Address{to.value()}, amount.value()};
+}
+
+Bytes AuditRecordBody::encode() const {
+  ByteWriter w;
+  w.str(data_category);
+  w.str(purpose);
+  w.u64(subject);
+  w.str(pet_applied);
+  return w.take();
+}
+
+Result<AuditRecordBody> AuditRecordBody::decode(const Bytes& bytes) {
+  ByteReader r(bytes);
+  auto category = r.str();
+  if (!category.ok()) return category.error();
+  auto purpose = r.str();
+  if (!purpose.ok()) return purpose.error();
+  auto subject = r.u64();
+  if (!subject.ok()) return subject.error();
+  auto pet = r.str();
+  if (!pet.ok()) return pet.error();
+  return AuditRecordBody{category.value(), purpose.value(), subject.value(),
+                         pet.value()};
+}
+
+Bytes Transaction::signing_bytes() const {
+  ByteWriter w;
+  w.u64(sender_pub.y);
+  w.u64(nonce);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.str(contract);
+  w.str(method);
+  w.bytes(payload);
+  w.u64(fee);
+  return w.take();
+}
+
+Bytes Transaction::encode() const {
+  ByteWriter w;
+  w.raw(signing_bytes());
+  w.u64(sig.e);
+  w.u64(sig.s);
+  return w.take();
+}
+
+Result<Transaction> Transaction::decode(const Bytes& bytes) {
+  ByteReader r(bytes);
+  Transaction tx;
+  auto pub = r.u64();
+  if (!pub.ok()) return pub.error();
+  tx.sender_pub.y = pub.value();
+  auto nonce = r.u64();
+  if (!nonce.ok()) return nonce.error();
+  tx.nonce = nonce.value();
+  auto kind = r.u8();
+  if (!kind.ok()) return kind.error();
+  if (kind.value() > static_cast<std::uint8_t>(TxKind::kContractCall)) {
+    return make_error("tx.bad_kind", "unknown transaction kind");
+  }
+  tx.kind = static_cast<TxKind>(kind.value());
+  auto contract = r.str();
+  if (!contract.ok()) return contract.error();
+  tx.contract = contract.value();
+  auto method = r.str();
+  if (!method.ok()) return method.error();
+  tx.method = method.value();
+  auto payload = r.bytes();
+  if (!payload.ok()) return payload.error();
+  tx.payload = payload.value();
+  auto fee = r.u64();
+  if (!fee.ok()) return fee.error();
+  tx.fee = fee.value();
+  auto e = r.u64();
+  if (!e.ok()) return e.error();
+  auto s = r.u64();
+  if (!s.ok()) return s.error();
+  tx.sig = crypto::Signature{e.value(), s.value()};
+  if (!r.exhausted()) {
+    return make_error("tx.trailing_bytes", "unparsed trailing data");
+  }
+  return tx;
+}
+
+crypto::Digest Transaction::digest() const { return crypto::sha256(encode()); }
+
+bool Transaction::signature_valid() const {
+  return crypto::verify(sender_pub, signing_bytes(), sig);
+}
+
+namespace {
+Transaction sign_tx(Transaction tx, const crypto::Wallet& from, Rng& rng) {
+  tx.sig = from.sign(tx.signing_bytes(), rng);
+  return tx;
+}
+}  // namespace
+
+Transaction make_transfer(const crypto::Wallet& from, std::uint64_t nonce,
+                          crypto::Address to, std::uint64_t amount,
+                          std::uint64_t fee, Rng& rng) {
+  Transaction tx;
+  tx.sender_pub = from.public_key();
+  tx.nonce = nonce;
+  tx.kind = TxKind::kTransfer;
+  tx.payload = TransferBody{to, amount}.encode();
+  tx.fee = fee;
+  return sign_tx(std::move(tx), from, rng);
+}
+
+Transaction make_audit_record(const crypto::Wallet& from, std::uint64_t nonce,
+                              AuditRecordBody body, std::uint64_t fee,
+                              Rng& rng) {
+  Transaction tx;
+  tx.sender_pub = from.public_key();
+  tx.nonce = nonce;
+  tx.kind = TxKind::kAuditRecord;
+  tx.payload = body.encode();
+  tx.fee = fee;
+  return sign_tx(std::move(tx), from, rng);
+}
+
+Transaction make_contract_call(const crypto::Wallet& from, std::uint64_t nonce,
+                               std::string contract, std::string method,
+                               Bytes args, std::uint64_t fee, Rng& rng) {
+  Transaction tx;
+  tx.sender_pub = from.public_key();
+  tx.nonce = nonce;
+  tx.kind = TxKind::kContractCall;
+  tx.contract = std::move(contract);
+  tx.method = std::move(method);
+  tx.payload = std::move(args);
+  tx.fee = fee;
+  return sign_tx(std::move(tx), from, rng);
+}
+
+}  // namespace mv::ledger

@@ -1,0 +1,27 @@
+#include "moderation/classifier.h"
+
+#include <algorithm>
+
+namespace mv::moderation {
+
+const char* to_string(ReportKind kind) {
+  switch (kind) {
+    case ReportKind::kSpam: return "spam";
+    case ReportKind::kHarassment: return "harassment";
+    case ReportKind::kScam: return "scam";
+    case ReportKind::kMisinformation: return "misinformation";
+  }
+  return "?";
+}
+
+Classification AiClassifier::classify(const Report& report, Rng& rng) const {
+  const double mu = report.is_violation ? config_.mu_violation : config_.mu_benign;
+  Classification c;
+  c.score = std::clamp(rng.normal(mu, config_.sigma), 0.0, 1.0);
+  c.verdict = c.score > 0.5 ? Verdict::kUphold : Verdict::kDismiss;
+  c.confident =
+      c.score <= config_.confident_low || c.score >= config_.confident_high;
+  return c;
+}
+
+}  // namespace mv::moderation

@@ -1,0 +1,44 @@
+// Simulated AI moderation classifier (§IV-A: Crossmod-class tools [21-23]).
+//
+// SUBSTITUTION NOTE (DESIGN.md §4): to the moderation queue, any real model
+// is a score distribution. Violating reports score around mu_violation,
+// benign ones around mu_benign; the verdict threshold sits at 0.5 and
+// anything outside the [low, high] confidence band is deferred to humans.
+// Tuning the distributions reproduces any (precision, recall) operating
+// point, which is all the queueing claims of §III depend on.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+#include "moderation/report.h"
+
+namespace mv::moderation {
+
+struct ClassifierConfig {
+  double mu_violation = 0.78;
+  double mu_benign = 0.22;
+  double sigma = 0.13;
+  double confident_low = 0.25;   ///< score below → confident dismiss
+  double confident_high = 0.75;  ///< score above → confident uphold
+};
+
+struct Classification {
+  double score = 0.0;
+  Verdict verdict = Verdict::kDismiss;
+  bool confident = false;
+};
+
+class AiClassifier {
+ public:
+  explicit AiClassifier(ClassifierConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] Classification classify(const Report& report, Rng& rng) const;
+
+  [[nodiscard]] const ClassifierConfig& config() const { return config_; }
+
+ private:
+  ClassifierConfig config_;
+};
+
+}  // namespace mv::moderation

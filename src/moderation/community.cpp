@@ -1,0 +1,95 @@
+#include "moderation/community.h"
+
+#include <algorithm>
+
+namespace mv::moderation {
+
+const char* to_string(PolicyMix mix) {
+  switch (mix) {
+    case PolicyMix::kNone: return "none";
+    case PolicyMix::kPunitiveOnly: return "punitive-only";
+    case PolicyMix::kPreventiveOnly: return "preventive-only";
+    case PolicyMix::kMixed: return "punitive+preventive";
+  }
+  return "?";
+}
+
+CommunitySim::CommunitySim(CommunityConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  agents_.resize(config_.agents);
+  for (auto& a : agents_) {
+    const double u = rng_.uniform();
+    if (u < config_.toxic_fraction) {
+      a.p_positive = 0.1;
+      a.p_negative = 0.5;
+      a.responsiveness = config_.responsiveness_toxic;
+    } else if (u < config_.toxic_fraction + config_.prosocial_fraction) {
+      a.p_positive = 0.8;
+      a.p_negative = 0.02;
+      a.responsiveness = 0.5;  // already near ceiling
+    } else {
+      a.p_positive = 0.4;
+      a.p_negative = 0.12;
+      a.responsiveness = config_.responsiveness_neutral;
+    }
+  }
+}
+
+CommunityMetrics CommunitySim::run() {
+  CommunityMetrics metrics;
+  const bool punitive = config_.mix == PolicyMix::kPunitiveOnly ||
+                        config_.mix == PolicyMix::kMixed;
+  const bool preventive = config_.mix == PolicyMix::kPreventiveOnly ||
+                          config_.mix == PolicyMix::kMixed;
+
+  std::uint64_t tail_pos = 0, tail_neg = 0;
+  const std::size_t tail_start = config_.rounds - config_.rounds / 4;
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    std::uint64_t round_pos = 0, round_neg = 0;
+    for (auto& a : agents_) {
+      if (static_cast<int>(round) < a.muted_until) continue;
+
+      if (rng_.chance(a.p_positive)) {
+        ++round_pos;
+        if (preventive) {
+          ++metrics.rewards;
+          // Incentives reinforce the rewarded behaviour (social learning):
+          // shift probability mass from negative to positive.
+          const double shift = config_.incentive_strength * a.responsiveness;
+          a.p_positive = std::min(0.95, a.p_positive + shift);
+          a.p_negative = std::max(0.01, a.p_negative - shift);
+        }
+      }
+      if (rng_.chance(a.p_negative)) {
+        ++round_neg;
+        if (punitive && rng_.chance(config_.detection_rate)) {
+          ++metrics.sanctions;
+          ++a.sanctions;
+          if (a.sanctions >= config_.sanctions_to_mute) {
+            a.muted_until = static_cast<int>(round) + config_.mute_rounds;
+            a.sanctions = 0;
+            ++metrics.mutes;
+          }
+        }
+      }
+    }
+    metrics.positive_actions += round_pos;
+    metrics.negative_actions += round_neg;
+    if (round >= tail_start) {
+      tail_pos += round_pos;
+      tail_neg += round_neg;
+    }
+    const auto total = round_pos + round_neg;
+    series_.push_back(total ? static_cast<double>(round_pos) /
+                                  static_cast<double>(total)
+                            : 0.0);
+  }
+  metrics.final_positive_share =
+      (tail_pos + tail_neg)
+          ? static_cast<double>(tail_pos) / static_cast<double>(tail_pos + tail_neg)
+          : 0.0;
+  return metrics;
+}
+
+}  // namespace mv::moderation

@@ -1,0 +1,86 @@
+// Community social-good simulation (§III-D, bench E12).
+//
+// Models the Tekinbaş et al. Minecraft findings [20]: communities need both
+// "tools to deal with players' misbehaviour (punitive approaches) and tools
+// for encouraging positive behaviours (preventive approaches)", plus
+// incentive mechanisms. Agents have behaviour types; punitive tools mute
+// repeat offenders, preventive tools reward positive acts and shift
+// responsive agents' behaviour over time. The measured outcome is community
+// health: positive-action share and negative actions per active member.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace mv::moderation {
+
+enum class PolicyMix : std::uint8_t {
+  kNone,
+  kPunitiveOnly,
+  kPreventiveOnly,
+  kMixed,
+};
+
+[[nodiscard]] const char* to_string(PolicyMix mix);
+
+struct CommunityConfig {
+  std::size_t agents = 2000;
+  double toxic_fraction = 0.08;
+  double prosocial_fraction = 0.25;  ///< the rest are neutral
+  std::size_t rounds = 60;
+  PolicyMix mix = PolicyMix::kNone;
+  // Punitive knobs.
+  double detection_rate = 0.6;  ///< negative act detected per round
+  int sanctions_to_mute = 3;
+  int mute_rounds = 10;
+  // Preventive knobs.
+  double incentive_strength = 0.015;  ///< per-round behaviour shift from rewards
+  double responsiveness_neutral = 1.0;
+  double responsiveness_toxic = 0.25;  ///< toxic agents respond weakly
+};
+
+struct CommunityMetrics {
+  std::uint64_t positive_actions = 0;
+  std::uint64_t negative_actions = 0;
+  std::uint64_t sanctions = 0;
+  std::uint64_t mutes = 0;
+  std::uint64_t rewards = 0;
+  double final_positive_share = 0.0;  ///< over the last quarter of the run
+
+  [[nodiscard]] double positive_share() const {
+    const auto total = positive_actions + negative_actions;
+    return total ? static_cast<double>(positive_actions) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+class CommunitySim {
+ public:
+  CommunitySim(CommunityConfig config, Rng rng);
+
+  CommunityMetrics run();
+
+  /// Positive-action share per round (time series for the bench).
+  [[nodiscard]] const std::vector<double>& positive_share_series() const {
+    return series_;
+  }
+
+ private:
+  struct Agent {
+    double p_positive = 0.4;  ///< acts positively this round
+    double p_negative = 0.1;
+    double responsiveness = 1.0;
+    int sanctions = 0;
+    int muted_until = -1;
+  };
+
+  CommunityConfig config_;
+  Rng rng_;
+  std::vector<Agent> agents_;
+  std::vector<double> series_;
+};
+
+}  // namespace mv::moderation

@@ -1,0 +1,169 @@
+#include "moderation/engine.h"
+
+namespace mv::moderation {
+
+const char* to_string(StaffingMode mode) {
+  switch (mode) {
+    case StaffingMode::kHumanOnly: return "human-only";
+    case StaffingMode::kAiOnly: return "ai-only";
+    case StaffingMode::kAiAssisted: return "ai-assisted";
+    case StaffingMode::kCommunityJury: return "community-jury";
+    case StaffingMode::kHybrid: return "hybrid(ai+jury)";
+  }
+  return "?";
+}
+
+ModerationEngine::ModerationEngine(EngineConfig config, Rng rng)
+    : config_(config), rng_(rng), classifier_(config.classifier) {}
+
+void ModerationEngine::submit(Report report) {
+  ++metrics_.submitted;
+  switch (config_.mode) {
+    case StaffingMode::kAiOnly:
+    case StaffingMode::kAiAssisted:
+    case StaffingMode::kHybrid:
+      ai_queue_.push_back(std::move(report));
+      break;
+    case StaffingMode::kHumanOnly:
+    case StaffingMode::kCommunityJury:
+      slow_queue_.push_back(std::move(report));
+      break;
+  }
+}
+
+Verdict ModerationEngine::judge(const Report& report, double accuracy) {
+  const bool correct = rng_.chance(accuracy);
+  const bool uphold = correct == report.is_violation;
+  return uphold ? Verdict::kUphold : Verdict::kDismiss;
+}
+
+Verdict ModerationEngine::jury_verdict(const Report& report) {
+  std::size_t uphold = 0;
+  for (std::size_t j = 0; j < config_.jury_size; ++j) {
+    if (judge(report, config_.juror_accuracy) == Verdict::kUphold) ++uphold;
+  }
+  return uphold * 2 > config_.jury_size ? Verdict::kUphold : Verdict::kDismiss;
+}
+
+void ModerationEngine::resolve(const Report& report, Verdict verdict,
+                               ResolverKind resolver, Tick now) {
+  Resolution r;
+  r.report = report.id;
+  r.reporter = report.reporter;
+  r.offender = report.offender;
+  r.verdict = verdict;
+  r.resolver = resolver;
+  r.resolved_at = now;
+  r.correct = (verdict == Verdict::kUphold) == report.is_violation;
+  ++metrics_.resolved;
+  metrics_.correct += r.correct;
+  if (verdict == Verdict::kUphold && !report.is_violation) {
+    ++metrics_.false_punishments;
+  }
+  switch (resolver) {
+    case ResolverKind::kAi: ++metrics_.resolved_by_ai; break;
+    case ResolverKind::kHuman: ++metrics_.resolved_by_human; break;
+    case ResolverKind::kJury: ++metrics_.resolved_by_jury; break;
+  }
+  metrics_.latency.add(static_cast<double>(now - report.filed_at));
+  resolutions_.push_back(r);
+  if (verdict == Verdict::kUphold) appealable_.emplace(report.id, report);
+}
+
+Result<Verdict> ModerationEngine::appeal(ReportId id, Tick now) {
+  const auto it = appealable_.find(id);
+  if (it == appealable_.end()) {
+    return make_error("moderation.not_appealable",
+                      "no upheld verdict on file for this report");
+  }
+  if (!appealed_.insert(id).second) {
+    return make_error("moderation.already_appealed", "one appeal per case");
+  }
+  ++metrics_.appeals;
+  // Appellate jury: larger and more careful than the trial jury.
+  std::size_t uphold = 0;
+  for (std::size_t j = 0; j < config_.appellate_jury_size; ++j) {
+    if (judge(it->second, config_.appellate_accuracy) == Verdict::kUphold) {
+      ++uphold;
+    }
+  }
+  const Verdict verdict = uphold * 2 > config_.appellate_jury_size
+                              ? Verdict::kUphold
+                              : Verdict::kDismiss;
+  if (verdict == Verdict::kDismiss) {
+    ++metrics_.overturned;
+    if (!it->second.is_violation && metrics_.false_punishments > 0) {
+      --metrics_.false_punishments;  // the innocent party is made whole
+    }
+    Resolution r;
+    r.report = id;
+    r.reporter = it->second.reporter;
+    r.offender = it->second.offender;
+    r.verdict = Verdict::kDismiss;
+    r.resolver = ResolverKind::kJury;
+    r.resolved_at = now;
+    r.correct = !it->second.is_violation;
+    resolutions_.push_back(r);
+  }
+  return verdict;
+}
+
+Report ModerationEngine::pop_slow() {
+  if (!config_.prioritize_by_reporter_credibility || !credibility_ ||
+      slow_queue_.size() <= 1) {
+    Report report = std::move(slow_queue_.front());
+    slow_queue_.pop_front();
+    return report;
+  }
+  auto best = slow_queue_.begin();
+  double best_cred = credibility_(best->reporter);
+  for (auto it = std::next(slow_queue_.begin()); it != slow_queue_.end(); ++it) {
+    const double cred = credibility_(it->reporter);
+    if (cred > best_cred) {
+      best = it;
+      best_cred = cred;
+    }
+  }
+  Report report = std::move(*best);
+  slow_queue_.erase(best);
+  return report;
+}
+
+void ModerationEngine::step(Tick now) {
+  // 1. AI triage: effectively unbounded throughput.
+  while (!ai_queue_.empty()) {
+    Report report = std::move(ai_queue_.front());
+    ai_queue_.pop_front();
+    const Classification c = classifier_.classify(report, rng_);
+    if (config_.mode == StaffingMode::kAiOnly || c.confident) {
+      resolve(report, c.verdict, ResolverKind::kAi, now);
+    } else {
+      slow_queue_.push_back(std::move(report));  // defer to humans/jury
+    }
+  }
+
+  // 2. Slow-path service: humans or juries, capacity-limited.
+  const bool jury_mode = config_.mode == StaffingMode::kCommunityJury ||
+                         config_.mode == StaffingMode::kHybrid;
+  if (jury_mode) {
+    jury_budget_ += static_cast<double>(config_.community_size) *
+                    config_.juror_availability /
+                    static_cast<double>(config_.jury_size);
+    while (jury_budget_ >= 1.0 && !slow_queue_.empty()) {
+      jury_budget_ -= 1.0;
+      const Report report = pop_slow();
+      resolve(report, jury_verdict(report), ResolverKind::kJury, now);
+    }
+  } else if (config_.mode != StaffingMode::kAiOnly) {
+    human_budget_ += static_cast<double>(config_.human_moderators) *
+                     config_.human_throughput;
+    while (human_budget_ >= 1.0 && !slow_queue_.empty()) {
+      human_budget_ -= 1.0;
+      const Report report = pop_slow();
+      resolve(report, judge(report, config_.human_accuracy),
+              ResolverKind::kHuman, now);
+    }
+  }
+}
+
+}  // namespace mv::moderation

@@ -1,0 +1,122 @@
+// Moderation queue engine (§III intro, bench E3).
+//
+// "Online communities present several challenges when these grow in size and
+// moderators... cannot keep up with the demand." The engine is a discrete-
+// time queue with pluggable staffing:
+//  - kHumanOnly        fixed moderator pool, highest accuracy, lowest capacity
+//  - kAiOnly           unbounded throughput at classifier accuracy
+//  - kAiAssisted       AI auto-resolves confident cases; the rest go to humans
+//  - kCommunityJury    sortition juries; capacity scales with community size
+//  - kHybrid           AI triage first, jury for the unconfident remainder
+// Backlog and resolution-latency percentiles are the E3 measurements.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "moderation/classifier.h"
+
+namespace mv::moderation {
+
+enum class StaffingMode : std::uint8_t {
+  kHumanOnly,
+  kAiOnly,
+  kAiAssisted,
+  kCommunityJury,
+  kHybrid,
+};
+
+[[nodiscard]] const char* to_string(StaffingMode mode);
+
+struct EngineConfig {
+  StaffingMode mode = StaffingMode::kHumanOnly;
+  std::size_t human_moderators = 10;
+  double human_throughput = 0.05;  ///< reports per moderator per tick
+  double human_accuracy = 0.95;
+  std::size_t community_size = 1000;
+  double juror_availability = 0.002;  ///< jurors per member per tick
+  std::size_t jury_size = 5;
+  double juror_accuracy = 0.8;
+  /// Appeals (§III-C "juries, formal debates"): upheld verdicts can be
+  /// re-adjudicated once by a larger, more careful appellate jury.
+  std::size_t appellate_jury_size = 11;
+  double appellate_accuracy = 0.9;
+  /// §IV-C: reputation attaches to reporting too. When enabled (and a
+  /// credibility oracle is set), the slow queue serves reports from
+  /// credible reporters first instead of FIFO.
+  bool prioritize_by_reporter_credibility = false;
+  ClassifierConfig classifier;
+};
+
+struct EngineMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t resolved = 0;
+  std::uint64_t resolved_by_ai = 0;
+  std::uint64_t resolved_by_human = 0;
+  std::uint64_t resolved_by_jury = 0;
+  std::uint64_t correct = 0;
+  std::uint64_t false_punishments = 0;  ///< upheld reports on innocents
+  std::uint64_t appeals = 0;
+  std::uint64_t overturned = 0;  ///< appeals that flipped uphold → dismiss
+  Percentiles latency;
+
+  [[nodiscard]] double accuracy() const {
+    return resolved ? static_cast<double>(correct) / static_cast<double>(resolved)
+                    : 1.0;
+  }
+};
+
+class ModerationEngine {
+ public:
+  ModerationEngine(EngineConfig config, Rng rng);
+
+  void submit(Report report);
+  /// Advance one tick: AI triage (if any) then human/jury service.
+  void step(Tick now);
+
+  [[nodiscard]] std::size_t backlog() const {
+    return ai_queue_.size() + slow_queue_.size();
+  }
+  [[nodiscard]] const EngineMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const std::vector<Resolution>& resolutions() const {
+    return resolutions_;
+  }
+
+  /// Appeal an upheld verdict: a larger appellate jury re-adjudicates once.
+  /// Returns the final verdict (kDismiss = overturned).
+  [[nodiscard]] Result<Verdict> appeal(ReportId id, Tick now);
+
+  /// Reporter-credibility oracle (wired to the reputation system).
+  using CredibilityOracle = std::function<double(AccountId)>;
+  void set_credibility_oracle(CredibilityOracle oracle) {
+    credibility_ = std::move(oracle);
+  }
+
+ private:
+  void resolve(const Report& report, Verdict verdict, ResolverKind resolver,
+               Tick now);
+  [[nodiscard]] Verdict judge(const Report& report, double accuracy);
+  [[nodiscard]] Verdict jury_verdict(const Report& report);
+  /// Pop the next slow-queue report: FIFO, or max reporter credibility when
+  /// prioritization is enabled.
+  [[nodiscard]] Report pop_slow();
+
+  EngineConfig config_;
+  Rng rng_;
+  AiClassifier classifier_;
+  std::deque<Report> ai_queue_;    ///< awaiting AI triage (AI modes only)
+  std::deque<Report> slow_queue_;  ///< awaiting human/jury service
+  double human_budget_ = 0.0;      ///< fractional capacity carry-over
+  double jury_budget_ = 0.0;
+  EngineMetrics metrics_;
+  std::vector<Resolution> resolutions_;
+  /// Upheld cases kept for the (single) appeal window.
+  std::map<ReportId, Report> appealable_;
+  std::set<ReportId> appealed_;
+  CredibilityOracle credibility_;
+};
+
+}  // namespace mv::moderation

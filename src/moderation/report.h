@@ -1,0 +1,45 @@
+// Moderation report types (§III intro, §III-D).
+#pragma once
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/ids.h"
+
+namespace mv::moderation {
+
+enum class ReportKind : std::uint8_t {
+  kSpam,
+  kHarassment,
+  kScam,
+  kMisinformation,
+};
+
+[[nodiscard]] const char* to_string(ReportKind kind);
+
+struct Report {
+  ReportId id;
+  AccountId reporter;
+  AccountId offender;
+  ReportKind kind = ReportKind::kSpam;
+  Tick filed_at = 0;
+  /// Ground truth, known to the simulation but not to the moderators: did a
+  /// violation actually occur? (Drives classifier/judge accuracy models.)
+  bool is_violation = true;
+};
+
+enum class Verdict : std::uint8_t { kUphold, kDismiss };
+
+enum class ResolverKind : std::uint8_t { kAi, kHuman, kJury };
+
+struct Resolution {
+  ReportId report;
+  AccountId reporter;
+  AccountId offender;
+  Verdict verdict = Verdict::kDismiss;
+  ResolverKind resolver = ResolverKind::kHuman;
+  Tick resolved_at = 0;
+  bool correct = false;  ///< verdict matches ground truth
+};
+
+}  // namespace mv::moderation

@@ -1,0 +1,73 @@
+#include "net/gossip.h"
+
+namespace mv::net {
+
+namespace {
+std::uint64_t rumor_key(const Bytes& payload) {
+  return crypto::digest_prefix64(crypto::sha256(payload));
+}
+}  // namespace
+
+Gossip::Gossip(Network& network, Rng rng, std::size_t fanout, DeliverFn deliver)
+    : network_(network),
+      rng_(rng),
+      fanout_(fanout),
+      deliver_(std::move(deliver)) {}
+
+NodeId Gossip::join() {
+  const NodeId id =
+      network_.add_node([this](const Message& msg) { on_message(msg); });
+  members_.push_back(id);
+  return id;
+}
+
+void Gossip::publish(NodeId origin, const Bytes& payload) {
+  if (mark_seen(origin, payload)) {
+    deliver_(origin, payload);
+    relay(origin, payload);
+  }
+}
+
+void Gossip::on_message(const Message& msg) {
+  if (msg.topic != "gossip") return;
+  if (mark_seen(msg.to, msg.payload)) {
+    deliver_(msg.to, msg.payload);
+    relay(msg.to, msg.payload);
+  }
+}
+
+void Gossip::relay(NodeId from, const Bytes& payload) {
+  if (members_.size() <= 1) return;
+  const std::size_t peers = std::min(fanout_, members_.size() - 1);
+  if (peers == members_.size() - 1) {
+    // Flood mode: relay to every peer — guarantees coverage on a connected
+    // lossless network at the cost of O(n^2) messages.
+    for (const NodeId peer : members_) {
+      if (peer != from) network_.send(from, peer, "gossip", payload);
+    }
+    return;
+  }
+  const auto picks = rng_.sample_indices(members_.size(), std::min(fanout_ + 1, members_.size()));
+  std::size_t sent = 0;
+  for (const auto idx : picks) {
+    if (sent == peers) break;
+    const NodeId peer = members_[idx];
+    if (peer == from) continue;
+    network_.send(from, peer, "gossip", payload);
+    ++sent;
+  }
+}
+
+bool Gossip::mark_seen(NodeId node, const Bytes& payload) {
+  return seen_[rumor_key(payload)].insert(node).second;
+}
+
+double Gossip::coverage(const Bytes& payload) const {
+  if (members_.empty()) return 0.0;
+  const auto it = seen_.find(rumor_key(payload));
+  if (it == seen_.end()) return 0.0;
+  return static_cast<double>(it->second.size()) /
+         static_cast<double>(members_.size());
+}
+
+}  // namespace mv::net

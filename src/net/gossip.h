@@ -1,0 +1,50 @@
+// Epidemic (push-gossip) dissemination over the simulated network.
+//
+// Decentralized metaverse platforms propagate blocks, transactions, and
+// governance announcements by gossip rather than central fan-out. Each node
+// relays a newly seen rumor to `fanout` random peers; duplicates are dropped
+// by digest.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crypto/sha256.h"
+#include "net/network.h"
+
+namespace mv::net {
+
+class Gossip {
+ public:
+  /// Called exactly once per node per rumor, at first reception.
+  using DeliverFn = std::function<void(NodeId node, const Bytes& payload)>;
+
+  Gossip(Network& network, Rng rng, std::size_t fanout, DeliverFn deliver);
+
+  /// Register this gossip instance as the message handler of a fresh node.
+  NodeId join();
+
+  /// Originate a rumor at `origin`; it is delivered locally then relayed.
+  void publish(NodeId origin, const Bytes& payload);
+
+  /// Fraction of joined nodes that have seen a given payload.
+  [[nodiscard]] double coverage(const Bytes& payload) const;
+
+  [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+
+ private:
+  void on_message(const Message& msg);
+  void relay(NodeId from, const Bytes& payload);
+  /// First-seen bookkeeping; true when `node` had not seen the rumor yet.
+  bool mark_seen(NodeId node, const Bytes& payload);
+
+  Network& network_;
+  Rng rng_;
+  std::size_t fanout_;
+  DeliverFn deliver_;
+  std::vector<NodeId> members_;
+  std::unordered_map<std::uint64_t, std::unordered_set<NodeId>> seen_;
+};
+
+}  // namespace mv::net

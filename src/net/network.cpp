@@ -1,0 +1,99 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mv::net {
+
+Network::Network(SimClock& clock, Rng rng, LinkParams defaults)
+    : clock_(clock), rng_(rng), defaults_(defaults) {}
+
+NodeId Network::add_node(Handler handler) {
+  const NodeId id(nodes_.size());
+  nodes_.push_back(std::move(handler));
+  return id;
+}
+
+std::vector<NodeId> Network::node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+void Network::set_link(NodeId from, NodeId to, LinkParams params) {
+  links_[{from, to}] = params;
+}
+
+const LinkParams& Network::link(NodeId from, NodeId to) const {
+  const auto it = links_.find({from, to});
+  return it != links_.end() ? it->second : defaults_;
+}
+
+void Network::set_group(NodeId node, int group) { groups_[node] = group; }
+
+void Network::heal() { groups_.clear(); }
+
+bool Network::send(NodeId from, NodeId to, std::string topic, Bytes payload) {
+  assert(to.value() < nodes_.size());
+  ++stats_.sent;
+  stats_.bytes_sent += payload.size();
+
+  const auto gfrom = groups_.find(from);
+  const auto gto = groups_.find(to);
+  const int group_from = gfrom == groups_.end() ? 0 : gfrom->second;
+  const int group_to = gto == groups_.end() ? 0 : gto->second;
+  if (group_from != group_to) {
+    ++stats_.partitioned;
+    return false;
+  }
+
+  const LinkParams& lp = link(from, to);
+  if (lp.drop_rate > 0.0 && rng_.chance(lp.drop_rate)) {
+    ++stats_.dropped;
+    return false;
+  }
+
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.topic = std::move(topic);
+  msg.payload = std::move(payload);
+  msg.sent_at = clock_.now();
+  const double delay = lp.base_latency + (lp.jitter > 0.0 ? rng_.uniform(0.0, lp.jitter) : 0.0);
+  msg.deliver_at = clock_.now() + std::max<Tick>(1, static_cast<Tick>(std::llround(delay)));
+  queue_.push(Pending{std::move(msg), seq_++});
+  return true;
+}
+
+void Network::broadcast(NodeId from, const std::string& topic,
+                        const Bytes& payload) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeId to(i);
+    if (to == from) continue;
+    send(from, to, topic, payload);
+  }
+}
+
+void Network::step() {
+  while (!queue_.empty() && queue_.top().msg.deliver_at <= clock_.now()) {
+    // Copy out before pop: the handler may enqueue new messages.
+    Message msg = queue_.top().msg;
+    queue_.pop();
+    ++stats_.delivered;
+    nodes_[msg.to.value()](msg);
+  }
+}
+
+Tick Network::run_until_idle(Tick max_ticks) {
+  Tick advanced = 0;
+  step();
+  while (!queue_.empty() && advanced < max_ticks) {
+    clock_.advance();
+    ++advanced;
+    step();
+  }
+  return advanced;
+}
+
+}  // namespace mv::net

@@ -1,0 +1,61 @@
+// NftContract: ERC-721-style non-fungible tokens on the ledger (§IV-A).
+//
+// "NFTs are a one-to-one mapping between an owner (represented by a crypto
+// wallet address) and the asset referencing the NFT (usually by a URI)."
+// Tokens carry a creator royalty (basis points) honoured by every marketplace
+// sale, mirroring the create-to-earn model the paper describes.
+//
+// Methods (args ByteWriter-encoded):
+//   mint(uri: str, royalty_bps: u32)       — create a token owned by caller
+//   transfer(token: u64, to: u64-address)  — move a token you own
+//   list(token: u64, price: u64)           — open a fixed-price listing
+//   cancel(token: u64)                     — close your listing
+//   buy(token: u64)                        — pay price; royalty to creator
+#pragma once
+
+#include <string>
+
+#include "ledger/state.h"
+
+namespace mv::nft {
+
+class NftContract final : public ledger::Contract {
+ public:
+  [[nodiscard]] std::string name() const override { return "nft"; }
+  [[nodiscard]] Status call(ledger::CallContext& ctx, const std::string& method,
+                            const Bytes& args) const override;
+
+  struct TokenView {
+    crypto::Address owner;
+    crypto::Address creator;
+    std::string uri;
+    std::uint32_t royalty_bps = 0;
+  };
+
+  // ---- read-side helpers ----
+  [[nodiscard]] static std::uint64_t token_count(const ledger::LedgerState& state);
+  [[nodiscard]] static Result<TokenView> token(const ledger::LedgerState& state,
+                                               std::uint64_t id);
+  /// Listing price, or 0 when not listed.
+  [[nodiscard]] static std::uint64_t listing_price(const ledger::LedgerState& state,
+                                                   std::uint64_t id);
+  [[nodiscard]] static std::vector<std::uint64_t> tokens_of(
+      const ledger::LedgerState& state, crypto::Address owner);
+
+  // ---- argument encoders ----
+  [[nodiscard]] static Bytes encode_mint(const std::string& uri,
+                                         std::uint32_t royalty_bps);
+  [[nodiscard]] static Bytes encode_transfer(std::uint64_t token,
+                                             crypto::Address to);
+  [[nodiscard]] static Bytes encode_list(std::uint64_t token, std::uint64_t price);
+  [[nodiscard]] static Bytes encode_token(std::uint64_t token);
+
+ private:
+  Status do_mint(ledger::CallContext& ctx, const Bytes& args) const;
+  Status do_transfer(ledger::CallContext& ctx, const Bytes& args) const;
+  Status do_list(ledger::CallContext& ctx, const Bytes& args) const;
+  Status do_cancel(ledger::CallContext& ctx, const Bytes& args) const;
+  Status do_buy(ledger::CallContext& ctx, const Bytes& args) const;
+};
+
+}  // namespace mv::nft

@@ -1,0 +1,159 @@
+#include "nft/market.h"
+
+#include <algorithm>
+
+namespace mv::nft {
+
+namespace {
+// Buyer account ids live above creator ids in the reputation system.
+constexpr std::uint64_t kBuyerIdBase = 1'000'000;
+// Honest creators occasionally catch a mistaken report.
+constexpr double kFalseReportProbability = 0.01;
+}  // namespace
+
+const char* to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kOpen: return "open";
+    case AdmissionPolicy::kInviteOnly: return "invite-only";
+    case AdmissionPolicy::kReputationGated: return "reputation-gated";
+  }
+  return "?";
+}
+
+MarketSim::MarketSim(MarketConfig config, AdmissionPolicy policy, Rng rng)
+    : config_(config), policy_(policy), rng_(rng) {
+  reputation::ReputationConfig rep_config;
+  rep_config.age_ramp = 1;       // market epochs, not wall ticks
+  rep_config.pair_cooldown = 1;  // one report per buyer-creator pair per round
+  reputation_ = reputation::ReputationSystem(rep_config);
+
+  creators_.reserve(config_.creators);
+  for (std::size_t i = 0; i < config_.creators; ++i) {
+    Creator c;
+    c.id = AccountId(i);
+    c.scammer = rng_.chance(config_.scammer_fraction);
+    c.quality = c.scammer ? rng_.uniform(0.0, 0.3) : rng_.uniform(0.3, 1.0);
+    creators_.push_back(c);
+    (void)reputation_.register_account(c.id, 0, /*stake=*/10.0);
+  }
+  for (std::size_t b = 0; b < config_.buyers; ++b) {
+    (void)reputation_.register_account(AccountId(kBuyerIdBase + b), 0,
+                                       /*stake=*/10.0);
+  }
+}
+
+void MarketSim::admit_creators() {
+  switch (policy_) {
+    case AdmissionPolicy::kOpen:
+    case AdmissionPolicy::kReputationGated:
+      for (auto& c : creators_) c.admitted = true;
+      break;
+    case AdmissionPolicy::kInviteOnly: {
+      // Invites go to vetted (mostly honest) creators, but there are only
+      // invite_fraction x N of them — the long tail stays outside.
+      const auto invites = static_cast<std::size_t>(
+          config_.invite_fraction * static_cast<double>(creators_.size()));
+      std::vector<std::size_t> honest_pool, scam_pool;
+      for (std::size_t i = 0; i < creators_.size(); ++i) {
+        (creators_[i].scammer ? scam_pool : honest_pool).push_back(i);
+      }
+      rng_.shuffle(honest_pool);
+      rng_.shuffle(scam_pool);
+      std::size_t hi = 0, si = 0;
+      for (std::size_t k = 0; k < invites; ++k) {
+        const bool pick_honest = rng_.chance(config_.invite_honest_accuracy);
+        if (pick_honest && hi < honest_pool.size()) {
+          creators_[honest_pool[hi++]].admitted = true;
+        } else if (si < scam_pool.size()) {
+          creators_[scam_pool[si++]].admitted = true;
+        } else if (hi < honest_pool.size()) {
+          creators_[honest_pool[hi++]].admitted = true;
+        }
+      }
+      break;
+    }
+  }
+  for (const auto& c : creators_) {
+    if (!c.scammer) {
+      ++metrics_.honest_creators;
+      if (c.admitted) ++metrics_.honest_admitted;
+    }
+  }
+}
+
+void MarketSim::mint_round() {
+  for (std::size_t i = 0; i < creators_.size(); ++i) {
+    Creator& c = creators_[i];
+    if (!c.admitted || c.delisted) continue;
+    for (std::size_t m = 0; m < config_.mints_per_creator_round; ++m) {
+      Item item;
+      item.creator_index = i;
+      item.scam = c.scammer && rng_.chance(0.85);
+      item.quality = item.scam ? rng_.uniform(0.0, 0.2)
+                               : std::clamp(c.quality + rng_.normal(0.0, 0.1), 0.0, 1.0);
+      open_items_.push_back(items_.size());
+      items_.push_back(item);
+    }
+  }
+}
+
+void MarketSim::purchase_round(Tick now) {
+  const auto purchases = static_cast<std::size_t>(
+      static_cast<double>(config_.buyers) * config_.purchases_per_buyer_round);
+  for (std::size_t p = 0; p < purchases && !open_items_.empty(); ++p) {
+    const std::size_t slot = rng_.next_below(open_items_.size());
+    const std::size_t item_index = open_items_[slot];
+    Item& item = items_[item_index];
+    Creator& creator = creators_[item.creator_index];
+
+    if (creator.delisted) {
+      // Delisted creators' inventory is withdrawn from the market.
+      open_items_[slot] = open_items_.back();
+      open_items_.pop_back();
+      continue;
+    }
+    if (item.scam && rng_.chance(config_.pre_purchase_detection)) {
+      continue;  // community labelling saved this buyer; item stays listed
+    }
+
+    item.sold = true;
+    open_items_[slot] = open_items_.back();
+    open_items_.pop_back();
+    ++metrics_.total_sales;
+    if (creator.sales == 0 && !creator.scammer) ++metrics_.honest_with_sales;
+    ++creator.sales;
+
+    const AccountId buyer(kBuyerIdBase + rng_.next_below(config_.buyers));
+    if (item.scam) {
+      ++metrics_.scam_sales;
+      if (rng_.chance(config_.report_probability)) {
+        (void)reputation_.report(buyer, creator.id, 1.0, now);
+      }
+    } else if (rng_.chance(kFalseReportProbability)) {
+      (void)reputation_.report(buyer, creator.id, 0.3, now);
+    }
+  }
+
+  if (policy_ == AdmissionPolicy::kReputationGated) {
+    for (auto& c : creators_) {
+      if (c.admitted && !c.delisted &&
+          reputation_.score(c.id) < config_.delist_threshold) {
+        c.delisted = true;
+        if (c.scammer) ++metrics_.scammers_delisted;
+      }
+    }
+  }
+}
+
+MarketMetrics MarketSim::run() {
+  admit_creators();
+  Tick now = 10;  // accounts registered at 0 are aged by the first round
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    mint_round();
+    purchase_round(now);
+    now += 10;
+  }
+  return metrics_;
+}
+
+}  // namespace mv::nft

@@ -1,0 +1,109 @@
+#include "policy/engine.h"
+
+#include <set>
+
+namespace mv::policy {
+
+std::vector<Violation> RegulationModule::audit(const DataFlowEvent& event) const {
+  std::vector<Violation> out;
+  for (const auto& rule : rules_) {
+    if (auto v = rule->check(event); v.has_value()) out.push_back(std::move(*v));
+  }
+  return out;
+}
+
+bool RegulationModule::has_rule(const std::string& rule_name) const {
+  for (const auto& rule : rules_) {
+    if (rule->name() == rule_name) return true;
+  }
+  return false;
+}
+
+ModulePtr make_gdpr_module() {
+  // Operational core of GDPR: opt-in consent, purpose limitation, storage
+  // limitation, right to erasure (art. 17, "without undue delay" ≈ 30 days),
+  // 72h breach notification (art. 33), data minimization via PETs.
+  return std::make_shared<RegulationModule>(
+      "gdpr",
+      std::vector<RulePtr>{
+          std::make_shared<ConsentRequired>(),
+          std::make_shared<NoticeRequired>(),
+          std::make_shared<PurposeLimitation>(),
+          std::make_shared<RetentionLimit>(24 * 90),
+          std::make_shared<RightToDelete>(24 * 30),
+          std::make_shared<BreachNotification>(72),
+          std::make_shared<PetRequired>(
+              std::set<std::string>{"gaze", "heart_rate", "microphone"}),
+      });
+}
+
+ModulePtr make_ccpa_module() {
+  // Operational core of CCPA: notice at collection, opt-out of sale,
+  // deletion within 45 days; consent is opt-out rather than opt-in, so no
+  // ConsentRequired rule.
+  return std::make_shared<RegulationModule>(
+      "ccpa", std::vector<RulePtr>{
+                  std::make_shared<NoticeRequired>(),
+                  std::make_shared<SaleOptOut>(),
+                  std::make_shared<RightToDelete>(24 * 45),
+                  std::make_shared<RetentionLimit>(24 * 365),
+              });
+}
+
+ModulePtr make_baseline_module() {
+  // The platform's own floor (§IV-C "some default privacy protection rules
+  // should be implemented"): notice + PETs on the psyche-revealing sensors.
+  return std::make_shared<RegulationModule>(
+      "baseline", std::vector<RulePtr>{
+                      std::make_shared<NoticeRequired>(),
+                      std::make_shared<PetRequired>(
+                          std::set<std::string>{"gaze", "heart_rate"}),
+                  });
+}
+
+ModulePtr compose(const ModulePtr& a, const ModulePtr& b, std::string name) {
+  std::vector<RulePtr> rules;
+  std::set<std::string> seen;
+  for (const auto& module : {a, b}) {
+    for (const auto& rule : module->rules()) {
+      if (seen.insert(rule->name()).second) rules.push_back(rule);
+    }
+  }
+  return std::make_shared<RegulationModule>(std::move(name), std::move(rules));
+}
+
+void PolicyEngine::set_region_module(const std::string& region, ModulePtr module) {
+  const auto it = regions_.find(region);
+  if (it != regions_.end()) ++stats_.module_swaps;
+  regions_[region] = std::move(module);
+}
+
+const RegulationModule* PolicyEngine::region_module(const std::string& region) const {
+  const auto it = regions_.find(region);
+  return it == regions_.end() ? default_.get() : it->second.get();
+}
+
+std::vector<std::pair<std::string, std::string>> PolicyEngine::region_bindings()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(regions_.size());
+  for (const auto& [region, module] : regions_) {
+    out.emplace_back(region, module->name());
+  }
+  return out;
+}
+
+std::vector<Violation> PolicyEngine::audit(const std::string& region,
+                                           const DataFlowEvent& event) {
+  ++stats_.events_audited;
+  const RegulationModule* module = region_module(region);
+  if (module == nullptr) {
+    ++unmapped_events_;
+    return {};
+  }
+  auto violations = module->audit(event);
+  stats_.violations += violations.size();
+  return violations;
+}
+
+}  // namespace mv::policy

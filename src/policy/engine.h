@@ -1,0 +1,87 @@
+// The modular policy engine (Figure 3 / §II-D / §III-E).
+//
+// "Using a modular-based framework to construct the privacy regulation
+// protections will allow the metaverse to adapt to local authorities'
+// specifications and provide a homogeneous policy to protect users' privacy."
+// Regions map to regulation modules; modules hot-swap at runtime (the
+// "frontiers" question of §III-E is exactly this map), and modules can be
+// composed (union of rules) to get the strictest common denominator.
+#pragma once
+
+#include <map>
+
+#include "policy/rules.h"
+
+namespace mv::policy {
+
+class RegulationModule {
+ public:
+  RegulationModule(std::string name, std::vector<RulePtr> rules)
+      : name_(std::move(name)), rules_(std::move(rules)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<RulePtr>& rules() const { return rules_; }
+
+  /// All violations of this module's rules by one event.
+  [[nodiscard]] std::vector<Violation> audit(const DataFlowEvent& event) const;
+
+  [[nodiscard]] bool has_rule(const std::string& rule_name) const;
+
+ private:
+  std::string name_;
+  std::vector<RulePtr> rules_;
+};
+
+using ModulePtr = std::shared_ptr<const RegulationModule>;
+
+/// Prebuilt modules. Tick unit: hours (GDPR's 72h breach window is 72 ticks).
+[[nodiscard]] ModulePtr make_gdpr_module();
+[[nodiscard]] ModulePtr make_ccpa_module();
+[[nodiscard]] ModulePtr make_baseline_module();
+
+/// Union of two modules' rules (deduplicated by rule name): the strictest
+/// policy both jurisdictions accept — the paper's "homogeneous policy".
+[[nodiscard]] ModulePtr compose(const ModulePtr& a, const ModulePtr& b,
+                                std::string name);
+
+struct EngineStats {
+  std::uint64_t events_audited = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t module_swaps = 0;
+
+  [[nodiscard]] double compliance_rate() const {
+    return events_audited
+               ? 1.0 - static_cast<double>(violations) /
+                           static_cast<double>(events_audited)
+               : 1.0;
+  }
+};
+
+class PolicyEngine {
+ public:
+  /// Bind a region to a module; rebinding an existing region is a hot swap.
+  void set_region_module(const std::string& region, ModulePtr module);
+  [[nodiscard]] const RegulationModule* region_module(const std::string& region) const;
+
+  /// Audit one event under its region's module. Unmapped regions fall back
+  /// to the default module when one is set; otherwise everything passes
+  /// (and `unmapped_events` counts the governance gap).
+  [[nodiscard]] std::vector<Violation> audit(const std::string& region,
+                                             const DataFlowEvent& event);
+
+  void set_default_module(ModulePtr module) { default_ = std::move(module); }
+
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t unmapped_events() const { return unmapped_events_; }
+  [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+  /// (region, module-name) pairs — the portable part of the configuration.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> region_bindings() const;
+
+ private:
+  std::map<std::string, ModulePtr> regions_;
+  ModulePtr default_;
+  EngineStats stats_;
+  std::uint64_t unmapped_events_ = 0;
+};
+
+}  // namespace mv::policy

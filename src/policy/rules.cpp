@@ -1,0 +1,66 @@
+#include "policy/rules.h"
+
+namespace mv::policy {
+
+std::optional<Violation> ConsentRequired::check(const DataFlowEvent& e) const {
+  if (e.consent) return std::nullopt;
+  return Violation{name(), "collected without consent", e.id};
+}
+
+std::optional<Violation> PurposeLimitation::check(const DataFlowEvent& e) const {
+  if (e.declared_purpose.empty() || e.purpose == e.declared_purpose) {
+    // An empty declaration is NoticeRequired's problem, not ours.
+    return std::nullopt;
+  }
+  return Violation{name(),
+                   "used for '" + e.purpose + "' but declared '" +
+                       e.declared_purpose + "'",
+                   e.id};
+}
+
+std::optional<Violation> RetentionLimit::check(const DataFlowEvent& e) const {
+  if (e.deleted) return std::nullopt;
+  if (e.observed_at - e.collected_at <= max_age_) return std::nullopt;
+  return Violation{name(), "retained past the maximum age", e.id};
+}
+
+std::optional<Violation> RightToDelete::check(const DataFlowEvent& e) const {
+  if (!e.deletion_requested) return std::nullopt;
+  if (e.deleted && e.deleted_at - e.deletion_requested_at <= deadline_) {
+    return std::nullopt;
+  }
+  if (!e.deleted && e.observed_at - e.deletion_requested_at <= deadline_) {
+    return std::nullopt;  // still within the deadline
+  }
+  return Violation{name(), "deletion request not honoured in time", e.id};
+}
+
+std::optional<Violation> SaleOptOut::check(const DataFlowEvent& e) const {
+  if (!e.sold || !e.opt_out_of_sale) return std::nullopt;
+  return Violation{name(), "sold despite subject opt-out", e.id};
+}
+
+std::optional<Violation> BreachNotification::check(const DataFlowEvent& e) const {
+  if (!e.breached) return std::nullopt;
+  if (e.breach_notified && e.breach_notified_at - e.breach_at <= window_) {
+    return std::nullopt;
+  }
+  if (!e.breach_notified && e.observed_at - e.breach_at <= window_) {
+    return std::nullopt;  // clock still running
+  }
+  return Violation{name(), "breach not notified within the window", e.id};
+}
+
+std::optional<Violation> PetRequired::check(const DataFlowEvent& e) const {
+  if (!categories_.contains(e.category)) return std::nullopt;
+  if (e.pet_applied) return std::nullopt;
+  return Violation{name(), "critical category '" + e.category + "' shared raw",
+                   e.id};
+}
+
+std::optional<Violation> NoticeRequired::check(const DataFlowEvent& e) const {
+  if (!e.declared_purpose.empty()) return std::nullopt;
+  return Violation{name(), "no purpose declared at collection", e.id};
+}
+
+}  // namespace mv::policy

@@ -1,0 +1,137 @@
+// Executable privacy-regulation rules (§II-D).
+//
+// SUBSTITUTION NOTE (DESIGN.md §4): legal texts are not executable, so each
+// rule captures the enforcement-relevant operational core of a provision
+// (consent, purpose limitation, retention, deletion deadlines, sale opt-out,
+// breach-notification windows, data minimization). A regulation module is a
+// named, parameterized bundle of rules — the unit the paper wants to be
+// swappable per jurisdiction: "if the metaverse is required to follow the
+// local rules, the modules will swap accordingly" (§III-E).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+
+namespace mv::policy {
+
+/// One data-collection/processing episode as seen by the auditor.
+struct DataFlowEvent {
+  DataFlowId id;
+  std::uint64_t subject = 0;
+  std::string collector;
+  std::string category;          ///< e.g. "gaze", "spatial_map"
+  std::string purpose;           ///< what the data was actually used for
+  std::string declared_purpose;  ///< what the subject was told
+  bool consent = false;
+  bool pet_applied = false;
+  bool sold = false;             ///< personal data sold to a third party
+  bool opt_out_of_sale = false;  ///< subject exercised the sale opt-out
+  Tick collected_at = 0;
+  Tick observed_at = 0;  ///< audit time ("now" for age-based rules)
+  bool deletion_requested = false;
+  Tick deletion_requested_at = 0;
+  bool deleted = false;
+  Tick deleted_at = 0;
+  bool breached = false;
+  Tick breach_at = 0;
+  bool breach_notified = false;
+  Tick breach_notified_at = 0;
+};
+
+struct Violation {
+  std::string rule;
+  std::string detail;
+  DataFlowId flow;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::optional<Violation> check(
+      const DataFlowEvent& event) const = 0;
+};
+
+using RulePtr = std::shared_ptr<const Rule>;
+
+/// Collection requires prior consent from the subject.
+class ConsentRequired final : public Rule {
+ public:
+  [[nodiscard]] std::string name() const override { return "consent_required"; }
+  [[nodiscard]] std::optional<Violation> check(const DataFlowEvent& e) const override;
+};
+
+/// Data may only be used for the purpose declared at collection.
+class PurposeLimitation final : public Rule {
+ public:
+  [[nodiscard]] std::string name() const override { return "purpose_limitation"; }
+  [[nodiscard]] std::optional<Violation> check(const DataFlowEvent& e) const override;
+};
+
+/// Data older than `max_age` ticks must have been deleted.
+class RetentionLimit final : public Rule {
+ public:
+  explicit RetentionLimit(Tick max_age) : max_age_(max_age) {}
+  [[nodiscard]] std::string name() const override { return "retention_limit"; }
+  [[nodiscard]] std::optional<Violation> check(const DataFlowEvent& e) const override;
+
+ private:
+  Tick max_age_;
+};
+
+/// A deletion request must be honoured within `deadline` ticks.
+class RightToDelete final : public Rule {
+ public:
+  explicit RightToDelete(Tick deadline) : deadline_(deadline) {}
+  [[nodiscard]] std::string name() const override { return "right_to_delete"; }
+  [[nodiscard]] std::optional<Violation> check(const DataFlowEvent& e) const override;
+
+ private:
+  Tick deadline_;
+};
+
+/// Data of subjects who opted out of sale must not be sold (CCPA core).
+class SaleOptOut final : public Rule {
+ public:
+  [[nodiscard]] std::string name() const override { return "sale_opt_out"; }
+  [[nodiscard]] std::optional<Violation> check(const DataFlowEvent& e) const override;
+};
+
+/// Breaches must be notified within `window` ticks (GDPR art. 33's 72h).
+class BreachNotification final : public Rule {
+ public:
+  explicit BreachNotification(Tick window) : window_(window) {}
+  [[nodiscard]] std::string name() const override { return "breach_notification"; }
+  [[nodiscard]] std::optional<Violation> check(const DataFlowEvent& e) const override;
+
+ private:
+  Tick window_;
+};
+
+/// Critical categories must cross the trust boundary PET-protected
+/// (data-minimization / §II-D "advocate for PETs").
+class PetRequired final : public Rule {
+ public:
+  explicit PetRequired(std::set<std::string> categories)
+      : categories_(std::move(categories)) {}
+  [[nodiscard]] std::string name() const override { return "pet_required"; }
+  [[nodiscard]] std::optional<Violation> check(const DataFlowEvent& e) const override;
+
+ private:
+  std::set<std::string> categories_;
+};
+
+/// The subject must have been told *something* (notice-at-collection).
+class NoticeRequired final : public Rule {
+ public:
+  [[nodiscard]] std::string name() const override { return "notice_required"; }
+  [[nodiscard]] std::optional<Violation> check(const DataFlowEvent& e) const override;
+};
+
+}  // namespace mv::policy

@@ -1,0 +1,168 @@
+#include "privacy/inference.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace mv::privacy {
+
+int infer_preference(const std::vector<SensorReading>& released) {
+  double mx = 0.0, my = 0.0;
+  std::size_t n = 0;
+  for (const auto& r : released) {
+    if (r.type != SensorType::kGaze || r.values.size() < 2) continue;
+    mx += r.values[0];
+    my += r.values[1];
+    ++n;
+  }
+  if (n == 0) return -1;
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  int best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (int k = 0; k < kPreferenceClasses; ++k) {
+    const auto [cx, cy] = preference_centroid(k);
+    const double d = (mx - cx) * (mx - cx) + (my - cy) * (my - cy);
+    if (d < best_d) {
+      best_d = d;
+      best = k;
+    }
+  }
+  return best;
+}
+
+GaitProfile summarize_gait(std::uint64_t subject,
+                           const std::vector<SensorReading>& released) {
+  GaitProfile p;
+  p.subject = subject;
+  std::size_t n = 0;
+  for (const auto& r : released) {
+    if (r.type != SensorType::kHeadPose || r.values.size() < 2) continue;
+    p.frequency += r.values[0];
+    p.amplitude += r.values[1];
+    ++n;
+  }
+  if (n > 0) {
+    p.frequency /= static_cast<double>(n);
+    p.amplitude /= static_cast<double>(n);
+  }
+  return p;
+}
+
+std::uint64_t identify_gait(const GaitProfile& probe,
+                            const std::vector<GaitProfile>& enrolled) {
+  std::uint64_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (const auto& e : enrolled) {
+    // Frequency spans ~3x the amplitude range; normalize dimensions so both
+    // traits matter.
+    const double df = (probe.frequency - e.frequency) / 1.4;
+    const double da = (probe.amplitude - e.amplitude) / 1.0;
+    const double d = df * df + da * da;
+    if (d < best_d) {
+      best_d = d;
+      best = e.subject;
+    }
+  }
+  return best;
+}
+
+double infer_resting_hr(const std::vector<SensorReading>& released) {
+  double best = std::numeric_limits<double>::max();
+  for (const auto& r : released) {
+    if (r.type != SensorType::kHeartRate || r.values.empty()) continue;
+    best = std::min(best, r.values[0]);
+  }
+  return best == std::numeric_limits<double>::max() ? 0.0 : best;
+}
+
+bool screen_elevated_hr(const std::vector<SensorReading>& released,
+                        double threshold) {
+  const double resting = infer_resting_hr(released);
+  return resting > 0.0 && resting >= threshold;
+}
+
+VoiceProfile summarize_voice(std::uint64_t subject,
+                             const std::vector<SensorReading>& released) {
+  VoiceProfile p;
+  p.subject = subject;
+  std::size_t n = 0;
+  for (const auto& r : released) {
+    if (r.type != SensorType::kMicrophone || r.values.size() < 2) continue;
+    p.pitch += r.values[0];
+    p.formant += r.values[1];
+    ++n;
+  }
+  if (n > 0) {
+    p.pitch /= static_cast<double>(n);
+    p.formant /= static_cast<double>(n);
+  }
+  return p;
+}
+
+std::uint64_t identify_voice(const VoiceProfile& probe,
+                             const std::vector<VoiceProfile>& enrolled) {
+  std::uint64_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (const auto& e : enrolled) {
+    // Normalize by trait spans: pitch 160 Hz, formant ratio 1.0.
+    const double dp = (probe.pitch - e.pitch) / 160.0;
+    const double df = (probe.formant - e.formant) / 1.0;
+    const double d = dp * dp + df * df;
+    if (d < best_d) {
+      best_d = d;
+      best = e.subject;
+    }
+  }
+  return best;
+}
+
+double bystander_exposure(const SensorReading& released, double bx, double by,
+                          double radius) {
+  if (released.type != SensorType::kSpatialMap || released.values.size() < 3) {
+    return 0.0;
+  }
+  const std::size_t points = released.values.size() / 3;
+  std::size_t inside = 0;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double dx = released.values[i * 3] - bx;
+    const double dy = released.values[i * 3 + 1] - by;
+    const double z = released.values[i * 3 + 2];
+    if (dx * dx + dy * dy <= radius * radius && z >= 0.2 && z <= 1.9) ++inside;
+  }
+  return points ? static_cast<double>(inside) / static_cast<double>(points) : 0.0;
+}
+
+double stream_utility(const std::vector<SensorReading>& raw,
+                      const std::vector<SensorReading>& released) {
+  if (raw.empty()) return 1.0;
+  std::map<Tick, const SensorReading*> by_tick;
+  for (const auto& r : released) by_tick[r.at] = &r;
+
+  double sq_sum = 0.0;
+  std::size_t count = 0;
+  std::size_t suppressed = 0;
+  for (const auto& r : raw) {
+    const auto it = by_tick.find(r.at);
+    if (it == by_tick.end()) {
+      ++suppressed;
+      continue;
+    }
+    const auto& rel = *it->second;
+    const std::size_t dims = std::min(r.values.size(), rel.values.size());
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double diff = r.values[d] - rel.values[d];
+      sq_sum += diff * diff;
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  const double rmse = std::sqrt(sq_sum / static_cast<double>(count));
+  const double base = 1.0 / (1.0 + rmse);
+  // Suppressed slots scale utility down proportionally.
+  const double kept = static_cast<double>(raw.size() - suppressed) /
+                      static_cast<double>(raw.size());
+  return base * kept;
+}
+
+}  // namespace mv::privacy

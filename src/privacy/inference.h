@@ -1,0 +1,72 @@
+// Inference attackers and utility metrics (§II-A threat model, bench E1).
+//
+// The adversary observes the readings a user's pipeline released to the cloud
+// and tries to recover latent traits:
+//  - PreferenceInference: "gaze data can give away users' sexual preferences"
+//    [3] — nearest-centroid classification of the mean dwell point.
+//  - GaitIdentification: head-bob (frequency, amplitude) matched against an
+//    enrolled population — re-identification attack.
+// Utility is what the legitimate application loses to the PETs: RMSE between
+// raw and released values, mapped to [0, 1].
+#pragma once
+
+#include <vector>
+
+#include "privacy/sensors.h"
+
+namespace mv::privacy {
+
+/// Nearest preference-class centroid of the mean released gaze point.
+/// Returns the attacked class in [0, kPreferenceClasses).
+[[nodiscard]] int infer_preference(const std::vector<SensorReading>& released);
+
+/// Population re-identification: match each probe (mean head-pose features of
+/// one user's session) against enrolled trait profiles; returns top-1
+/// accuracy in [0,1].
+struct GaitProfile {
+  std::uint64_t subject = 0;
+  double frequency = 0.0;
+  double amplitude = 0.0;
+};
+
+[[nodiscard]] GaitProfile summarize_gait(std::uint64_t subject,
+                                         const std::vector<SensorReading>& released);
+
+[[nodiscard]] std::uint64_t identify_gait(const GaitProfile& probe,
+                                          const std::vector<GaitProfile>& enrolled);
+
+/// Health inference from heart rate (§II-A: "biometrical information such as
+/// gaze, gait, heart rate shows important aspects of users' psyche").
+/// Recovers an estimate of the resting heart rate from released readings —
+/// the sensor adds only non-negative arousal drift, so the session minimum
+/// is a (biased-up) estimator — and screens for elevated resting HR.
+[[nodiscard]] double infer_resting_hr(const std::vector<SensorReading>& released);
+[[nodiscard]] bool screen_elevated_hr(const std::vector<SensorReading>& released,
+                                      double threshold = 80.0);
+
+/// Voiceprint re-identification: mean (pitch, formant) of a session matched
+/// against enrolled profiles — the microphone analogue of gait re-id.
+struct VoiceProfile {
+  std::uint64_t subject = 0;
+  double pitch = 0.0;
+  double formant = 0.0;
+};
+
+[[nodiscard]] VoiceProfile summarize_voice(std::uint64_t subject,
+                                           const std::vector<SensorReading>& released);
+
+[[nodiscard]] std::uint64_t identify_voice(const VoiceProfile& probe,
+                                           const std::vector<VoiceProfile>& enrolled);
+
+/// Fraction of spatial-map points that fall inside the bystander cluster
+/// around (bx, by) — how much of the person the released scan still shows.
+[[nodiscard]] double bystander_exposure(const SensorReading& released, double bx,
+                                        double by, double radius = 0.6);
+
+/// Application utility of a released stream vs the raw one: 1 / (1 + RMSE).
+/// Readings are matched by timestamp; suppressed readings count as full loss
+/// for their slot.
+[[nodiscard]] double stream_utility(const std::vector<SensorReading>& raw,
+                                    const std::vector<SensorReading>& released);
+
+}  // namespace mv::privacy

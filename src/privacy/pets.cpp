@@ -1,0 +1,158 @@
+#include "privacy/pets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace mv::privacy {
+
+std::string LaplaceNoise::name() const {
+  return "laplace(eps=" + std::to_string(epsilon_) + ")";
+}
+
+std::optional<SensorReading> LaplaceNoise::apply(SensorReading reading,
+                                                 Rng& rng) const {
+  const double scale = sensitivity_ / epsilon_;
+  for (auto& v : reading.values) v += rng.laplace(scale);
+  return reading;
+}
+
+std::string GaussianNoise::name() const {
+  return "gauss(sigma=" + std::to_string(sigma_) + ")";
+}
+
+std::optional<SensorReading> GaussianNoise::apply(SensorReading reading,
+                                                  Rng& rng) const {
+  for (auto& v : reading.values) v += rng.normal(0.0, sigma_);
+  return reading;
+}
+
+std::string Subsample::name() const {
+  return "subsample(1/" + std::to_string(keep_one_in_) + ")";
+}
+
+std::optional<SensorReading> Subsample::apply(SensorReading reading, Rng&) const {
+  if (keep_one_in_ <= 1) return reading;
+  if (counter_++ % keep_one_in_ != 0) return std::nullopt;
+  return reading;
+}
+
+std::string SpatialGeneralize::name() const {
+  return "generalize(cell=" + std::to_string(cell_) + ")";
+}
+
+std::optional<SensorReading> SpatialGeneralize::apply(SensorReading reading,
+                                                      Rng&) const {
+  if (cell_ <= 0.0) return reading;
+  for (auto& v : reading.values) {
+    v = (std::floor(v / cell_) + 0.5) * cell_;  // cell centre
+  }
+  return reading;
+}
+
+std::string BystanderRedaction::name() const { return "bystander_redaction"; }
+
+std::optional<SensorReading> BystanderRedaction::apply(SensorReading reading,
+                                                       Rng&) const {
+  if (reading.type != SensorType::kSpatialMap || reading.values.size() < 3) {
+    return reading;
+  }
+  // Cluster points on a coarse XY grid; any cell holding an anomalously dense
+  // share of person-height points (0.2..1.9m) is treated as a bystander and
+  // dropped. Room structure (walls, floor-to-ceiling spread) survives.
+  const double cell = 0.5;
+  std::map<std::pair<int, int>, std::size_t> density;
+  const std::size_t points = reading.values.size() / 3;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = reading.values[i * 3];
+    const double y = reading.values[i * 3 + 1];
+    const double z = reading.values[i * 3 + 2];
+    if (z < 0.2 || z > 1.9) continue;
+    ++density[{static_cast<int>(x / cell), static_cast<int>(y / cell)}];
+  }
+  // Judge each point by its 3x3-cell neighborhood so clusters that straddle
+  // cell boundaries are still caught; the threshold is set above the expected
+  // density of diffuse room geometry in a 1.5m x 1.5m patch.
+  const std::size_t threshold = std::max<std::size_t>(6, points / 8);
+  const auto neighborhood = [&](int cx, int cy) {
+    std::size_t total = 0;
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        const auto it = density.find({cx + dx, cy + dy});
+        if (it != density.end()) total += it->second;
+      }
+    }
+    return total;
+  };
+  std::vector<double> kept;
+  kept.reserve(reading.values.size());
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = reading.values[i * 3];
+    const double y = reading.values[i * 3 + 1];
+    const double z = reading.values[i * 3 + 2];
+    const bool person_like =
+        z >= 0.2 && z <= 1.9 &&
+        neighborhood(static_cast<int>(x / cell), static_cast<int>(y / cell)) >=
+            threshold;
+    if (!person_like) {
+      kept.push_back(x);
+      kept.push_back(y);
+      kept.push_back(z);
+    }
+  }
+  reading.values = std::move(kept);
+  return reading;
+}
+
+std::string VoiceMask::name() const {
+  return "voice_mask(shift=" + std::to_string(pitch_shift_) + ")";
+}
+
+std::optional<SensorReading> VoiceMask::apply(SensorReading reading,
+                                              Rng& rng) const {
+  if (reading.type != SensorType::kMicrophone || reading.values.size() < 2) {
+    return reading;
+  }
+  reading.values[0] += pitch_shift_;
+  reading.values[1] += rng.normal(0.0, formant_blur_);
+  return reading;
+}
+
+std::string MicroAggregate::name() const {
+  return "microagg(k=" + std::to_string(k_) + ")";
+}
+
+std::optional<SensorReading> MicroAggregate::apply(SensorReading reading,
+                                                   Rng&) const {
+  if (k_ <= 1) return reading;
+  buffer_.push_back(std::move(reading));
+  if (buffer_.size() < k_) return std::nullopt;
+  // Release the element-wise mean of the cohort, stamped with the latest
+  // metadata; individual readings are discarded.
+  SensorReading out = buffer_.back();
+  const std::size_t dims = out.values.size();
+  std::vector<double> mean(dims, 0.0);
+  std::size_t contributors = 0;
+  for (const auto& r : buffer_) {
+    if (r.values.size() != dims) continue;
+    for (std::size_t d = 0; d < dims; ++d) mean[d] += r.values[d];
+    ++contributors;
+  }
+  if (contributors > 0) {
+    for (auto& v : mean) v /= static_cast<double>(contributors);
+  }
+  out.values = std::move(mean);
+  buffer_.clear();
+  return out;
+}
+
+std::string ClampRange::name() const {
+  return "clamp(" + std::to_string(lo_) + "," + std::to_string(hi_) + ")";
+}
+
+std::optional<SensorReading> ClampRange::apply(SensorReading reading, Rng&) const {
+  for (auto& v : reading.values) v = std::clamp(v, lo_, hi_);
+  return reading;
+}
+
+}  // namespace mv::privacy

@@ -1,0 +1,144 @@
+// Privacy-enhancing technologies (PETs, §II-A Solutions / §II-D).
+//
+// "This fine-control of collected data can be managed by privacy-enhancing
+// technologies (PETs) that obfuscate any sensible data from the sensors
+// before being shared with cloud services." Each PET is a pure transform over
+// a SensorReading; the pipeline chains them per channel. A PET may suppress a
+// reading entirely (temporal subsampling) by returning nullopt.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "privacy/sensors.h"
+
+namespace mv::privacy {
+
+class Pet {
+ public:
+  virtual ~Pet() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Transform (or suppress) a reading. Stateless w.r.t. readings except
+  /// where documented (Subsample and MicroAggregate keep state).
+  [[nodiscard]] virtual std::optional<SensorReading> apply(SensorReading reading,
+                                                           Rng& rng) const = 0;
+
+  /// Differential-privacy cost of one released reading under this PET; the
+  /// pipeline sums chain costs against the channel's epsilon budget
+  /// (sequential composition). Non-DP transforms cost nothing.
+  [[nodiscard]] virtual double epsilon_cost() const { return 0.0; }
+};
+
+using PetPtr = std::shared_ptr<const Pet>;
+
+/// ε-differential-privacy Laplace mechanism on every value.
+class LaplaceNoise final : public Pet {
+ public:
+  LaplaceNoise(double epsilon, double l1_sensitivity)
+      : epsilon_(epsilon), sensitivity_(l1_sensitivity) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<SensorReading> apply(SensorReading reading,
+                                                   Rng& rng) const override;
+  [[nodiscard]] double epsilon() const { return epsilon_; }
+  [[nodiscard]] double epsilon_cost() const override { return epsilon_; }
+
+ private:
+  double epsilon_;
+  double sensitivity_;
+};
+
+/// Plain Gaussian jitter.
+class GaussianNoise final : public Pet {
+ public:
+  explicit GaussianNoise(double sigma) : sigma_(sigma) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<SensorReading> apply(SensorReading reading,
+                                                   Rng& rng) const override;
+
+ private:
+  double sigma_;
+};
+
+/// Temporal subsampling: release 1 reading in n (per PET instance).
+class Subsample final : public Pet {
+ public:
+  explicit Subsample(std::size_t keep_one_in) : keep_one_in_(keep_one_in) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<SensorReading> apply(SensorReading reading,
+                                                   Rng& rng) const override;
+
+ private:
+  std::size_t keep_one_in_;
+  mutable std::size_t counter_ = 0;
+};
+
+/// Spatial generalization: quantize every value to a grid cell.
+class SpatialGeneralize final : public Pet {
+ public:
+  explicit SpatialGeneralize(double cell) : cell_(cell) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<SensorReading> apply(SensorReading reading,
+                                                   Rng& rng) const override;
+
+ private:
+  double cell_;
+};
+
+/// Bystander redaction for spatial maps: drop points inside person-height
+/// dense clusters (the "shadow the humans out of the scan" defence [5], [6]).
+class BystanderRedaction final : public Pet {
+ public:
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<SensorReading> apply(SensorReading reading,
+                                                   Rng& rng) const override;
+};
+
+/// Voice masking: shifts the pitch axis (dimension 0 of microphone frames)
+/// by a fixed per-persona offset and blurs the formant — the "talk through
+/// your avatar's voice" defence against voiceprint re-identification.
+class VoiceMask final : public Pet {
+ public:
+  explicit VoiceMask(double pitch_shift_hz, double formant_blur = 0.15)
+      : pitch_shift_(pitch_shift_hz), formant_blur_(formant_blur) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<SensorReading> apply(SensorReading reading,
+                                                   Rng& rng) const override;
+
+ private:
+  double pitch_shift_;
+  double formant_blur_;
+};
+
+/// Temporal micro-aggregation: buffers k readings and releases their
+/// element-wise mean every k-th input (suppressing the rest). Individual
+/// moments disappear into the cohort average — the k-anonymity-flavoured
+/// aggregation defence of the MR privacy literature [5].
+class MicroAggregate final : public Pet {
+ public:
+  explicit MicroAggregate(std::size_t k) : k_(k) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<SensorReading> apply(SensorReading reading,
+                                                   Rng& rng) const override;
+
+ private:
+  std::size_t k_;
+  mutable std::vector<SensorReading> buffer_;
+};
+
+/// Hard clamp of every value into [lo, hi] (range disclosure limit).
+class ClampRange final : public Pet {
+ public:
+  ClampRange(double lo, double hi) : lo_(lo), hi_(hi) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<SensorReading> apply(SensorReading reading,
+                                                   Rng& rng) const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace mv::privacy

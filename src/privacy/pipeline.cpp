@@ -1,0 +1,118 @@
+#include "privacy/pipeline.h"
+
+namespace mv::privacy {
+
+void PrivacyPipeline::set_policy(SensorType type, ChannelPolicy policy) {
+  policies_[type] = std::move(policy);
+}
+
+const ChannelPolicy* PrivacyPipeline::policy(SensorType type) const {
+  const auto it = policies_.find(type);
+  return it == policies_.end() ? nullptr : &it->second;
+}
+
+void PrivacyPipeline::set_switch(SensorType type, bool on) {
+  policies_[type].switched_on = on;
+}
+
+void PrivacyPipeline::set_consent(SensorType type, bool consent) {
+  policies_[type].consent_given = consent;
+}
+
+std::optional<SensorReading> PrivacyPipeline::process(const SensorReading& raw) {
+  ++stats_.raw_in;
+  const auto it = policies_.find(raw.type);
+  // No policy = nothing leaves the sensor (privacy by default).
+  if (it == policies_.end()) {
+    ++stats_.blocked_switch;
+    return std::nullopt;
+  }
+  const ChannelPolicy& policy = it->second;
+  if (!policy.switched_on) {
+    ++stats_.blocked_switch;
+    return std::nullopt;
+  }
+  if (policy.local_allowed && local_sink_) {
+    // On-device processing sees the raw stream (FPF: process on the user's
+    // side); it never crosses the trust boundary.
+    local_sink_(raw);
+    ++stats_.released_local;
+  }
+  if (!policy.consent_given) {
+    ++stats_.blocked_consent;
+    return std::nullopt;
+  }
+  // DP composition: a release costs the summed epsilon of the chain; an
+  // exhausted budget blocks the channel until the next epoch.
+  double chain_cost = 0.0;
+  for (const auto& pet : policy.transforms) chain_cost += pet->epsilon_cost();
+  double& spent = epsilon_spent_[raw.type];
+  if (spent + chain_cost > policy.epsilon_budget) {
+    ++stats_.blocked_budget;
+    return std::nullopt;
+  }
+  SensorReading out = raw;
+  for (const auto& pet : policy.transforms) {
+    auto transformed = pet->apply(std::move(out), rng_);
+    if (!transformed.has_value()) {
+      ++stats_.suppressed_by_pet;
+      return std::nullopt;
+    }
+    out = std::move(*transformed);
+  }
+  spent += chain_cost;
+  ++stats_.released_cloud;
+  last_cloud_release_ = out.at;
+  if (cloud_sink_) cloud_sink_(out);
+  if (audit_hook_) {
+    audit_hook_(out, pet_chain_description(raw.type), policy.purpose);
+  }
+  return out;
+}
+
+double PrivacyPipeline::epsilon_spent(SensorType type) const {
+  const auto it = epsilon_spent_.find(type);
+  return it == epsilon_spent_.end() ? 0.0 : it->second;
+}
+
+bool PrivacyPipeline::indicator_on(Tick now) const {
+  return now - last_cloud_release_ <= indicator_hold;
+}
+
+std::string PrivacyPipeline::pet_chain_description(SensorType type) const {
+  const auto it = policies_.find(type);
+  if (it == policies_.end() || it->second.transforms.empty()) return "none";
+  std::string out;
+  for (const auto& pet : it->second.transforms) {
+    if (!out.empty()) out += "+";
+    out += pet->name();
+  }
+  return out;
+}
+
+ChannelPolicy recommended_policy(SensorType type) {
+  ChannelPolicy policy;
+  policy.purpose = std::string("default:") + to_string(type);
+  switch (default_sensitivity(type)) {
+    case Sensitivity::kCritical:
+      policy.consent_given = false;
+      policy.transforms = {std::make_shared<LaplaceNoise>(1.0, 0.5),
+                           std::make_shared<Subsample>(4)};
+      break;
+    case Sensitivity::kHigh:
+      policy.consent_given = false;
+      policy.transforms = {std::make_shared<GaussianNoise>(0.1)};
+      if (type == SensorType::kSpatialMap) {
+        policy.transforms = {std::make_shared<BystanderRedaction>(),
+                             std::make_shared<SpatialGeneralize>(0.25)};
+      }
+      break;
+    case Sensitivity::kMedium:
+    case Sensitivity::kLow:
+      policy.consent_given = true;
+      break;
+  }
+  return policy;
+}
+
+}  // namespace mv::privacy

@@ -1,0 +1,102 @@
+// The data-centric privacy pipeline — Figure 2 of the paper.
+//
+// De Guzman et al.'s "protecting the input" architecture, as adopted in
+// §II-A/§II-D: every sensor channel flows through (1) a granular user switch,
+// (2) a consent check, (3) a per-channel PET chain, and only then reaches the
+// local app and/or the cloud sink. A hardware-style indicator (the "LED in
+// the device" of §II-D) is on whenever any channel is actively releasing to
+// the cloud, and every cloud release can be mirrored as an on-ledger audit
+// record via the audit hook.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <map>
+
+#include "privacy/pets.h"
+
+namespace mv::privacy {
+
+enum class SinkKind : std::uint8_t { kLocalApp, kCloud };
+
+struct ChannelPolicy {
+  bool switched_on = true;     ///< granular per-sensor user switch
+  bool consent_given = false;  ///< cloud release requires explicit consent
+  bool local_allowed = true;   ///< on-device processing (FPF recommendation)
+  std::vector<PetPtr> transforms;  ///< applied in order before cloud release
+  std::string purpose = "unspecified";
+  /// Differential-privacy budget per epoch: every cloud release spends the
+  /// summed epsilon_cost() of the chain (sequential composition); once spent,
+  /// the channel stops releasing until reset_budgets(). Infinity = unmetered.
+  double epsilon_budget = std::numeric_limits<double>::infinity();
+};
+
+struct PipelineStats {
+  std::uint64_t raw_in = 0;
+  std::uint64_t released_local = 0;
+  std::uint64_t released_cloud = 0;
+  std::uint64_t blocked_switch = 0;
+  std::uint64_t blocked_consent = 0;
+  std::uint64_t blocked_budget = 0;
+  std::uint64_t suppressed_by_pet = 0;
+};
+
+class PrivacyPipeline {
+ public:
+  using Sink = std::function<void(const SensorReading&)>;
+  /// Audit hook: (reading released to cloud, PET chain description, purpose).
+  using AuditHook =
+      std::function<void(const SensorReading&, const std::string& pet_chain,
+                         const std::string& purpose)>;
+
+  explicit PrivacyPipeline(Rng rng) : rng_(rng) {}
+
+  void set_policy(SensorType type, ChannelPolicy policy);
+  [[nodiscard]] const ChannelPolicy* policy(SensorType type) const;
+
+  /// Granular switch (§II-D: "granular control (switches) to manage the
+  /// input data flows from sensors").
+  void set_switch(SensorType type, bool on);
+  void set_consent(SensorType type, bool consent);
+
+  void set_local_sink(Sink sink) { local_sink_ = std::move(sink); }
+  void set_cloud_sink(Sink sink) { cloud_sink_ = std::move(sink); }
+  void set_audit_hook(AuditHook hook) { audit_hook_ = std::move(hook); }
+
+  /// Push one raw reading through the pipeline. Returns the cloud-released
+  /// reading if one was released, nullopt otherwise.
+  std::optional<SensorReading> process(const SensorReading& raw);
+
+  /// The §II-D indicator: on iff the last processed reading of any channel
+  /// reached the cloud within `indicator_hold` ticks.
+  [[nodiscard]] bool indicator_on(Tick now) const;
+
+  [[nodiscard]] const PipelineStats& stats() const { return stats_; }
+
+  /// Human-readable PET chain of a channel ("laplace(eps=1.0)+subsample(1/4)").
+  [[nodiscard]] std::string pet_chain_description(SensorType type) const;
+
+  /// Cumulative DP budget spent by a channel this epoch.
+  [[nodiscard]] double epsilon_spent(SensorType type) const;
+  /// Start a new privacy epoch: every channel's spent budget resets to 0.
+  void reset_budgets() { epsilon_spent_.clear(); }
+
+  Tick indicator_hold = 10;
+
+ private:
+  Rng rng_;
+  std::map<SensorType, double> epsilon_spent_;
+  std::map<SensorType, ChannelPolicy> policies_;
+  Sink local_sink_;
+  Sink cloud_sink_;
+  AuditHook audit_hook_;
+  PipelineStats stats_;
+  Tick last_cloud_release_ = -1'000'000;
+};
+
+/// Default policy table following §II-D: critical sensors ship with the
+/// switch on but consent off and a strong PET chain; low-sensitivity sensors
+/// ship permissive.
+[[nodiscard]] ChannelPolicy recommended_policy(SensorType type);
+
+}  // namespace mv::privacy

@@ -1,0 +1,113 @@
+#include "privacy/sensors.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace mv::privacy {
+
+const char* to_string(SensorType type) {
+  switch (type) {
+    case SensorType::kGaze: return "gaze";
+    case SensorType::kHeadPose: return "head_pose";
+    case SensorType::kHeartRate: return "heart_rate";
+    case SensorType::kSpatialMap: return "spatial_map";
+    case SensorType::kMicrophone: return "microphone";
+  }
+  return "?";
+}
+
+Sensitivity default_sensitivity(SensorType type) {
+  switch (type) {
+    case SensorType::kGaze: return Sensitivity::kCritical;   // psyche-revealing [3]
+    case SensorType::kHeadPose: return Sensitivity::kHigh;   // identity (gait)
+    case SensorType::kHeartRate: return Sensitivity::kCritical;
+    case SensorType::kSpatialMap: return Sensitivity::kHigh; // bystanders' rooms
+    case SensorType::kMicrophone: return Sensitivity::kCritical;
+  }
+  return Sensitivity::kMedium;
+}
+
+std::pair<double, double> preference_centroid(int klass) {
+  const double angle = 2.0 * std::numbers::pi * static_cast<double>(klass) /
+                       static_cast<double>(kPreferenceClasses);
+  return {0.5 + 0.35 * std::cos(angle), 0.5 + 0.35 * std::sin(angle)};
+}
+
+UserTraits SensorSim::sample_traits() {
+  UserTraits t;
+  t.preference_class = static_cast<int>(rng_.next_below(kPreferenceClasses));
+  t.gait_frequency = rng_.uniform(0.8, 2.2);
+  t.gait_amplitude = rng_.uniform(0.5, 1.5);
+  t.resting_hr = rng_.uniform(55.0, 90.0);
+  t.voice_pitch = rng_.uniform(90.0, 250.0);
+  t.voice_formant = rng_.uniform(1.2, 2.2);
+  return t;
+}
+
+SensorReading SensorSim::microphone(std::uint64_t subject, const UserTraits& t,
+                                    Tick at) {
+  SensorReading r;
+  r.type = SensorType::kMicrophone;
+  r.subject = subject;
+  r.at = at;
+  r.values = {t.voice_pitch + rng_.normal(0.0, 4.0),
+              t.voice_formant + rng_.normal(0.0, 0.04)};
+  return r;
+}
+
+SensorReading SensorSim::gaze(std::uint64_t subject, const UserTraits& t, Tick at) {
+  const auto [cx, cy] = preference_centroid(t.preference_class);
+  SensorReading r;
+  r.type = SensorType::kGaze;
+  r.subject = subject;
+  r.at = at;
+  r.values = {cx + rng_.normal(0.0, 0.12), cy + rng_.normal(0.0, 0.12)};
+  return r;
+}
+
+SensorReading SensorSim::head_pose(std::uint64_t subject, const UserTraits& t, Tick at) {
+  SensorReading r;
+  r.type = SensorType::kHeadPose;
+  r.subject = subject;
+  r.at = at;
+  r.values = {t.gait_frequency + rng_.normal(0.0, 0.05),
+              t.gait_amplitude + rng_.normal(0.0, 0.05)};
+  return r;
+}
+
+SensorReading SensorSim::heart_rate(std::uint64_t subject, const UserTraits& t, Tick at) {
+  SensorReading r;
+  r.type = SensorType::kHeartRate;
+  r.subject = subject;
+  r.at = at;
+  r.values = {t.resting_hr + rng_.uniform(-3.0, 12.0)};
+  return r;
+}
+
+SensorReading SensorSim::spatial_map(std::uint64_t subject, Tick at,
+                                     std::size_t points, double bystander_rate) {
+  SensorReading r;
+  r.type = SensorType::kSpatialMap;
+  r.subject = subject;
+  r.at = at;
+  r.values.reserve(points * 3);
+  const bool bystander = rng_.chance(bystander_rate);
+  const double bx = rng_.uniform(0.5, 4.5);
+  const double by = rng_.uniform(0.5, 4.5);
+  for (std::size_t i = 0; i < points; ++i) {
+    if (bystander && i < points / 4) {
+      // Bystander cluster: a tight blob at person height.
+      r.values.push_back(bx + rng_.normal(0.0, 0.15));
+      r.values.push_back(by + rng_.normal(0.0, 0.15));
+      r.values.push_back(rng_.uniform(0.2, 1.8));
+    } else {
+      // Room geometry: walls/furniture, spread over a 5x5x2.5 m room.
+      r.values.push_back(rng_.uniform(0.0, 5.0));
+      r.values.push_back(rng_.uniform(0.0, 5.0));
+      r.values.push_back(rng_.uniform(0.0, 2.5));
+    }
+  }
+  return r;
+}
+
+}  // namespace mv::privacy

@@ -1,0 +1,83 @@
+// Simulated XR sensors (§II-A).
+//
+// SUBSTITUTION NOTE (DESIGN.md §4): we have no HMD hardware, so each sensor
+// is a parametric generative model seeded by per-user latent traits. The
+// traits are the ground truth the paper worries about leaking: gaze dwell
+// direction encodes a "preference class" (after Renaud et al. [3], gaze gives
+// away users' preferences), head-bob frequency/amplitude encode identity
+// (gait), and heart rate encodes arousal state. Inference attackers
+// (inference.h) try to recover these traits from released readings — exactly
+// the §II-A threat model, with a measurable ground truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace mv::privacy {
+
+enum class SensorType : std::uint8_t {
+  kGaze = 0,
+  kHeadPose = 1,
+  kHeartRate = 2,
+  kSpatialMap = 3,
+  kMicrophone = 4,
+};
+
+[[nodiscard]] const char* to_string(SensorType type);
+
+/// How sensitive a sensor's raw stream is (drives default pipeline policy).
+enum class Sensitivity : std::uint8_t { kLow, kMedium, kHigh, kCritical };
+
+[[nodiscard]] Sensitivity default_sensitivity(SensorType type);
+
+struct SensorReading {
+  SensorType type = SensorType::kGaze;
+  std::uint64_t subject = 0;  ///< pseudonymous user id
+  Tick at = 0;
+  std::vector<double> values;  ///< type-specific feature vector
+};
+
+/// Latent per-user traits — the attacker's recovery target.
+struct UserTraits {
+  int preference_class = 0;      ///< in [0, kPreferenceClasses)
+  double gait_frequency = 1.0;   ///< Hz-like, identity-revealing
+  double gait_amplitude = 1.0;   ///< identity-revealing
+  double resting_hr = 70.0;
+  double voice_pitch = 150.0;    ///< Hz, voiceprint axis 1
+  double voice_formant = 1.6;    ///< formant ratio, voiceprint axis 2
+};
+
+inline constexpr int kPreferenceClasses = 8;
+
+/// Centroid of a preference class on the unit gaze plane.
+[[nodiscard]] std::pair<double, double> preference_centroid(int klass);
+
+class SensorSim {
+ public:
+  explicit SensorSim(Rng rng) : rng_(rng) {}
+
+  [[nodiscard]] UserTraits sample_traits();
+
+  /// Gaze dwell point: preference-class centroid + isotropic noise.
+  [[nodiscard]] SensorReading gaze(std::uint64_t subject, const UserTraits& t, Tick at);
+  /// Head-pose bob features: (frequency, amplitude) estimates + noise.
+  [[nodiscard]] SensorReading head_pose(std::uint64_t subject, const UserTraits& t, Tick at);
+  /// Heart rate: resting rate + arousal drift + noise.
+  [[nodiscard]] SensorReading heart_rate(std::uint64_t subject, const UserTraits& t, Tick at);
+  /// Spatial map: a small point cloud of the user's room (x, y, z triples);
+  /// includes a "bystander" cluster with probability bystander_rate.
+  [[nodiscard]] SensorReading spatial_map(std::uint64_t subject, Tick at,
+                                          std::size_t points = 32,
+                                          double bystander_rate = 0.3);
+  /// Microphone frame features: (pitch Hz, formant ratio) — the voiceprint.
+  [[nodiscard]] SensorReading microphone(std::uint64_t subject, const UserTraits& t, Tick at);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace mv::privacy

@@ -1,0 +1,42 @@
+#include "reputation/attacks.h"
+
+namespace mv::reputation {
+
+AttackOutcome run_sybil_inflation(ReputationSystem& system, AccountId target,
+                                  std::size_t sybil_count,
+                                  std::uint64_t next_id, Tick now) {
+  AttackOutcome outcome;
+  outcome.target_score_before = system.score(target);
+  for (std::size_t i = 0; i < sybil_count; ++i) {
+    const AccountId sybil(next_id + i);
+    (void)system.register_account(sybil, now, /*stake=*/0.0);
+    (void)system.endorse(sybil, target, now);
+  }
+  outcome.target_score_after = system.score(target);
+  return outcome;
+}
+
+AttackOutcome run_collusion_ring(ReputationSystem& system,
+                                 const std::vector<AccountId>& ring,
+                                 std::size_t rounds, Tick start,
+                                 Tick cooldown) {
+  AttackOutcome outcome;
+  double before = 0.0;
+  for (const AccountId id : ring) before += system.score(id);
+  outcome.target_score_before = ring.empty() ? 0.0 : before / static_cast<double>(ring.size());
+
+  Tick now = start;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      (void)system.endorse(ring[i], ring[(i + 1) % ring.size()], now);
+    }
+    now += cooldown;
+  }
+
+  double after = 0.0;
+  for (const AccountId id : ring) after += system.score(id);
+  outcome.target_score_after = ring.empty() ? 0.0 : after / static_cast<double>(ring.size());
+  return outcome;
+}
+
+}  // namespace mv::reputation

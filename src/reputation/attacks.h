@@ -1,0 +1,39 @@
+// Reputation attack models.
+//
+// The paper claims a Blockchain-backed reputation system can "counterbalance
+// attacks during decision-making processes". These simulations generate the
+// two canonical attacks so tests and benches can measure how much score an
+// adversary can manufacture:
+//  - Sybil inflation: spawn k fresh accounts that all endorse one target;
+//  - collusion ring: k established accounts endorse each other round-robin.
+#pragma once
+
+#include "common/rng.h"
+#include "reputation/reputation.h"
+
+namespace mv::reputation {
+
+struct AttackOutcome {
+  double target_score_before = 0.0;
+  double target_score_after = 0.0;
+
+  [[nodiscard]] double inflation() const {
+    return target_score_after - target_score_before;
+  }
+};
+
+/// Spawn `sybil_count` brand-new zero-stake accounts at `now` and have each
+/// endorse `target` once. Ids are allocated from `next_id` upward.
+AttackOutcome run_sybil_inflation(ReputationSystem& system, AccountId target,
+                                  std::size_t sybil_count,
+                                  std::uint64_t next_id, Tick now);
+
+/// `ring` accounts (must already exist) endorse each other pairwise over
+/// `rounds` epochs spaced by the pair cooldown. Returns the mean inflation
+/// across ring members.
+AttackOutcome run_collusion_ring(ReputationSystem& system,
+                                 const std::vector<AccountId>& ring,
+                                 std::size_t rounds, Tick start,
+                                 Tick cooldown);
+
+}  // namespace mv::reputation

@@ -1,0 +1,116 @@
+#include "reputation/reputation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mv::reputation {
+
+ReputationSystem::ReputationSystem(ReputationConfig config) : config_(config) {}
+
+Status ReputationSystem::register_account(AccountId id, Tick now, double stake) {
+  if (!id.valid()) {
+    return Status::fail("rep.invalid_account", "invalid account id");
+  }
+  const auto [it, inserted] =
+      accounts_.emplace(id, Account{config_.initial_score, stake, now});
+  (void)it;
+  if (!inserted) {
+    return Status::fail("rep.duplicate_account", "already registered");
+  }
+  return {};
+}
+
+Status ReputationSystem::check_pair(AccountId from, AccountId to, Tick now) {
+  if (from == to) {
+    return Status::fail("rep.self_action", "cannot endorse/report yourself");
+  }
+  if (!accounts_.contains(from) || !accounts_.contains(to)) {
+    return Status::fail("rep.unknown_account", "both parties must be registered");
+  }
+  const auto key = std::make_pair(from, to);
+  const auto it = last_pair_action_.find(key);
+  if (it != last_pair_action_.end() && now - it->second < config_.pair_cooldown) {
+    return Status::fail("rep.pair_cooldown", "same-pair action too soon");
+  }
+  last_pair_action_[key] = now;
+  return {};
+}
+
+Status ReputationSystem::endorse(AccountId from, AccountId to, Tick now) {
+  if (auto s = check_pair(from, to, now); !s.ok()) return s;
+  const double gain = config_.endorsement_gain * credibility(from, now);
+  auto& target = accounts_.at(to);
+  target.score = std::min(config_.max_score, target.score + gain);
+  emit(EventKind::kEndorse, from, to, gain, now);
+  return {};
+}
+
+Status ReputationSystem::report(AccountId from, AccountId to, double severity,
+                                Tick now) {
+  if (severity <= 0.0 || severity > 1.0) {
+    return Status::fail("rep.bad_severity", "severity must be in (0, 1]");
+  }
+  if (auto s = check_pair(from, to, now); !s.ok()) return s;
+  const double penalty =
+      config_.report_penalty * credibility(from, now) * severity;
+  auto& target = accounts_.at(to);
+  target.score = std::max(0.0, target.score - penalty);
+  emit(EventKind::kReport, from, to, -penalty, now);
+  return {};
+}
+
+double ReputationSystem::score(AccountId id) const {
+  const auto it = accounts_.find(id);
+  return it == accounts_.end() ? 0.0 : it->second.score;
+}
+
+double ReputationSystem::credibility(AccountId id, Tick now) const {
+  const auto it = accounts_.find(id);
+  if (it == accounts_.end()) return 0.0;
+  const Account& a = it->second;
+  double credibility = 1.0;
+  if (config_.use_score_factor) {
+    credibility *= a.score / (a.score + config_.initial_score * 4.0);
+  }
+  if (config_.use_age_factor) {
+    const double age = static_cast<double>(std::max<Tick>(0, now - a.created));
+    credibility *= std::min(1.0, age / static_cast<double>(config_.age_ramp));
+  }
+  if (config_.use_stake_factor) {
+    // Floor > 0 so stakeless elders still count a little.
+    credibility *= (a.stake + 0.1 * config_.stake_half_score) /
+                   (a.stake + config_.stake_half_score);
+  }
+  return credibility;
+}
+
+void ReputationSystem::decay_epoch() {
+  for (auto& [id, account] : accounts_) {
+    account.score += config_.decay_rate * (config_.initial_score - account.score);
+  }
+}
+
+void ReputationSystem::add_stake(AccountId id, double stake) {
+  const auto it = accounts_.find(id);
+  if (it != accounts_.end()) it->second.stake += stake;
+}
+
+std::vector<std::pair<AccountId, double>> ReputationSystem::leaderboard(
+    std::size_t top_n) const {
+  std::vector<std::pair<AccountId, double>> all;
+  all.reserve(accounts_.size());
+  for (const auto& [id, account] : accounts_) all.emplace_back(id, account.score);
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (all.size() > top_n) all.resize(top_n);
+  return all;
+}
+
+void ReputationSystem::emit(EventKind kind, AccountId from, AccountId to,
+                            double delta, Tick now) {
+  if (sink_) sink_(ReputationEvent{kind, from, to, delta, now});
+}
+
+}  // namespace mv::reputation

@@ -1,0 +1,102 @@
+// Reputation system (§IV-B Trust, §IV-C Human Effort).
+//
+// "The metaverse will include a reputation-based system that will be
+// inherently attached to users... This reputation system will allow users to
+// report malicious users' misbehaviour and malpractice while voting."
+//
+// Scores move through endorsements (peer approval) and reports (peer
+// sanction); both are weighted by the *credibility* of the acting account —
+// a function of score, account age, and stake — which is what blunts Sybil
+// and collusion attacks (fresh, unstaked accounts barely move anyone).
+// Every mutation can be mirrored to an external sink (the ledger) so the
+// record is transparent and tamper-evident.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+
+namespace mv::reputation {
+
+struct ReputationConfig {
+  double initial_score = 1.0;
+  double max_score = 100.0;
+  double endorsement_gain = 1.0;   ///< scaled by endorser credibility
+  double report_penalty = 3.0;     ///< scaled by reporter credibility
+  double decay_rate = 0.02;        ///< per-epoch pull toward initial_score
+  Tick age_ramp = 500;             ///< ticks until age factor saturates
+  double stake_half_score = 50.0;  ///< stake giving 0.5 stake factor
+  Tick pair_cooldown = 100;        ///< min ticks between same-pair actions
+  /// Ablation switches (bench A1): disable individual credibility factors to
+  /// measure what each contributes to Sybil/collusion resistance.
+  bool use_score_factor = true;
+  bool use_age_factor = true;
+  bool use_stake_factor = true;
+};
+
+enum class EventKind : std::uint8_t { kEndorse, kReport };
+
+struct ReputationEvent {
+  EventKind kind;
+  AccountId from;
+  AccountId to;
+  double applied_delta = 0.0;
+  Tick at = 0;
+};
+
+class ReputationSystem {
+ public:
+  using EventSink = std::function<void(const ReputationEvent&)>;
+
+  explicit ReputationSystem(ReputationConfig config = {});
+
+  /// Mirror every applied event (to the ledger, a log, ...).
+  void set_event_sink(EventSink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] Status register_account(AccountId id, Tick now, double stake = 0.0);
+  [[nodiscard]] bool known(AccountId id) const { return accounts_.contains(id); }
+  [[nodiscard]] std::size_t account_count() const { return accounts_.size(); }
+
+  /// Peer endorsement: raises the target's score by gain x endorser
+  /// credibility. Self-endorsement and rapid same-pair repeats are rejected.
+  [[nodiscard]] Status endorse(AccountId from, AccountId to, Tick now);
+
+  /// Misbehaviour report: lowers the target by penalty x reporter
+  /// credibility x severity (severity in (0, 1]).
+  [[nodiscard]] Status report(AccountId from, AccountId to, double severity, Tick now);
+
+  /// Score (absolute) and credibility (normalized [0,1], age/stake adjusted).
+  [[nodiscard]] double score(AccountId id) const;
+  [[nodiscard]] double credibility(AccountId id, Tick now) const;
+
+  /// Epoch decay: scores relax toward the initial baseline.
+  void decay_epoch();
+
+  void add_stake(AccountId id, double stake);
+
+  /// Accounts ordered by descending score.
+  [[nodiscard]] std::vector<std::pair<AccountId, double>> leaderboard(
+      std::size_t top_n) const;
+
+ private:
+  struct Account {
+    double score = 1.0;
+    double stake = 0.0;
+    Tick created = 0;
+  };
+
+  [[nodiscard]] Status check_pair(AccountId from, AccountId to, Tick now);
+  void emit(EventKind kind, AccountId from, AccountId to, double delta, Tick now);
+
+  ReputationConfig config_;
+  std::map<AccountId, Account> accounts_;
+  std::map<std::pair<AccountId, AccountId>, Tick> last_pair_action_;
+  EventSink sink_;
+};
+
+}  // namespace mv::reputation

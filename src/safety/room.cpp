@@ -1,0 +1,211 @@
+#include "safety/room.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mv::safety {
+
+const char* to_string(Intervention intervention) {
+  switch (intervention) {
+    case Intervention::kNone: return "none";
+    case Intervention::kShadowAvatars: return "shadow_avatars";
+    case Intervention::kRedirectedWalking: return "redirected_walking";
+    case Intervention::kChaperone: return "chaperone";
+  }
+  return "?";
+}
+
+double time_to_collision(Vec2 pos_a, Vec2 vel_a, double ra, Vec2 pos_b,
+                         Vec2 vel_b, double rb) {
+  // Solve |(p + v t)| = R for the relative motion, R = ra + rb.
+  const Vec2 p = pos_b - pos_a;
+  const Vec2 v = vel_b - vel_a;
+  const double radius = ra + rb;
+  const double c = p.x * p.x + p.y * p.y - radius * radius;
+  if (c <= 0.0) return 0.0;  // already overlapping
+  const double a = v.x * v.x + v.y * v.y;
+  if (a < 1e-12) return -1.0;  // no relative motion
+  const double b = 2.0 * (p.x * v.x + p.y * v.y);
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return -1.0;  // paths never meet
+  const double t = (-b - std::sqrt(disc)) / (2.0 * a);
+  return t >= 0.0 ? t : -1.0;  // negative root = receding
+}
+
+RoomSim::RoomSim(RoomConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  users_.resize(config_.users);
+  for (auto& u : users_) {
+    u.pos = {rng_.uniform(1.0, config_.width - 1.0),
+             rng_.uniform(1.0, config_.height - 1.0)};
+    pick_waypoint(u);
+  }
+  obstacles_.reserve(config_.obstacles);
+  for (std::size_t i = 0; i < config_.obstacles; ++i) {
+    obstacles_.push_back(Obstacle{{rng_.uniform(1.0, config_.width - 1.0),
+                                   rng_.uniform(1.0, config_.height - 1.0)},
+                                  config_.obstacle_radius});
+  }
+}
+
+void RoomSim::pick_waypoint(User& user) {
+  user.waypoint = {rng_.uniform(0.5, config_.width - 0.5),
+                   rng_.uniform(0.5, config_.height - 0.5)};
+}
+
+Vec2 RoomSim::steering(std::size_t self) const {
+  const User& u = users_[self];
+  const Vec2 desired = (u.waypoint - u.pos).normalized();
+  if (config_.intervention == Intervention::kNone ||
+      config_.intervention == Intervention::kChaperone) {
+    // HMD fully occludes the room; the user walks blind toward the target.
+    // (Chaperone acts as a hard stop in step(), not as steering.)
+    return desired;
+  }
+
+  Vec2 repulsion{};
+  const auto add_repulsion = [&](Vec2 hazard, double hazard_radius, double range) {
+    const Vec2 away = u.pos - hazard;
+    const double d = away.norm() - hazard_radius - config_.user_radius;
+    if (d < range && d > -0.5) {
+      const double strength =
+          config_.repulsion_gain * (1.0 / std::max(d, 0.05) - 1.0 / range);
+      repulsion = repulsion + away.normalized() * std::max(0.0, strength);
+    }
+  };
+
+  if (config_.intervention == Intervention::kShadowAvatars) {
+    // Only other *users* become visible (they are rendered as shadows);
+    // furniture stays occluded — exactly the scope of [12].
+    for (std::size_t j = 0; j < users_.size(); ++j) {
+      if (j == self) continue;
+      if (world::distance(u.pos, users_[j].pos) <= config_.shadow_range) {
+        add_repulsion(users_[j].pos, config_.user_radius, config_.shadow_range);
+      }
+    }
+  } else {  // kRedirectedWalking: full potential field [13]
+    for (std::size_t j = 0; j < users_.size(); ++j) {
+      if (j == self) continue;
+      add_repulsion(users_[j].pos, config_.user_radius, config_.repulsion_range);
+    }
+    for (const auto& ob : obstacles_) {
+      add_repulsion(ob.pos, ob.radius, config_.repulsion_range);
+    }
+    // Walls as four half-plane repulsors.
+    add_repulsion({0.0, u.pos.y}, 0.0, config_.repulsion_range);
+    add_repulsion({config_.width, u.pos.y}, 0.0, config_.repulsion_range);
+    add_repulsion({u.pos.x, 0.0}, 0.0, config_.repulsion_range);
+    add_repulsion({u.pos.x, config_.height}, 0.0, config_.repulsion_range);
+  }
+  return (desired + repulsion).normalized();
+}
+
+void RoomSim::detect_collisions(std::size_t self) {
+  User& u = users_[self];
+  if (u.collision_cooldown > 0) {
+    --u.collision_cooldown;
+    return;
+  }
+  bool collided = false;
+  for (std::size_t j = self + 1; j < users_.size(); ++j) {
+    if (world::distance(u.pos, users_[j].pos) < 2.0 * config_.user_radius) {
+      ++metrics_.user_user_collisions;
+      collided = true;
+      break;
+    }
+  }
+  if (!collided) {
+    for (const auto& ob : obstacles_) {
+      if (world::distance(u.pos, ob.pos) < config_.user_radius + ob.radius) {
+        ++metrics_.user_obstacle_collisions;
+        collided = true;
+        break;
+      }
+    }
+  }
+  if (!collided) {
+    if (u.pos.x < config_.user_radius || u.pos.x > config_.width - config_.user_radius ||
+        u.pos.y < config_.user_radius || u.pos.y > config_.height - config_.user_radius) {
+      ++metrics_.wall_hits;
+      collided = true;
+    }
+  }
+  if (collided) {
+    // A real bump: the user notices, stops, and re-orients. Cooldown keeps
+    // one physical event from counting on every subsequent tick.
+    u.collision_cooldown = 20;
+    pick_waypoint(u);
+  }
+}
+
+void RoomSim::step() {
+  ++metrics_.ticks;
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    User& u = users_[i];
+    if (world::distance(u.pos, u.waypoint) < 0.3) pick_waypoint(u);
+
+    // Shadow-avatar pop-in accounting (edge detection).
+    if (config_.intervention == Intervention::kShadowAvatars) {
+      bool visible = false;
+      for (std::size_t j = 0; j < users_.size(); ++j) {
+        if (j != i &&
+            world::distance(u.pos, users_[j].pos) <= config_.shadow_range) {
+          visible = true;
+          break;
+        }
+      }
+      if (visible && !u.shadow_visible) metrics_.disruption += 1.0;
+      u.shadow_visible = visible;
+    }
+
+    if (config_.intervention == Intervention::kChaperone) {
+      // Hard stop when any hazard is inside the chaperone range.
+      bool hazard = false;
+      for (std::size_t j = 0; j < users_.size() && !hazard; ++j) {
+        hazard = j != i && world::distance(u.pos, users_[j].pos) <
+                               config_.chaperone_range + 2.0 * config_.user_radius;
+      }
+      for (const auto& ob : obstacles_) {
+        if (hazard) break;
+        hazard = world::distance(u.pos, ob.pos) <
+                 config_.chaperone_range + config_.user_radius + ob.radius;
+      }
+      if (!hazard) {
+        hazard = u.pos.x < config_.chaperone_range ||
+                 u.pos.x > config_.width - config_.chaperone_range ||
+                 u.pos.y < config_.chaperone_range ||
+                 u.pos.y > config_.height - config_.chaperone_range;
+      }
+      if (hazard) {
+        if (!u.stopped) {
+          metrics_.disruption += 1.0;  // the grid popped up
+          pick_waypoint(u);            // user turns elsewhere
+        }
+        u.stopped = true;
+        continue;  // no movement this tick
+      }
+      u.stopped = false;
+    }
+
+    const Vec2 desired = (u.waypoint - u.pos).normalized();
+    const Vec2 heading = steering(i);
+    if (config_.intervention == Intervention::kRedirectedWalking) {
+      // Continuous disruption: how far the field bent the intended path.
+      const double dot = std::clamp(
+          desired.x * heading.x + desired.y * heading.y, -1.0, 1.0);
+      metrics_.disruption += std::acos(dot) / 50.0;  // radians, scaled per tick
+    }
+    u.pos = u.pos + heading * config_.walk_speed;
+    u.pos.x = std::clamp(u.pos.x, 0.0, config_.width);
+    u.pos.y = std::clamp(u.pos.y, 0.0, config_.height);
+    metrics_.distance_walked += config_.walk_speed;
+
+    detect_collisions(i);
+  }
+}
+
+void RoomSim::run(std::size_t ticks) {
+  for (std::size_t t = 0; t < ticks; ++t) step();
+}
+
+}  // namespace mv::safety

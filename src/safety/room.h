@@ -1,0 +1,120 @@
+// Physical-safety simulation (§II-C, bench E6).
+//
+// SUBSTITUTION NOTE (DESIGN.md §4): no physical rooms or humans, so this is a
+// 2D kinematic simulation of co-located VR users. Users walk between virtual
+// waypoints while their HMD occludes the physical room (they do NOT see
+// obstacles or each other). Interventions are the actual algorithms the paper
+// cites:
+//  - Shadow avatars (Langbehn et al. [12]): nearby physical users pop into
+//    the virtual view as ghosts; the walker steers around them.
+//  - Redirected walking via artificial potential fields (Bachmann et
+//    al. [13]): continuous repulsive forces from walls, obstacles, and other
+//    users bend the walking path.
+//  - Chaperone grid: a hard proximity warning that stops the user.
+// Each intervention trades collisions against immersion disruption, which is
+// exactly the comparison bench E6 reports.
+#pragma once
+
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "world/geometry.h"
+
+namespace mv::safety {
+
+using world::Vec2;
+
+struct Obstacle {
+  Vec2 pos;
+  double radius = 0.4;
+};
+
+enum class Intervention : std::uint8_t {
+  kNone,
+  kShadowAvatars,
+  kRedirectedWalking,
+  kChaperone,
+};
+
+[[nodiscard]] const char* to_string(Intervention intervention);
+
+/// Time (in ticks) until two constant-velocity discs of radii ra/rb first
+/// touch, or a negative value when they never will. The predictive primitive
+/// behind proactive warnings ("display the physical objects in the virtual
+/// world in case of possible collisions", §II-C).
+[[nodiscard]] double time_to_collision(Vec2 pos_a, Vec2 vel_a, double ra,
+                                       Vec2 pos_b, Vec2 vel_b, double rb);
+
+struct RoomConfig {
+  double width = 10.0;
+  double height = 10.0;
+  std::size_t users = 4;
+  std::size_t obstacles = 6;
+  double user_radius = 0.3;
+  double obstacle_radius = 0.4;
+  double walk_speed = 0.14;  ///< metres per tick (1.4 m/s at 10 Hz)
+  Intervention intervention = Intervention::kNone;
+  /// Shadow avatars: distance at which another user becomes visible.
+  double shadow_range = 1.5;
+  /// Potential fields: repulsion influence range and gain.
+  double repulsion_range = 1.5;
+  double repulsion_gain = 0.8;
+  /// Chaperone: hard-stop distance to any hazard.
+  double chaperone_range = 0.6;
+};
+
+struct SafetyMetrics {
+  std::uint64_t ticks = 0;
+  std::uint64_t user_user_collisions = 0;
+  std::uint64_t user_obstacle_collisions = 0;
+  std::uint64_t wall_hits = 0;
+  double distance_walked = 0.0;
+  /// Immersion disruption: shadow pop-ins (1.0 each), chaperone stops (1.0
+  /// each), and accumulated redirection angle (radians, continuous).
+  double disruption = 0.0;
+
+  [[nodiscard]] std::uint64_t total_collisions() const {
+    return user_user_collisions + user_obstacle_collisions + wall_hits;
+  }
+  /// Collisions per 100 m walked — the headline E6 number.
+  [[nodiscard]] double collisions_per_100m() const {
+    return distance_walked > 0.0
+               ? static_cast<double>(total_collisions()) * 100.0 / distance_walked
+               : 0.0;
+  }
+};
+
+class RoomSim {
+ public:
+  RoomSim(RoomConfig config, Rng rng);
+
+  /// Advance one tick (all users move once).
+  void step();
+  void run(std::size_t ticks);
+
+  [[nodiscard]] const SafetyMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const RoomConfig& config() const { return config_; }
+  [[nodiscard]] Vec2 user_position(std::size_t i) const { return users_[i].pos; }
+
+ private:
+  struct User {
+    Vec2 pos;
+    Vec2 waypoint;
+    Tick collision_cooldown = 0;
+    bool shadow_visible = false;  ///< edge-detect pop-ins
+    bool stopped = false;         ///< chaperone hold
+  };
+
+  void pick_waypoint(User& user);
+  [[nodiscard]] Vec2 steering(std::size_t self) const;
+  void detect_collisions(std::size_t self);
+
+  RoomConfig config_;
+  Rng rng_;
+  std::vector<User> users_;
+  std::vector<Obstacle> obstacles_;
+  SafetyMetrics metrics_;
+};
+
+}  // namespace mv::safety

@@ -1,0 +1,86 @@
+#include "trust/graph.h"
+
+#include <algorithm>
+
+namespace mv::trust {
+
+void SocialGraph::add_edge(std::size_t a, std::size_t b) {
+  if (a == b || a >= size() || b >= size() || has_edge(a, b)) return;
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++edges_;
+}
+
+bool SocialGraph::has_edge(std::size_t a, std::size_t b) const {
+  if (a >= size()) return false;
+  return std::find(adjacency_[a].begin(), adjacency_[a].end(), b) !=
+         adjacency_[a].end();
+}
+
+SocialGraph SocialGraph::watts_strogatz(std::size_t n, std::size_t k,
+                                        double beta, Rng& rng) {
+  SocialGraph g(n);
+  // Ring lattice: each node connects to k/2 neighbours on each side.
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      g.add_edge(v, (v + j) % n);
+    }
+  }
+  // Rewire each lattice edge with probability beta.
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      if (!rng.chance(beta)) continue;
+      const std::size_t old_target = (v + j) % n;
+      const std::size_t new_target = rng.next_below(n);
+      if (new_target == v || g.has_edge(v, new_target)) continue;
+      // Remove (v, old_target) and add (v, new_target).
+      auto& av = g.adjacency_[v];
+      auto& at = g.adjacency_[old_target];
+      const auto iv = std::find(av.begin(), av.end(), old_target);
+      const auto it = std::find(at.begin(), at.end(), v);
+      if (iv == av.end() || it == at.end()) continue;
+      av.erase(iv);
+      at.erase(it);
+      --g.edges_;
+      g.add_edge(v, new_target);
+    }
+  }
+  return g;
+}
+
+SocialGraph SocialGraph::barabasi_albert(std::size_t n, std::size_t m, Rng& rng) {
+  SocialGraph g(n);
+  if (n == 0) return g;
+  const std::size_t seed_size = std::max<std::size_t>(m, 2);
+  // Seed clique.
+  for (std::size_t a = 0; a < std::min(seed_size, n); ++a) {
+    for (std::size_t b = a + 1; b < std::min(seed_size, n); ++b) {
+      g.add_edge(a, b);
+    }
+  }
+  // Degree-proportional attachment via the endpoint-list trick.
+  std::vector<std::size_t> endpoints;
+  for (std::size_t v = 0; v < std::min(seed_size, n); ++v) {
+    for (const auto u : g.neighbors(v)) {
+      (void)u;
+      endpoints.push_back(v);
+    }
+  }
+  for (std::size_t v = seed_size; v < n; ++v) {
+    std::size_t added = 0;
+    std::size_t guard = 0;
+    while (added < m && guard++ < 100 * m) {
+      const std::size_t target =
+          endpoints.empty() ? rng.next_below(v)
+                            : endpoints[rng.next_below(endpoints.size())];
+      if (target == v || g.has_edge(v, target)) continue;
+      g.add_edge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+      ++added;
+    }
+  }
+  return g;
+}
+
+}  // namespace mv::trust

@@ -1,0 +1,41 @@
+// Social graphs for propagation experiments (§IV-B Trust).
+//
+// Two standard generators: Watts-Strogatz (high clustering, short paths —
+// friend circles) and Barabasi-Albert (scale-free — influencer hubs). Both
+// are undirected simple graphs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mv::trust {
+
+class SocialGraph {
+ public:
+  explicit SocialGraph(std::size_t n) : adjacency_(n) {}
+
+  [[nodiscard]] std::size_t size() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_; }
+  [[nodiscard]] const std::vector<std::size_t>& neighbors(std::size_t v) const {
+    return adjacency_[v];
+  }
+
+  /// Add an undirected edge (ignores self-loops and duplicates).
+  void add_edge(std::size_t a, std::size_t b);
+  [[nodiscard]] bool has_edge(std::size_t a, std::size_t b) const;
+
+  /// Ring lattice with k nearest neighbours, rewired with probability beta.
+  [[nodiscard]] static SocialGraph watts_strogatz(std::size_t n, std::size_t k,
+                                                  double beta, Rng& rng);
+  /// Preferential attachment, m edges per arriving node.
+  [[nodiscard]] static SocialGraph barabasi_albert(std::size_t n, std::size_t m,
+                                                   Rng& rng);
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace mv::trust

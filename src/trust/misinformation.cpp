@@ -1,0 +1,74 @@
+#include "trust/misinformation.h"
+
+#include <algorithm>
+
+namespace mv::trust {
+
+MisinfoSim::MisinfoSim(const SocialGraph& graph, PropagationConfig config,
+                       Rng rng, double low_fraction)
+    : graph_(graph), config_(config), rng_(rng) {
+  credibility_.resize(graph_.size());
+  skeptic_.resize(graph_.size());
+  for (std::size_t v = 0; v < graph_.size(); ++v) {
+    if (rng_.chance(low_fraction)) {
+      credibility_[v] = std::clamp(rng_.normal(0.2, 0.08), 0.01, 1.0);
+      low_cred_nodes_.push_back(v);
+    } else {
+      credibility_[v] = std::clamp(rng_.normal(0.7, 0.12), 0.01, 1.0);
+    }
+    skeptic_[v] = rng_.chance(config_.skeptic_fraction);
+  }
+  if (low_cred_nodes_.empty()) low_cred_nodes_.push_back(0);
+}
+
+CascadeResult MisinfoSim::run() {
+  CascadeResult result;
+  std::vector<bool> infected(graph_.size(), false);
+  std::vector<std::size_t> frontier;
+
+  for (std::size_t s = 0; s < config_.seeds; ++s) {
+    const std::size_t seed =
+        low_cred_nodes_[rng_.next_below(low_cred_nodes_.size())];
+    if (!infected[seed]) {
+      infected[seed] = true;
+      frontier.push_back(seed);
+      ++result.infected;
+    }
+  }
+
+  int flags = 0;
+  bool labeled = false;
+  while (!frontier.empty()) {
+    ++result.rounds;
+    std::vector<std::size_t> next;
+    for (const std::size_t v : frontier) {
+      double p = config_.base_share_probability;
+      if (config_.reputation_weighted) {
+        // A rumor reshared by a disreputable avatar is less believable —
+        // the receiving client weighs the testimony by the source's score.
+        p *= credibility_[v];
+      }
+      if (labeled) p *= config_.labeled_damping;
+      for (const std::size_t u : graph_.neighbors(v)) {
+        if (infected[u]) continue;
+        if (!rng_.chance(p)) continue;
+        infected[u] = true;
+        ++result.infected;
+        next.push_back(u);
+        if (config_.flagging_incentives && skeptic_[u] &&
+            rng_.chance(config_.flag_probability)) {
+          ++flags;
+          ++result.flags;
+          if (!labeled && flags >= config_.flags_to_label) {
+            labeled = true;  // platform labels the rumor; spread is damped
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  result.labeled = labeled;
+  return result;
+}
+
+}  // namespace mv::trust

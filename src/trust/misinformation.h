@@ -1,0 +1,67 @@
+// Misinformation propagation and trust-based countermeasures (§IV-B Trust,
+// bench E5).
+//
+// "In the metaverse, testimonies and trust will play an even more critical
+// role... Incentive systems to share trust among avatars will be key
+// functionality to reduce the sharing of misinformation."
+//
+// Independent-cascade model over a social graph. Each avatar carries a
+// credibility score (from the reputation system; misinformation seeds sit in
+// the low-credibility tail). Two defences, separately switchable:
+//  - reputation weighting: a reshare from a low-credibility avatar is less
+//    likely to be believed (edge activation scaled by source credibility);
+//  - flagging incentives: skeptical avatars are rewarded for flagging; after
+//    enough flags the platform labels the content and all further spread is
+//    damped.
+#pragma once
+
+#include "common/stats.h"
+#include "trust/graph.h"
+
+namespace mv::trust {
+
+struct PropagationConfig {
+  double base_share_probability = 0.2;
+  bool reputation_weighted = false;
+  bool flagging_incentives = false;
+  double skeptic_fraction = 0.2;     ///< avatars who may flag on exposure
+  double flag_probability = 0.4;     ///< per exposed skeptic
+  int flags_to_label = 3;            ///< platform labels after this many flags
+  double labeled_damping = 0.25;     ///< share-prob multiplier once labeled
+  std::size_t seeds = 5;             ///< initial spreaders (low credibility)
+};
+
+struct CascadeResult {
+  std::size_t infected = 0;
+  std::size_t rounds = 0;
+  std::size_t flags = 0;
+  bool labeled = false;
+
+  [[nodiscard]] double spread_fraction(std::size_t n) const {
+    return n ? static_cast<double>(infected) / static_cast<double>(n) : 0.0;
+  }
+};
+
+class MisinfoSim {
+ public:
+  /// Credibilities: bimodal population — most avatars are ordinary (around
+  /// 0.7), a `low_fraction` tail is disreputable (around 0.2). Seeds for
+  /// cascades are drawn from the tail.
+  MisinfoSim(const SocialGraph& graph, PropagationConfig config, Rng rng,
+             double low_fraction = 0.15);
+
+  /// Run one independent cascade from `config.seeds` low-credibility seeds.
+  [[nodiscard]] CascadeResult run();
+
+  [[nodiscard]] double credibility(std::size_t v) const { return credibility_[v]; }
+
+ private:
+  const SocialGraph& graph_;
+  PropagationConfig config_;
+  Rng rng_;
+  std::vector<double> credibility_;
+  std::vector<bool> skeptic_;
+  std::vector<std::size_t> low_cred_nodes_;
+};
+
+}  // namespace mv::trust

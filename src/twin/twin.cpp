@@ -1,0 +1,101 @@
+#include "twin/twin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.h"
+
+namespace mv::twin {
+
+crypto::Digest state_digest(const TwinState& state) {
+  ByteWriter w;
+  w.i64(state.updated_at);
+  for (const double v : state.values) w.f64(v);
+  return crypto::sha256(w.data());
+}
+
+double state_distance(const TwinState& a, const TwinState& b) {
+  const std::size_t dims = std::min(a.values.size(), b.values.size());
+  double sq = 0.0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double diff = a.values[d] - b.values[d];
+    sq += diff * diff;
+  }
+  return std::sqrt(sq);
+}
+
+const char* to_string(SyncStrategy strategy) {
+  switch (strategy) {
+    case SyncStrategy::kPeriodic: return "periodic";
+    case SyncStrategy::kThreshold: return "threshold";
+    case SyncStrategy::kOnEvent: return "on-event";
+  }
+  return "?";
+}
+
+TwinSim::TwinSim(std::size_t twins, std::size_t dims, SyncConfig config,
+                 Rng rng, double drift_sigma, double event_rate,
+                 double event_magnitude)
+    : config_(config),
+      rng_(rng),
+      drift_sigma_(drift_sigma),
+      event_rate_(event_rate),
+      event_magnitude_(event_magnitude) {
+  physical_.resize(twins);
+  digital_.resize(twins);
+  event_pending_.resize(twins, false);
+  for (std::size_t i = 0; i < twins; ++i) {
+    physical_[i].values.resize(dims);
+    for (auto& v : physical_[i].values) v = rng_.uniform(-1.0, 1.0);
+    digital_[i] = physical_[i];  // registered in-sync
+  }
+}
+
+void TwinSim::sync(std::size_t i, Tick now) {
+  digital_[i] = physical_[i];
+  digital_[i].updated_at = now;
+  ++metrics_.sync_messages;
+  event_pending_[i] = false;
+  if (anchor_) anchor_(TwinId(i), state_digest(digital_[i]), now);
+}
+
+void TwinSim::step(Tick now) {
+  ++ticks_run_;
+  for (std::size_t i = 0; i < physical_.size(); ++i) {
+    // Physical evolution: drift plus occasional discrete events.
+    for (auto& v : physical_[i].values) v += rng_.normal(0.0, drift_sigma_);
+    if (rng_.chance(event_rate_)) {
+      ++metrics_.events;
+      event_pending_[i] = true;
+      const std::size_t dim = rng_.next_below(physical_[i].values.size());
+      physical_[i].values[dim] +=
+          rng_.chance(0.5) ? event_magnitude_ : -event_magnitude_;
+    }
+    physical_[i].updated_at = now;
+
+    switch (config_.strategy) {
+      case SyncStrategy::kPeriodic:
+        if (config_.period > 0 && now % config_.period == 0) sync(i, now);
+        break;
+      case SyncStrategy::kThreshold:
+        if (state_distance(physical_[i], digital_[i]) > config_.delta_threshold) {
+          sync(i, now);
+        }
+        break;
+      case SyncStrategy::kOnEvent:
+        if (event_pending_[i]) sync(i, now);
+        break;
+    }
+
+    const double divergence = state_distance(physical_[i], digital_[i]);
+    metrics_.divergence_sum += divergence;
+    ++metrics_.divergence_samples;
+    metrics_.max_divergence = std::max(metrics_.max_divergence, divergence);
+  }
+}
+
+void TwinSim::run(std::uint64_t ticks) {
+  for (std::uint64_t t = 0; t < ticks; ++t) step(static_cast<Tick>(t + 1));
+}
+
+}  // namespace mv::twin

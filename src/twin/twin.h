@@ -1,0 +1,104 @@
+// Digital twins (§IV-A "Digital twins", bench E11).
+//
+// "We can define digital twins as virtual objects that are created to reflect
+// physical objects... The metaverse will be then an evolving world that is
+// synchronized with the physical one." A physical object's state drifts
+// (random walk) and occasionally jumps (events: a chair is moved, a photo is
+// taken). The twin registry mirrors each object's state under a sync
+// strategy, trading synchronization messages (bandwidth) against divergence
+// (how stale the virtual copy is). Twin authenticity/origin is anchored by
+// hashing states and recording the digest externally (the ledger), per the
+// paper's "most straightforward approach... using a digital ledger".
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "crypto/sha256.h"
+
+namespace mv::twin {
+
+struct TwinState {
+  std::vector<double> values;
+  Tick updated_at = 0;
+};
+
+/// Canonical digest of a state — the ledger-anchored authenticity record.
+[[nodiscard]] crypto::Digest state_digest(const TwinState& state);
+
+/// L2 distance between two states (same dimensionality).
+[[nodiscard]] double state_distance(const TwinState& a, const TwinState& b);
+
+enum class SyncStrategy : std::uint8_t {
+  kPeriodic,   ///< push every `period` ticks, changed or not
+  kThreshold,  ///< push when divergence exceeds `delta_threshold`
+  kOnEvent,    ///< push only when a discrete event (jump) occurred
+};
+
+[[nodiscard]] const char* to_string(SyncStrategy strategy);
+
+struct SyncConfig {
+  SyncStrategy strategy = SyncStrategy::kPeriodic;
+  Tick period = 20;
+  double delta_threshold = 0.5;
+};
+
+struct TwinMetrics {
+  std::uint64_t sync_messages = 0;
+  std::uint64_t events = 0;
+  double divergence_sum = 0.0;  ///< summed per twin per tick
+  std::uint64_t divergence_samples = 0;
+  double max_divergence = 0.0;
+
+  [[nodiscard]] double avg_divergence() const {
+    return divergence_samples
+               ? divergence_sum / static_cast<double>(divergence_samples)
+               : 0.0;
+  }
+  /// Messages per twin per tick — the bandwidth axis of E11.
+  [[nodiscard]] double message_rate(std::size_t twins, std::uint64_t ticks) const {
+    const double denom = static_cast<double>(twins) * static_cast<double>(ticks);
+    return denom > 0 ? static_cast<double>(sync_messages) / denom : 0.0;
+  }
+};
+
+class TwinSim {
+ public:
+  using AnchorHook = std::function<void(TwinId, const crypto::Digest&, Tick)>;
+
+  TwinSim(std::size_t twins, std::size_t dims, SyncConfig config, Rng rng,
+          double drift_sigma = 0.02, double event_rate = 0.01,
+          double event_magnitude = 2.0);
+
+  /// Mirror every sync to an external anchor (e.g. an on-ledger audit record).
+  void set_anchor_hook(AnchorHook hook) { anchor_ = std::move(hook); }
+
+  void step(Tick now);
+  void run(std::uint64_t ticks);
+
+  [[nodiscard]] const TwinMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] std::size_t twin_count() const { return physical_.size(); }
+  [[nodiscard]] const TwinState& physical(std::size_t i) const { return physical_[i]; }
+  [[nodiscard]] const TwinState& digital(std::size_t i) const { return digital_[i]; }
+
+ private:
+  void sync(std::size_t i, Tick now);
+
+  SyncConfig config_;
+  Rng rng_;
+  double drift_sigma_;
+  double event_rate_;
+  double event_magnitude_;
+  std::vector<TwinState> physical_;
+  std::vector<TwinState> digital_;
+  std::vector<bool> event_pending_;
+  AnchorHook anchor_;
+  TwinMetrics metrics_;
+  std::uint64_t ticks_run_ = 0;
+};
+
+}  // namespace mv::twin

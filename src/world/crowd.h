@@ -1,0 +1,75 @@
+// Mass-event crowd dissemination (§IV-B "Accessibility", bench E15).
+//
+// "The metaverse can enable many social events that are not possible
+// physically — for example, concerts with millions of people worldwide."
+// What makes that *possible* is interest management: no client can receive
+// (or render) a million avatar streams. This substrate compares
+//  - naive broadcast: every client receives every other avatar's update;
+//  - interest grid: a spatial hash delivers only avatars inside the client's
+//    area of interest, capped at the client's render budget (nearest-first).
+// Measured: updates per client per tick (client bandwidth) and candidate
+// pairs examined (server work).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "world/geometry.h"
+
+namespace mv::world {
+
+enum class DisseminationMode : std::uint8_t { kNaiveBroadcast, kInterestGrid };
+
+[[nodiscard]] const char* to_string(DisseminationMode mode);
+
+struct CrowdConfig {
+  double arena_width = 200.0;
+  double arena_height = 200.0;
+  double aoi_radius = 10.0;      ///< area-of-interest radius
+  std::size_t render_cap = 64;   ///< max avatar streams a client renders
+  double walk_speed = 0.5;
+  DisseminationMode mode = DisseminationMode::kInterestGrid;
+};
+
+struct CrowdMetrics {
+  std::uint64_t ticks = 0;
+  std::uint64_t updates_delivered = 0;  ///< avatar updates sent to clients
+  std::uint64_t pairs_examined = 0;     ///< server-side candidate checks
+  std::uint64_t capped_clients = 0;     ///< clients that hit the render cap
+
+  [[nodiscard]] double updates_per_client_tick(std::size_t clients) const {
+    const double denom = static_cast<double>(clients) * static_cast<double>(ticks);
+    return denom > 0 ? static_cast<double>(updates_delivered) / denom : 0.0;
+  }
+};
+
+class CrowdSim {
+ public:
+  CrowdSim(std::size_t attendees, CrowdConfig config, Rng rng);
+
+  void step();
+  void run(std::size_t ticks);
+
+  [[nodiscard]] const CrowdMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] std::size_t size() const { return positions_.size(); }
+
+  /// Avatars delivered to client `i` this tick (post-cap) — exposed for
+  /// verification against brute force in tests.
+  [[nodiscard]] std::vector<std::size_t> interest_set(std::size_t client) const;
+
+ private:
+  void rebuild_grid();
+  [[nodiscard]] std::vector<std::size_t> grid_candidates(std::size_t client) const;
+
+  CrowdConfig config_;
+  Rng rng_;
+  std::vector<Vec2> positions_;
+  std::vector<Vec2> waypoints_;
+  // Spatial hash: cell size = aoi radius; cells_[cy * cols + cx] = indices.
+  std::size_t cols_ = 0;
+  std::size_t rows_ = 0;
+  std::vector<std::vector<std::size_t>> cells_;
+  CrowdMetrics metrics_;
+};
+
+}  // namespace mv::world

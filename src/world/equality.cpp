@@ -1,0 +1,104 @@
+#include "world/equality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mv::world {
+
+const char* to_string(PresentationRegime regime) {
+  switch (regime) {
+    case PresentationRegime::kPhysical: return "physical";
+    case PresentationRegime::kDefaultAvatars: return "default-avatars";
+    case PresentationRegime::kCustomAvatars: return "custom-avatars";
+  }
+  return "?";
+}
+
+EqualitySim::EqualitySim(EqualityConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  people_.resize(config_.people);
+  // Group sizes are deliberately unequal (majority/minority structure).
+  for (auto& p : people_) {
+    const double u = rng_.uniform();
+    p.group = u < 0.5 ? 0 : (u < 0.75 ? 1 : (u < 0.9 ? 2 : 3));
+    p.group = std::min(p.group, config_.groups - 1);
+    p.talent = rng_.uniform();
+  }
+  granters_.resize(config_.granters);
+  for (auto& g : granters_) {
+    // Granter demographics mirror the majority structure — that is what
+    // makes out-group discounting structural rather than symmetric.
+    const double u = rng_.uniform();
+    g.group = u < 0.6 ? 0 : (u < 0.85 ? 1 : 2);
+    g.group = std::min(g.group, config_.groups - 1);
+    g.biased = rng_.chance(config_.biased_fraction);
+  }
+}
+
+EqualityMetrics EqualitySim::run(PresentationRegime regime) {
+  // Reset outcomes and assign visible identity per regime.
+  for (auto& p : people_) {
+    p.outcome = 0.0;
+    switch (regime) {
+      case PresentationRegime::kPhysical:
+      case PresentationRegime::kDefaultAvatars:
+        // Default avatars mirror their owner — §IV-B's missed opportunity.
+        p.visible_group = p.group;
+        break;
+      case PresentationRegime::kCustomAvatars:
+        // Free customization: visible identity is the user's choice and
+        // carries no information about real attributes ("they can be a cat").
+        p.visible_group = rng_.next_below(config_.groups);
+        break;
+    }
+  }
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    for (auto& p : people_) {
+      const Granter& g = granters_[rng_.next_below(granters_.size())];
+      double score = p.talent + rng_.normal(0.0, 0.1);
+      if (g.biased && g.group != p.visible_group) {
+        score *= (1.0 - config_.bias);
+      }
+      if (score > 0.45) p.outcome += 1.0;  // opportunity granted
+    }
+  }
+
+  // Metrics.
+  EqualityMetrics m;
+  double mean_outcome = 0.0, mean_talent = 0.0;
+  for (const auto& p : people_) {
+    mean_outcome += p.outcome;
+    mean_talent += p.talent;
+  }
+  mean_outcome /= static_cast<double>(people_.size());
+  mean_talent /= static_cast<double>(people_.size());
+  m.mean_outcome = mean_outcome;
+
+  double cov = 0.0, var_o = 0.0, var_t = 0.0;
+  for (const auto& p : people_) {
+    cov += (p.outcome - mean_outcome) * (p.talent - mean_talent);
+    var_o += (p.outcome - mean_outcome) * (p.outcome - mean_outcome);
+    var_t += (p.talent - mean_talent) * (p.talent - mean_talent);
+  }
+  m.talent_correlation =
+      (var_o > 0 && var_t > 0) ? cov / std::sqrt(var_o * var_t) : 0.0;
+
+  std::vector<double> group_sum(config_.groups, 0.0);
+  std::vector<std::size_t> group_n(config_.groups, 0);
+  for (const auto& p : people_) {
+    group_sum[p.group] += p.outcome;
+    ++group_n[p.group];
+  }
+  double best = 0.0, worst = 1e18;
+  for (std::size_t g = 0; g < config_.groups; ++g) {
+    if (group_n[g] == 0) continue;
+    const double avg = group_sum[g] / static_cast<double>(group_n[g]);
+    best = std::max(best, avg);
+    worst = std::min(worst, avg);
+  }
+  m.group_outcome_gap = mean_outcome > 0 ? (best - worst) / mean_outcome : 0.0;
+  return m;
+}
+
+}  // namespace mv::world

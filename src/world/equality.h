@@ -1,0 +1,80 @@
+// The equality experiment (§IV-B "Equality", bench E14).
+//
+// "The metaverse can be seen as an equaliser where gender, race, disability,
+// and social status are eliminated. Users can customise their avatars, where
+// their imagination is the limit."
+//
+// Agent model: each person carries immutable real-world attributes and a
+// talent score (independent of attributes). Opportunity granters (employers,
+// collaborators, audiences) are biased: they discount candidates whose
+// *visible* attributes differ from their own in-group. Three presentation
+// regimes are compared on the same population:
+//  - kPhysical        real attributes are always visible (offline baseline)
+//  - kDefaultAvatars  avatars mirror their owners (biased metaverse)
+//  - kCustomAvatars   avatars are freely chosen → visible attributes carry
+//                     no information about real ones (the paper's equaliser)
+// Measured: how much of outcome variance is explained by attributes vs by
+// talent (correlations), and the outcome gap between attribute groups.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mv::world {
+
+enum class PresentationRegime : std::uint8_t {
+  kPhysical,
+  kDefaultAvatars,
+  kCustomAvatars,
+};
+
+[[nodiscard]] const char* to_string(PresentationRegime regime);
+
+struct EqualityConfig {
+  std::size_t people = 2000;
+  std::size_t granters = 200;
+  std::size_t rounds = 30;
+  /// Attribute groups (a flattened proxy for the paper's gender/race/
+  /// disability/status axes).
+  std::size_t groups = 4;
+  /// Out-group discount applied by a biased granter in [0,1).
+  double bias = 0.5;
+  /// Fraction of granters who are biased at all.
+  double biased_fraction = 0.7;
+};
+
+struct EqualityMetrics {
+  /// Pearson correlation of outcomes with talent and with group membership
+  /// (group encoded as in-group share of granters — the structural axis).
+  double talent_correlation = 0.0;
+  double group_outcome_gap = 0.0;  ///< (best group mean - worst) / overall mean
+  double mean_outcome = 0.0;
+};
+
+class EqualitySim {
+ public:
+  EqualitySim(EqualityConfig config, Rng rng);
+
+  [[nodiscard]] EqualityMetrics run(PresentationRegime regime);
+
+ private:
+  struct Person {
+    std::size_t group = 0;          ///< real-world attribute group
+    std::size_t visible_group = 0;  ///< what granters see (regime-dependent)
+    double talent = 0.5;
+    double outcome = 0.0;
+  };
+
+  struct Granter {
+    std::size_t group = 0;
+    bool biased = false;
+  };
+
+  EqualityConfig config_;
+  Rng rng_;
+  std::vector<Person> people_;
+  std::vector<Granter> granters_;
+};
+
+}  // namespace mv::world

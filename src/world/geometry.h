@@ -1,0 +1,26 @@
+// Minimal 2D geometry shared by the world and safety modules.
+#pragma once
+
+#include <cmath>
+
+namespace mv::world {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) { return a * s; }
+
+  [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y); }
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 1e-12 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+}  // namespace mv::world

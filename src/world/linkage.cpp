@@ -1,0 +1,78 @@
+#include "world/linkage.h"
+
+#include <cmath>
+
+namespace mv::world {
+
+InterestProfile sample_profile(Rng& rng) {
+  // Sparse interests: exponential weights renormalized; a few categories
+  // dominate, which is what makes behaviour identifying.
+  InterestProfile p{};
+  double sum = 0.0;
+  for (auto& v : p) {
+    v = std::pow(rng.uniform(), 3.0);  // skew toward small with a heavy head
+    sum += v;
+  }
+  for (auto& v : p) v /= sum;
+  return p;
+}
+
+SessionTrace play_session(AvatarId avatar, const InterestProfile& profile,
+                          std::size_t actions, double noise, Rng& rng) {
+  SessionTrace trace;
+  trace.avatar = avatar;
+  const double uniform = 1.0 / static_cast<double>(kActivityCategories);
+  // Blended categorical distribution.
+  InterestProfile blended{};
+  for (std::size_t k = 0; k < kActivityCategories; ++k) {
+    blended[k] = (1.0 - noise) * profile[k] + noise * uniform;
+  }
+  for (std::size_t a = 0; a < actions; ++a) {
+    double u = rng.uniform();
+    std::size_t k = 0;
+    while (k + 1 < kActivityCategories && u > blended[k]) {
+      u -= blended[k];
+      ++k;
+    }
+    ++trace.counts[k];
+  }
+  return trace;
+}
+
+InterestProfile trace_histogram(const SessionTrace& trace) {
+  InterestProfile h{};
+  double total = 0.0;
+  for (const auto c : trace.counts) total += c;
+  if (total == 0.0) return h;
+  for (std::size_t k = 0; k < kActivityCategories; ++k) {
+    h[k] = static_cast<double>(trace.counts[k]) / total;
+  }
+  return h;
+}
+
+double profile_similarity(const InterestProfile& a, const InterestProfile& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t k = 0; k < kActivityCategories; ++k) {
+    dot += a[k] * b[k];
+    na += a[k] * a[k];
+    nb += b[k] * b[k];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+std::size_t link_to_primary(const InterestProfile& probe,
+                            const std::vector<InterestProfile>& primaries) {
+  std::size_t best = 0;
+  double best_sim = -1.0;
+  for (std::size_t i = 0; i < primaries.size(); ++i) {
+    const double sim = profile_similarity(probe, primaries[i]);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace mv::world

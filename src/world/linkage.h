@@ -1,0 +1,53 @@
+// Behavioural linkage attack on secondary avatars (§II-B, bench E8).
+//
+// "Other avatars in the metaverse cannot recognise the real owner of this
+// secondary avatar and, therefore, cannot infer any behavioural information"
+// — that is the *claim*; this attacker tests it. Each user has a latent
+// interest profile over K activity categories. Sessions played through an
+// avatar produce an activity histogram. The attacker observes per-avatar
+// histograms (public traces) and matches each secondary avatar to the
+// primary whose behaviour looks most similar. Users can defend by blending
+// their clone's behaviour toward the population average (behaviour_noise).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace mv::world {
+
+inline constexpr std::size_t kActivityCategories = 12;
+
+using InterestProfile = std::array<double, kActivityCategories>;  // sums to 1
+
+/// Dirichlet-ish sparse interest profile.
+[[nodiscard]] InterestProfile sample_profile(Rng& rng);
+
+struct SessionTrace {
+  AvatarId avatar;
+  std::array<std::uint32_t, kActivityCategories> counts{};
+};
+
+/// Simulate a session of `actions` activities through an avatar.
+/// `noise` in [0,1] blends the sampling distribution toward uniform —
+/// the §II-B defence of hiding one's behaviour when using a clone.
+[[nodiscard]] SessionTrace play_session(AvatarId avatar,
+                                        const InterestProfile& profile,
+                                        std::size_t actions, double noise,
+                                        Rng& rng);
+
+/// Normalized histogram of a trace.
+[[nodiscard]] InterestProfile trace_histogram(const SessionTrace& trace);
+
+/// Cosine similarity of two profiles.
+[[nodiscard]] double profile_similarity(const InterestProfile& a,
+                                        const InterestProfile& b);
+
+/// The attack: for a probe histogram (a secondary avatar's trace), return the
+/// index of the most similar enrolled histogram (primary avatars).
+[[nodiscard]] std::size_t link_to_primary(
+    const InterestProfile& probe, const std::vector<InterestProfile>& primaries);
+
+}  // namespace mv::world

@@ -1,0 +1,170 @@
+#include "world/world.h"
+
+namespace mv::world {
+
+const char* to_string(InteractionKind kind) {
+  switch (kind) {
+    case InteractionKind::kChat: return "chat";
+    case InteractionKind::kGesture: return "gesture";
+    case InteractionKind::kTrade: return "trade";
+    case InteractionKind::kHarass: return "harass";
+  }
+  return "?";
+}
+
+SpaceId World::create_space(double width, double height) {
+  const SpaceId id = space_ids_.next();
+  spaces_.emplace(id, Space{id, width, height});
+  return id;
+}
+
+const Space* World::space(SpaceId id) const {
+  const auto it = spaces_.find(id);
+  return it == spaces_.end() ? nullptr : &it->second;
+}
+
+void World::set_space_access(SpaceId id, bool public_access,
+                             std::uint64_t land_token) {
+  const auto it = spaces_.find(id);
+  if (it == spaces_.end()) return;
+  it->second.public_access = public_access;
+  it->second.land_token = land_token;
+}
+
+Status World::enter(AvatarId avatar_id, SpaceId space_id, Vec2 pos) {
+  Avatar* a = avatar_mutable(avatar_id);
+  if (a == nullptr) {
+    return Status::fail("world.no_such_avatar", "unknown avatar");
+  }
+  const Space* s = space(space_id);
+  if (s == nullptr) {
+    return Status::fail("world.no_such_space", "unknown space");
+  }
+  if (!s->public_access) {
+    if (!oracle_ || !oracle_(a->owner, s->land_token)) {
+      return Status::fail("world.land_gated",
+                          "owner does not hold the land token");
+    }
+  }
+  a->space = space_id;
+  a->pos = pos;
+  return {};
+}
+
+AvatarId World::spawn_primary(std::uint64_t owner, SpaceId space, Vec2 pos) {
+  const AvatarId id = avatar_ids_.next();
+  Avatar a;
+  a.id = id;
+  a.owner = owner;
+  a.space = space;
+  a.pos = pos;
+  avatars_.emplace(id, std::move(a));
+  return id;
+}
+
+Result<AvatarId> World::spawn_secondary(AvatarId primary, Vec2 pos) {
+  const Avatar* base = avatar(primary);
+  if (base == nullptr) {
+    return make_error("world.no_such_avatar", "unknown primary avatar");
+  }
+  const AvatarId id = avatar_ids_.next();
+  Avatar a;
+  a.id = id;
+  a.owner = base->owner;
+  a.secondary = true;
+  a.space = base->space;
+  a.pos = pos;
+  avatars_.emplace(id, std::move(a));
+  return id;
+}
+
+const Avatar* World::avatar(AvatarId id) const {
+  const auto it = avatars_.find(id);
+  return it == avatars_.end() ? nullptr : &it->second;
+}
+
+Avatar* World::avatar_mutable(AvatarId id) {
+  const auto it = avatars_.find(id);
+  return it == avatars_.end() ? nullptr : &it->second;
+}
+
+void World::move(AvatarId id, Vec2 pos) {
+  if (Avatar* a = avatar_mutable(id); a != nullptr) a->pos = pos;
+}
+
+void World::wander(AvatarId id) {
+  Avatar* a = avatar_mutable(id);
+  if (a == nullptr) return;
+  const Space* s = space(a->space);
+  if (s == nullptr) return;
+  a->pos = {rng_.uniform(0.0, s->width), rng_.uniform(0.0, s->height)};
+}
+
+void World::set_bubble(AvatarId id, bool on, double radius) {
+  if (Avatar* a = avatar_mutable(id); a != nullptr) {
+    a->bubble_on = on;
+    a->bubble_radius = radius;
+  }
+}
+
+void World::allow_in_bubble(AvatarId id, AvatarId friend_id) {
+  if (Avatar* a = avatar_mutable(id); a != nullptr) {
+    a->bubble_allow.insert(friend_id);
+  }
+}
+
+bool World::bubble_blocks(const Avatar& target, const Avatar& actor) const {
+  if (!target.bubble_on) return false;
+  if (target.bubble_allow.contains(actor.id)) return false;
+  return distance(target.pos, actor.pos) <= target.bubble_radius;
+}
+
+std::vector<AvatarId> World::visible_to(AvatarId viewer, double range) const {
+  std::vector<AvatarId> out;
+  const Avatar* v = avatar(viewer);
+  if (v == nullptr) return out;
+  for (const auto& [id, a] : avatars_) {
+    if (id == viewer || a.space != v->space) continue;
+    if (distance(a.pos, v->pos) > range) continue;
+    // Inside someone's bubble you don't get visual access to them (§II-B).
+    if (bubble_blocks(a, *v)) continue;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<AvatarId> World::eavesdroppers(AvatarId from, AvatarId to,
+                                           double earshot) const {
+  std::vector<AvatarId> out;
+  const Avatar* speaker = avatar(from);
+  if (speaker == nullptr) return out;
+  for (const auto& [id, a] : avatars_) {
+    if (id == from || id == to || a.space != speaker->space) continue;
+    if (distance(a.pos, speaker->pos) <= earshot) out.push_back(id);
+  }
+  return out;
+}
+
+Status World::interact(AvatarId from, AvatarId to, InteractionKind kind,
+                       Tick now, double reach) {
+  ++stats_.interactions_attempted;
+  const Avatar* actor = avatar(from);
+  const Avatar* target = avatar(to);
+  if (actor == nullptr || target == nullptr) {
+    return Status::fail("world.no_such_avatar", "unknown avatar");
+  }
+  if (actor->space != target->space ||
+      distance(actor->pos, target->pos) > reach) {
+    ++stats_.blocked_by_range;
+    return Status::fail("world.out_of_range", "target not nearby");
+  }
+  if (bubble_blocks(*target, *actor)) {
+    ++stats_.blocked_by_bubble;
+    return Status::fail("world.bubble", "target's privacy bubble vetoed this");
+  }
+  log_.push_back(Interaction{from, to, kind, now});
+  ++stats_.interactions_delivered;
+  return {};
+}
+
+}  // namespace mv::world

@@ -1,0 +1,140 @@
+// The virtual world: avatars, spaces, proximity interactions, privacy
+// bubbles, and secondary (clone) avatars (§II-B).
+//
+// Two §II-B defences are first-class citizens:
+//  - privacy bubbles "restrict visual access with other avatars outside the
+//    bubble" — here they also veto unsolicited proximity interactions from
+//    non-authorized avatars (the Horizon Worlds design);
+//  - secondary avatars let a user act without the actions accruing to their
+//    primary identity; the world keeps the owner mapping as ground truth but
+//    never exposes it through the public query API (linkage.h plays the
+//    attacker who tries to reconstruct it).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "world/geometry.h"
+
+namespace mv::world {
+
+enum class InteractionKind : std::uint8_t { kChat, kGesture, kTrade, kHarass };
+
+[[nodiscard]] const char* to_string(InteractionKind kind);
+
+struct Interaction {
+  AvatarId from;
+  AvatarId to;
+  InteractionKind kind = InteractionKind::kChat;
+  Tick at = 0;
+};
+
+struct Avatar {
+  AvatarId id;
+  std::uint64_t owner = 0;  ///< ground truth; not exposed via public queries
+  bool secondary = false;
+  SpaceId space;
+  Vec2 pos;
+  bool bubble_on = false;
+  double bubble_radius = 1.5;
+  std::set<AvatarId> bubble_allow;  ///< friends allowed inside the bubble
+};
+
+struct Space {
+  SpaceId id;
+  double width = 50.0;
+  double height = 50.0;
+  /// §IV-A: "Decentraland uses NFTs to manage the game's virtual lands."
+  /// A gated space admits only avatars whose owner holds `land_token`
+  /// (checked through the access oracle — typically the NFT registry).
+  bool public_access = true;
+  std::uint64_t land_token = 0;
+};
+
+struct WorldStats {
+  std::uint64_t interactions_attempted = 0;
+  std::uint64_t interactions_delivered = 0;
+  std::uint64_t blocked_by_bubble = 0;
+  std::uint64_t blocked_by_range = 0;
+};
+
+class World {
+ public:
+  explicit World(Rng rng) : rng_(rng) {}
+
+  SpaceId create_space(double width, double height);
+  [[nodiscard]] const Space* space(SpaceId id) const;
+
+  /// Ownership oracle: does `user` hold `land_token`? Wired to the NFT
+  /// registry by the platform (core::Metaverse); unset = all gates closed.
+  using AccessOracle = std::function<bool(std::uint64_t user, std::uint64_t land_token)>;
+  void set_access_oracle(AccessOracle oracle) { oracle_ = std::move(oracle); }
+
+  /// Gate a space behind a land token (or reopen it).
+  void set_space_access(SpaceId id, bool public_access, std::uint64_t land_token = 0);
+
+  /// Move an avatar into a space; gated spaces require the oracle to confirm
+  /// the avatar's owner holds the land token.
+  [[nodiscard]] Status enter(AvatarId avatar, SpaceId space, Vec2 pos);
+
+  /// Create a user's primary avatar in a space at a position.
+  AvatarId spawn_primary(std::uint64_t owner, SpaceId space, Vec2 pos);
+  /// Create a clone avatar for the same owner (§II-B "secondary avatars").
+  [[nodiscard]] Result<AvatarId> spawn_secondary(AvatarId primary, Vec2 pos);
+
+  [[nodiscard]] const Avatar* avatar(AvatarId id) const;
+  [[nodiscard]] Avatar* avatar_mutable(AvatarId id);
+  [[nodiscard]] std::size_t avatar_count() const { return avatars_.size(); }
+
+  void move(AvatarId id, Vec2 pos);
+  /// Uniform random reposition within the avatar's space.
+  void wander(AvatarId id);
+
+  void set_bubble(AvatarId id, bool on, double radius = 1.5);
+  void allow_in_bubble(AvatarId id, AvatarId friend_id);
+
+  /// Avatars visible to `viewer`: same space, within `range`, and not hidden
+  /// from the viewer by an active privacy bubble.
+  [[nodiscard]] std::vector<AvatarId> visible_to(AvatarId viewer, double range) const;
+
+  /// Attempt a proximity interaction. Fails when out of range (> reach) or
+  /// vetoed by the target's privacy bubble.
+  [[nodiscard]] Status interact(AvatarId from, AvatarId to, InteractionKind kind,
+                                Tick now, double reach = 2.0);
+
+  /// Interactions delivered to or sent by an avatar (its public trace —
+  /// what an eavesdropper in the same space can reconstruct).
+  [[nodiscard]] const std::vector<Interaction>& log() const { return log_; }
+
+  /// §II-B: "the metadata inherent in any social interaction with other
+  /// avatars (e.g., conversations, reactions) presents privacy risks."
+  /// Returns the third parties within `earshot` of the speaker who observe
+  /// that `from` interacted with `to`. Privacy bubbles do NOT hide a public
+  /// interaction from bystanders outside the bubble — they restrict access,
+  /// not observation; this is the residual leak the paper warns about.
+  [[nodiscard]] std::vector<AvatarId> eavesdroppers(AvatarId from, AvatarId to,
+                                                    double earshot) const;
+
+  [[nodiscard]] const WorldStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] bool bubble_blocks(const Avatar& target, const Avatar& actor) const;
+
+  Rng rng_;
+  AccessOracle oracle_;
+  std::map<AvatarId, Avatar> avatars_;
+  std::map<SpaceId, Space> spaces_;
+  IdAllocator<AvatarId> avatar_ids_;
+  IdAllocator<SpaceId> space_ids_;
+  std::vector<Interaction> log_;
+  WorldStats stats_;
+};
+
+}  // namespace mv::world

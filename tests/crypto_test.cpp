@@ -1,0 +1,233 @@
+// Unit and property tests for the crypto substrate: SHA-256 against FIPS
+// vectors, Merkle inclusion proofs, Schnorr sign/verify algebra, wallets.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/merkle.h"
+#include "crypto/schnorr.h"
+#include "crypto/sha256.h"
+#include "crypto/wallet.h"
+
+namespace mv::crypto {
+namespace {
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256, EmptyStringVector) {
+  EXPECT_EQ(to_hex(sha256(std::string_view{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  EXPECT_EQ(to_hex(sha256(std::string_view{"abc"})),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+  EXPECT_EQ(to_hex(sha256(std::string_view{
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (const char c : msg) h.update(std::string_view(&c, 1));
+  EXPECT_EQ(h.finalize(), sha256(std::string_view{msg}));
+}
+
+TEST(Sha256, PrefixIsStable) {
+  const Digest d = sha256(std::string_view{"abc"});
+  EXPECT_EQ(digest_prefix64(d), digest_prefix64(sha256(std::string_view{"abc"})));
+  EXPECT_NE(digest_prefix64(d), digest_prefix64(sha256(std::string_view{"abd"})));
+}
+
+// ---------------------------------------------------------------- Merkle
+
+std::vector<Digest> make_leaves(std::size_t n) {
+  std::vector<Digest> leaves;
+  leaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(sha256(std::string_view{"leaf" + std::to_string(i)}));
+  }
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeZeroRoot) {
+  MerkleTree t({});
+  EXPECT_EQ(t.root(), Digest{});
+  EXPECT_EQ(t.leaf_count(), 0u);
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  const auto leaves = make_leaves(1);
+  MerkleTree t(leaves);
+  EXPECT_EQ(t.root(), leaves[0]);
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto leaves = make_leaves(8);
+  const MerkleTree t1(leaves);
+  leaves[3][0] ^= 0xff;
+  const MerkleTree t2(leaves);
+  EXPECT_NE(t1.root(), t2.root());
+}
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+  MerkleTree t(make_leaves(4));
+  EXPECT_THROW((void)t.prove(4), std::out_of_range);
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, AllLeavesVerify) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto proof = tree.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(leaves[i], proof, tree.root()))
+        << "leaf " << i << " of " << n;
+  }
+}
+
+TEST_P(MerkleProofTest, WrongLeafRejected) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree(leaves);
+  const Digest bogus = sha256(std::string_view{"not-a-leaf"});
+  for (std::size_t i = 0; i < n; ++i) {
+    if (leaves[i] == bogus) continue;
+    EXPECT_FALSE(MerkleTree::verify(bogus, tree.prove(i), tree.root()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 33));
+
+TEST(Merkle, TamperedProofRejected) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree(leaves);
+  auto proof = tree.prove(2);
+  proof[1].sibling[5] ^= 0x01;
+  EXPECT_FALSE(MerkleTree::verify(leaves[2], proof, tree.root()));
+}
+
+// ---------------------------------------------------------------- Schnorr
+
+TEST(Schnorr, PowModKnownValues) {
+  EXPECT_EQ(pow_mod(2, 10, 1'000'000'007ULL), 1024u);
+  EXPECT_EQ(pow_mod(3, 0, 97), 1u);
+  EXPECT_EQ(mul_mod(kFieldP - 1, kFieldP - 1, kFieldP), 1u);  // (-1)^2 = 1
+}
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  Rng rng(42);
+  const KeyPair kp = generate_keypair(rng);
+  const std::string msg = "register data-collection activity";
+  const auto m = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size());
+  const Signature sig = sign(kp.priv, m, rng);
+  EXPECT_TRUE(verify(kp.pub, m, sig));
+}
+
+TEST(Schnorr, WrongKeyRejected) {
+  Rng rng(43);
+  const KeyPair kp1 = generate_keypair(rng);
+  const KeyPair kp2 = generate_keypair(rng);
+  const Bytes msg{1, 2, 3, 4};
+  const Signature sig = sign(kp1.priv, msg, rng);
+  EXPECT_TRUE(verify(kp1.pub, msg, sig));
+  EXPECT_FALSE(verify(kp2.pub, msg, sig));
+}
+
+TEST(Schnorr, TamperedMessageRejected) {
+  Rng rng(44);
+  const KeyPair kp = generate_keypair(rng);
+  const Bytes msg{1, 2, 3, 4};
+  const Signature sig = sign(kp.priv, msg, rng);
+  const Bytes other{1, 2, 3, 5};
+  EXPECT_FALSE(verify(kp.pub, other, sig));
+}
+
+TEST(Schnorr, TamperedSignatureRejected) {
+  Rng rng(45);
+  const KeyPair kp = generate_keypair(rng);
+  const Bytes msg{9, 9, 9};
+  Signature sig = sign(kp.priv, msg, rng);
+  sig.s = (sig.s + 1) % kGroupQ;
+  EXPECT_FALSE(verify(kp.pub, msg, sig));
+}
+
+TEST(Schnorr, MalformedSignatureRejected) {
+  Rng rng(46);
+  const KeyPair kp = generate_keypair(rng);
+  const Bytes msg{1};
+  EXPECT_FALSE(verify(kp.pub, msg, Signature{0, 0}));
+  EXPECT_FALSE(verify(kp.pub, msg, Signature{kGroupQ, 5}));
+  EXPECT_FALSE(verify(PublicKey{0}, msg, sign(kp.priv, msg, rng)));
+}
+
+class SchnorrPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchnorrPropertyTest, RandomMessagesRoundTrip) {
+  Rng rng(GetParam());
+  const KeyPair kp = generate_keypair(rng);
+  for (int i = 0; i < 20; ++i) {
+    Bytes msg;
+    const auto len = rng.next_below(64);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      msg.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+    }
+    const Signature sig = sign(kp.priv, msg, rng);
+    EXPECT_TRUE(verify(kp.pub, msg, sig));
+    if (!msg.empty()) {
+      Bytes tampered = msg;
+      tampered[0] ^= 0x80;
+      EXPECT_FALSE(verify(kp.pub, tampered, sig));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchnorrPropertyTest,
+                         ::testing::Values(1, 17, 99, 12345));
+
+// ---------------------------------------------------------------- Wallet
+
+TEST(Wallet, AddressDeterministicFromKey) {
+  Rng rng(50);
+  const Wallet w(rng);
+  EXPECT_TRUE(w.address().valid());
+  EXPECT_EQ(w.address(), address_of(w.public_key()));
+}
+
+TEST(Wallet, DistinctWalletsDistinctAddresses) {
+  Rng rng(51);
+  const Wallet a(rng), b(rng);
+  EXPECT_NE(a.address(), b.address());
+}
+
+TEST(Wallet, SignaturesVerifyAgainstPublicKey) {
+  Rng rng(52);
+  const Wallet w(rng);
+  const Bytes msg{0xde, 0xad};
+  const Signature sig = w.sign(msg, rng);
+  EXPECT_TRUE(verify(w.public_key(), msg, sig));
+}
+
+TEST(Wallet, AddressToStringHex) {
+  Address a{0xff};
+  EXPECT_EQ(a.to_string(), "0xff");
+}
+
+}  // namespace
+}  // namespace mv::crypto

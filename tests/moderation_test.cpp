@@ -1,0 +1,348 @@
+// Moderation tests: classifier operating point, queue dynamics per staffing
+// mode (the E3 shape), and the punitive/preventive community sim (E12 shape).
+#include <gtest/gtest.h>
+
+#include "moderation/community.h"
+#include "moderation/engine.h"
+
+namespace mv::moderation {
+namespace {
+
+Report make_report(std::uint64_t id, bool violation, Tick filed_at = 0) {
+  Report r;
+  r.id = ReportId(id);
+  r.reporter = AccountId(1000 + id);
+  r.offender = AccountId(2000 + id);
+  r.kind = ReportKind::kHarassment;
+  r.filed_at = filed_at;
+  r.is_violation = violation;
+  return r;
+}
+
+// ------------------------------------------------------------ classifier
+
+TEST(Classifier, OperatingPointMatchesConfig) {
+  AiClassifier clf;
+  Rng rng(1);
+  int tp = 0, fn = 0, fp = 0, tn = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const bool violation = i % 2 == 0;
+    const auto c = clf.classify(make_report(static_cast<std::uint64_t>(i), violation), rng);
+    if (violation) {
+      (c.verdict == Verdict::kUphold ? tp : fn)++;
+    } else {
+      (c.verdict == Verdict::kUphold ? fp : tn)++;
+    }
+  }
+  const double recall = static_cast<double>(tp) / (tp + fn);
+  const double fpr = static_cast<double>(fp) / (fp + tn);
+  // mu=0.78, sigma=0.13 → P(score > 0.5) ≈ Φ(2.15) ≈ 0.984.
+  EXPECT_GT(recall, 0.95);
+  EXPECT_LT(fpr, 0.05);
+}
+
+TEST(Classifier, ConfidenceBandsSplitTraffic) {
+  AiClassifier clf;
+  Rng rng(2);
+  int confident = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    confident += clf.classify(make_report(static_cast<std::uint64_t>(i), i % 2 == 0), rng).confident;
+  }
+  const double frac = static_cast<double>(confident) / n;
+  EXPECT_GT(frac, 0.4);  // most cases are clear-cut...
+  EXPECT_LT(frac, 0.95);  // ...but a real residue needs humans
+}
+
+// ------------------------------------------------------------ engine
+
+EngineConfig config_for(StaffingMode mode) {
+  EngineConfig c;
+  c.mode = mode;
+  c.human_moderators = 5;
+  c.human_throughput = 0.1;  // 0.5 reports/tick total
+  c.community_size = 10000;
+  return c;
+}
+
+/// Drive `arrivals_per_tick` reports (80% true violations) for `ticks`.
+EngineMetrics drive(ModerationEngine& engine, double arrivals_per_tick,
+                    std::size_t ticks, Rng& rng, std::uint64_t& next_id) {
+  double budget = 0.0;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    budget += arrivals_per_tick;
+    while (budget >= 1.0) {
+      budget -= 1.0;
+      engine.submit(make_report(next_id++, rng.chance(0.8), static_cast<Tick>(t)));
+    }
+    engine.step(static_cast<Tick>(t));
+  }
+  return engine.metrics();
+}
+
+TEST(Engine, HumanOnlyKeepsUpUnderLightLoad) {
+  Rng rng(3);
+  std::uint64_t id = 0;
+  ModerationEngine engine(config_for(StaffingMode::kHumanOnly), Rng(4));
+  const auto m = drive(engine, 0.3, 2000, rng, id);  // below 0.5 capacity
+  EXPECT_LT(engine.backlog(), 10u);
+  EXPECT_GT(m.accuracy(), 0.9);
+}
+
+TEST(Engine, HumanOnlyBacklogDivergesUnderHeavyLoad) {
+  Rng rng(5);
+  std::uint64_t id = 0;
+  ModerationEngine engine(config_for(StaffingMode::kHumanOnly), Rng(6));
+  (void)drive(engine, 2.0, 2000, rng, id);  // 4x capacity
+  // ~1.5 unserved per tick x 2000 ticks.
+  EXPECT_GT(engine.backlog(), 2000u);
+}
+
+TEST(Engine, AiAssistedAbsorbsTheSameLoad) {
+  Rng rng(7);
+  std::uint64_t id = 0;
+  ModerationEngine engine(config_for(StaffingMode::kAiAssisted), Rng(8));
+  const auto m = drive(engine, 2.0, 2000, rng, id);
+  // AI auto-resolves the confident majority; humans keep up with the rest.
+  EXPECT_LT(engine.backlog(), 4000u / 4);
+  EXPECT_GT(m.resolved_by_ai, m.resolved_by_human);
+}
+
+TEST(Engine, JuryCapacityScalesWithCommunity) {
+  Rng rng(9);
+  std::uint64_t id = 0;
+  auto config = config_for(StaffingMode::kCommunityJury);
+  ModerationEngine engine(config, Rng(10));
+  // 10000 members x 0.002 availability / 5 jurors = 4 juries per tick.
+  const auto m = drive(engine, 2.0, 1000, rng, id);
+  EXPECT_LT(engine.backlog(), 50u);
+  EXPECT_EQ(m.resolved_by_jury, m.resolved);
+}
+
+TEST(Engine, HybridUsesBothPaths) {
+  Rng rng(11);
+  std::uint64_t id = 0;
+  ModerationEngine engine(config_for(StaffingMode::kHybrid), Rng(12));
+  const auto m = drive(engine, 2.0, 1000, rng, id);
+  EXPECT_GT(m.resolved_by_ai, 0u);
+  EXPECT_GT(m.resolved_by_jury, 0u);
+  EXPECT_EQ(m.resolved_by_human, 0u);
+}
+
+TEST(Engine, LatencyOrderingMatchesCapacity) {
+  Rng rng(13);
+  std::uint64_t id_a = 0, id_b = 0;
+  ModerationEngine human(config_for(StaffingMode::kHumanOnly), Rng(14));
+  ModerationEngine assisted(config_for(StaffingMode::kAiAssisted), Rng(14));
+  const auto mh = drive(human, 1.0, 1500, rng, id_a);
+  Rng rng2(13);
+  const auto ma = drive(assisted, 1.0, 1500, rng2, id_b);
+  EXPECT_GT(mh.latency.percentile(90), ma.latency.percentile(90));
+}
+
+TEST(Engine, HumanAccuracyBeatsJuryOfMediocreJurors) {
+  Rng rng(15);
+  std::uint64_t id_a = 0, id_b = 0;
+  auto human_config = config_for(StaffingMode::kHumanOnly);
+  human_config.human_moderators = 50;  // enough capacity to resolve all
+  auto jury_config = config_for(StaffingMode::kCommunityJury);
+  jury_config.juror_accuracy = 0.7;
+  ModerationEngine human(human_config, Rng(16));
+  ModerationEngine jury(jury_config, Rng(16));
+  const auto mh = drive(human, 1.0, 1000, rng, id_a);
+  Rng rng2(15);
+  const auto mj = drive(jury, 1.0, 1000, rng2, id_b);
+  EXPECT_GT(mh.accuracy(), mj.accuracy());
+  // But majority voting lifts the jury above a single 0.7 juror.
+  EXPECT_GT(mj.accuracy(), 0.75);
+}
+
+TEST(Engine, FalsePunishmentsTracked) {
+  Rng rng(17);
+  std::uint64_t id = 0;
+  auto config = config_for(StaffingMode::kAiOnly);
+  config.classifier.mu_benign = 0.45;  // deliberately sloppy classifier
+  ModerationEngine engine(config, Rng(18));
+  const auto m = drive(engine, 1.0, 500, rng, id);
+  EXPECT_GT(m.false_punishments, 0u);
+}
+
+TEST(Engine, CredibilityPrioritizationServesTrustedReportersFirst) {
+  auto config = config_for(StaffingMode::kHumanOnly);
+  config.prioritize_by_reporter_credibility = true;
+  ModerationEngine engine(config, Rng(30));
+  // Accounts 1..100: odd ids are high-credibility reporters.
+  engine.set_credibility_oracle([](AccountId id) {
+    return id.value() % 2 == 1 ? 0.9 : 0.1;
+  });
+  Rng rng(31);
+  // Saturate: 200 reports at once against 0.5/tick capacity, then drain a
+  // little and compare latencies by reporter class.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    Report r;
+    r.id = ReportId(i);
+    r.reporter = AccountId(1 + i % 100);
+    r.offender = AccountId(5000 + i);
+    r.filed_at = 0;
+    r.is_violation = rng.chance(0.8);
+    engine.submit(std::move(r));
+  }
+  for (Tick t = 1; t <= 200; ++t) engine.step(t);
+  // ~100 resolved; they should be overwhelmingly odd-id (credible) reporters.
+  std::size_t credible = 0, total = 0;
+  for (const auto& r : engine.resolutions()) {
+    ++total;
+    credible += (r.reporter.value() % 2 == 1);
+  }
+  ASSERT_GT(total, 50u);
+  EXPECT_GT(static_cast<double>(credible) / static_cast<double>(total), 0.9);
+}
+
+TEST(Engine, PrioritizationWithoutOracleFallsBackToFifo) {
+  auto config = config_for(StaffingMode::kHumanOnly);
+  config.prioritize_by_reporter_credibility = true;  // but no oracle set
+  ModerationEngine engine(config, Rng(32));
+  Rng rng(33);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Report r;
+    r.id = ReportId(i);
+    r.reporter = AccountId(i);
+    r.filed_at = 0;
+    r.is_violation = true;
+    engine.submit(std::move(r));
+  }
+  for (Tick t = 1; t <= 10; ++t) engine.step(t);
+  const auto& resolutions = engine.resolutions();
+  ASSERT_GE(resolutions.size(), 2u);
+  // FIFO: report 0 resolves before report 1.
+  EXPECT_EQ(resolutions[0].report, ReportId(0));
+  EXPECT_EQ(resolutions[1].report, ReportId(1));
+  (void)rng;
+}
+
+// ------------------------------------------------------------ appeals
+
+TEST(Appeals, InnocentsGetOverturnedMoreOftenThanGuilty) {
+  auto config = config_for(StaffingMode::kAiOnly);
+  config.classifier.mu_benign = 0.45;  // sloppy: many false punishments
+  ModerationEngine engine(config, Rng(40));
+  Rng rng(41);
+  std::uint64_t id = 0;
+  (void)drive(engine, 1.0, 1000, rng, id);
+  ASSERT_GT(engine.metrics().false_punishments, 0u);
+
+  // Every punished party appeals.
+  const auto resolutions = engine.resolutions();
+  std::size_t innocent_overturned = 0, innocent_appeals = 0;
+  std::size_t guilty_overturned = 0, guilty_appeals = 0;
+  const auto before_false = engine.metrics().false_punishments;
+  for (const auto& r : resolutions) {
+    if (r.verdict != Verdict::kUphold) continue;
+    auto verdict = engine.appeal(r.report, 2000);
+    ASSERT_TRUE(verdict.ok());
+    // r.correct == true means the uphold matched ground truth (guilty).
+    if (r.correct) {
+      ++guilty_appeals;
+      guilty_overturned += (verdict.value() == Verdict::kDismiss);
+    } else {
+      ++innocent_appeals;
+      innocent_overturned += (verdict.value() == Verdict::kDismiss);
+    }
+  }
+  ASSERT_GT(innocent_appeals, 0u);
+  ASSERT_GT(guilty_appeals, 0u);
+  // The 0.9-accurate 11-member jury overturns most wrongful verdicts and
+  // few correct ones.
+  EXPECT_GT(static_cast<double>(innocent_overturned) / static_cast<double>(innocent_appeals), 0.8);
+  EXPECT_LT(static_cast<double>(guilty_overturned) / static_cast<double>(guilty_appeals), 0.2);
+  EXPECT_LT(engine.metrics().false_punishments, before_false);
+  EXPECT_EQ(engine.metrics().appeals, innocent_appeals + guilty_appeals);
+}
+
+TEST(Appeals, OnlyUpheldAndOnlyOnce) {
+  ModerationEngine engine(config_for(StaffingMode::kAiOnly), Rng(42));
+  engine.submit(make_report(1, true, 0));
+  engine.submit(make_report(2, false, 0));  // likely dismissed
+  engine.step(1);
+  ASSERT_EQ(engine.metrics().resolved, 2u);
+
+  // Find an upheld and a dismissed case.
+  std::optional<ReportId> upheld, dismissed;
+  for (const auto& r : engine.resolutions()) {
+    (r.verdict == Verdict::kUphold ? upheld : dismissed) = r.report;
+  }
+  if (dismissed.has_value()) {
+    EXPECT_EQ(engine.appeal(*dismissed, 10).error().code,
+              "moderation.not_appealable");
+  }
+  if (upheld.has_value()) {
+    ASSERT_TRUE(engine.appeal(*upheld, 10).ok());
+    EXPECT_EQ(engine.appeal(*upheld, 11).error().code,
+              "moderation.already_appealed");
+  }
+  EXPECT_EQ(engine.appeal(ReportId(999), 10).error().code,
+            "moderation.not_appealable");
+}
+
+// ------------------------------------------------------------ community
+
+CommunityConfig community_config(PolicyMix mix) {
+  CommunityConfig c;
+  c.agents = 1500;
+  c.rounds = 60;
+  c.mix = mix;
+  return c;
+}
+
+TEST(Community, BaselineIsStable) {
+  CommunitySim sim(community_config(PolicyMix::kNone), Rng(19));
+  const auto m = sim.run();
+  EXPECT_GT(m.positive_actions, 0u);
+  EXPECT_GT(m.negative_actions, 0u);
+  EXPECT_EQ(m.sanctions, 0u);
+  EXPECT_EQ(m.rewards, 0u);
+  EXPECT_EQ(sim.positive_share_series().size(), 60u);
+}
+
+TEST(Community, PunitiveCutsNegativeActions) {
+  CommunitySim none(community_config(PolicyMix::kNone), Rng(20));
+  CommunitySim punitive(community_config(PolicyMix::kPunitiveOnly), Rng(20));
+  const auto mn = none.run();
+  const auto mp = punitive.run();
+  EXPECT_LT(mp.negative_actions, mn.negative_actions);
+  EXPECT_GT(mp.mutes, 0u);
+}
+
+TEST(Community, PreventiveRaisesPositiveShareOverTime) {
+  CommunitySim sim(community_config(PolicyMix::kPreventiveOnly), Rng(21));
+  const auto m = sim.run();
+  const auto& series = sim.positive_share_series();
+  // Behaviour shifts: the tail beats the head.
+  EXPECT_GT(series.back(), series.front() + 0.05);
+  EXPECT_GT(m.rewards, 0u);
+}
+
+class MixSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MixSeedTest, MixedBeatsEitherAlone) {
+  // §III-D: communities need punitive AND preventive tools. Final positive
+  // share must order mixed > preventive-only > punitive-only > none.
+  CommunitySim none(community_config(PolicyMix::kNone), Rng(GetParam()));
+  CommunitySim punitive(community_config(PolicyMix::kPunitiveOnly), Rng(GetParam()));
+  CommunitySim preventive(community_config(PolicyMix::kPreventiveOnly), Rng(GetParam()));
+  CommunitySim mixed(community_config(PolicyMix::kMixed), Rng(GetParam()));
+  const double s_none = none.run().final_positive_share;
+  const double s_pun = punitive.run().final_positive_share;
+  const double s_prev = preventive.run().final_positive_share;
+  const double s_mixed = mixed.run().final_positive_share;
+  EXPECT_GT(s_pun, s_none);
+  EXPECT_GT(s_prev, s_pun - 0.05);  // both single tools help
+  EXPECT_GT(s_mixed, s_pun);
+  EXPECT_GT(s_mixed, s_prev);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixSeedTest, ::testing::Values(31, 32, 33));
+
+}  // namespace
+}  // namespace mv::moderation

@@ -1,0 +1,208 @@
+// Tests for the simulated network: delivery semantics, latency, loss,
+// partitions, and gossip coverage.
+#include <gtest/gtest.h>
+
+#include "net/gossip.h"
+#include "net/network.h"
+
+namespace mv::net {
+namespace {
+
+struct Harness {
+  SimClock clock;
+  Network net;
+  std::vector<std::vector<Message>> inboxes;
+
+  explicit Harness(LinkParams lp = {}, std::uint64_t seed = 1)
+      : net(clock, Rng(seed), lp) {}
+
+  NodeId add() {
+    const auto idx = inboxes.size();
+    inboxes.emplace_back();
+    return net.add_node([this, idx](const Message& m) { inboxes[idx].push_back(m); });
+  }
+};
+
+TEST(Network, DeliversAfterLatency) {
+  Harness h(LinkParams{.base_latency = 3.0, .jitter = 0.0, .drop_rate = 0.0});
+  const NodeId a = h.add();
+  const NodeId b = h.add();
+  ASSERT_TRUE(h.net.send(a, b, "t", Bytes{1}));
+  h.net.step();
+  EXPECT_TRUE(h.inboxes[1].empty());  // not yet due
+  h.clock.advance(3);
+  h.net.step();
+  ASSERT_EQ(h.inboxes[1].size(), 1u);
+  EXPECT_EQ(h.inboxes[1][0].from, a);
+  EXPECT_EQ(h.inboxes[1][0].topic, "t");
+  EXPECT_EQ(h.inboxes[1][0].payload, Bytes{1});
+}
+
+TEST(Network, FifoForEqualDeliveryTick) {
+  Harness h(LinkParams{.base_latency = 1.0, .jitter = 0.0, .drop_rate = 0.0});
+  const NodeId a = h.add();
+  const NodeId b = h.add();
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(h.net.send(a, b, "t", Bytes{i}));
+  }
+  h.clock.advance(1);
+  h.net.step();
+  ASSERT_EQ(h.inboxes[1].size(), 10u);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(h.inboxes[1][i].payload[0], i);
+  }
+}
+
+TEST(Network, BroadcastSkipsSender) {
+  Harness h;
+  const NodeId a = h.add();
+  h.add();
+  h.add();
+  h.net.broadcast(a, "t", Bytes{7});
+  h.net.run_until_idle();
+  EXPECT_TRUE(h.inboxes[0].empty());
+  EXPECT_EQ(h.inboxes[1].size(), 1u);
+  EXPECT_EQ(h.inboxes[2].size(), 1u);
+}
+
+TEST(Network, DropRateLosesRoughlyThatFraction) {
+  Harness h(LinkParams{.base_latency = 1.0, .jitter = 0.0, .drop_rate = 0.3}, 9);
+  const NodeId a = h.add();
+  const NodeId b = h.add();
+  for (int i = 0; i < 2000; ++i) h.net.send(a, b, "t", Bytes{});
+  h.net.run_until_idle();
+  const double loss = static_cast<double>(h.net.stats().dropped) / 2000.0;
+  EXPECT_NEAR(loss, 0.3, 0.04);
+  EXPECT_EQ(h.inboxes[1].size(), 2000u - h.net.stats().dropped);
+}
+
+TEST(Network, PartitionBlocksCrossGroupAndHeals) {
+  Harness h;
+  const NodeId a = h.add();
+  const NodeId b = h.add();
+  h.net.set_group(a, 0);
+  h.net.set_group(b, 1);
+  EXPECT_FALSE(h.net.send(a, b, "t", Bytes{}));
+  EXPECT_EQ(h.net.stats().partitioned, 1u);
+  h.net.heal();
+  EXPECT_TRUE(h.net.send(a, b, "t", Bytes{}));
+  h.net.run_until_idle();
+  EXPECT_EQ(h.inboxes[1].size(), 1u);
+}
+
+TEST(Network, PerLinkOverride) {
+  Harness h(LinkParams{.base_latency = 1.0, .jitter = 0.0, .drop_rate = 0.0});
+  const NodeId a = h.add();
+  const NodeId b = h.add();
+  h.net.set_link(a, b, LinkParams{.base_latency = 10.0, .jitter = 0.0, .drop_rate = 0.0});
+  h.net.send(a, b, "t", Bytes{});
+  h.clock.advance(9);
+  h.net.step();
+  EXPECT_TRUE(h.inboxes[1].empty());
+  h.clock.advance(1);
+  h.net.step();
+  EXPECT_EQ(h.inboxes[1].size(), 1u);
+}
+
+TEST(Network, HandlerMaySendReentrantly) {
+  SimClock clock;
+  Network net(clock, Rng(3), LinkParams{.base_latency = 1.0, .jitter = 0.0, .drop_rate = 0.0});
+  int b_got = 0, c_got = 0;
+  const NodeId a(0);
+  NodeId c_id(2);
+  // b forwards to c on reception.
+  net.add_node([](const Message&) {});
+  const NodeId b = net.add_node([&](const Message&) {
+    ++b_got;
+    net.send(NodeId(1), c_id, "fwd", Bytes{});
+  });
+  c_id = net.add_node([&](const Message&) { ++c_got; });
+  net.send(a, b, "t", Bytes{});
+  net.run_until_idle();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 1);
+}
+
+TEST(Network, RunUntilIdleBoundsTicks) {
+  Harness h(LinkParams{.base_latency = 50.0, .jitter = 0.0, .drop_rate = 0.0});
+  const NodeId a = h.add();
+  const NodeId b = h.add();
+  h.net.send(a, b, "t", Bytes{});
+  EXPECT_EQ(h.net.run_until_idle(10), 10);  // gave up before delivery
+  EXPECT_FALSE(h.net.idle());
+}
+
+// ---------------------------------------------------------------- Gossip
+
+class GossipCoverageTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GossipCoverageTest, FloodReachesEveryoneOnLosslessNet) {
+  const std::size_t n = GetParam();
+  SimClock clock;
+  Network net(clock, Rng(7), LinkParams{.base_latency = 1.0, .jitter = 1.0, .drop_rate = 0.0});
+  std::size_t delivered = 0;
+  // Fanout >= n-1 = flood: full coverage is guaranteed, not just likely.
+  Gossip gossip(net, Rng(8), n, [&](NodeId, const Bytes&) { ++delivered; });
+  for (std::size_t i = 0; i < n; ++i) gossip.join();
+  gossip.publish(NodeId(0), Bytes{42});
+  net.run_until_idle();
+  EXPECT_EQ(delivered, n);
+  EXPECT_DOUBLE_EQ(gossip.coverage(Bytes{42}), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GossipCoverageTest,
+                         ::testing::Values(2u, 10u, 50u, 200u));
+
+TEST(Gossip, BoundedFanoutCoversMostNodes) {
+  // Classic push gossip with fanout f plateaus near 1 - e^-f, not at 1.0.
+  SimClock clock;
+  Network net(clock, Rng(7), LinkParams{.base_latency = 1.0, .jitter = 1.0, .drop_rate = 0.0});
+  std::size_t delivered = 0;
+  Gossip gossip(net, Rng(8), 4, [&](NodeId, const Bytes&) { ++delivered; });
+  for (std::size_t i = 0; i < 200; ++i) gossip.join();
+  gossip.publish(NodeId(0), Bytes{42});
+  net.run_until_idle();
+  EXPECT_GT(gossip.coverage(Bytes{42}), 0.85);
+  // Message complexity must be far below flood's O(n^2).
+  EXPECT_LT(net.stats().sent, 200u * 199u / 4);
+}
+
+TEST(Gossip, DeliversOncePerNode) {
+  SimClock clock;
+  Network net(clock, Rng(11));
+  std::unordered_map<std::uint64_t, int> per_node;
+  Gossip gossip(net, Rng(12), 4, [&](NodeId node, const Bytes&) {
+    ++per_node[node.value()];
+  });
+  for (int i = 0; i < 30; ++i) gossip.join();
+  gossip.publish(NodeId(5), Bytes{1, 2, 3});
+  net.run_until_idle();
+  for (const auto& [node, count] : per_node) {
+    EXPECT_EQ(count, 1) << "node " << node;
+  }
+}
+
+TEST(Gossip, DistinctRumorsTrackedSeparately) {
+  SimClock clock;
+  Network net(clock, Rng(13));
+  Gossip gossip(net, Rng(14), 20, [](NodeId, const Bytes&) {});
+  for (int i = 0; i < 20; ++i) gossip.join();
+  gossip.publish(NodeId(0), Bytes{1});
+  net.run_until_idle();
+  EXPECT_DOUBLE_EQ(gossip.coverage(Bytes{1}), 1.0);
+  EXPECT_DOUBLE_EQ(gossip.coverage(Bytes{2}), 0.0);
+}
+
+TEST(Gossip, SurvivesModerateLoss) {
+  SimClock clock;
+  Network net(clock, Rng(15), LinkParams{.base_latency = 1.0, .jitter = 1.0, .drop_rate = 0.1});
+  Gossip gossip(net, Rng(16), 6, [](NodeId, const Bytes&) {});
+  for (int i = 0; i < 100; ++i) gossip.join();
+  gossip.publish(NodeId(0), Bytes{9});
+  net.run_until_idle();
+  EXPECT_GT(gossip.coverage(Bytes{9}), 0.9);
+}
+
+}  // namespace
+}  // namespace mv::net

@@ -1,0 +1,187 @@
+// NFT tests: on-chain token lifecycle (mint/transfer/list/buy with
+// royalties) and the admission-policy market simulation (E4 shape).
+#include <gtest/gtest.h>
+
+#include "ledger/chain.h"
+#include "nft/contract.h"
+#include "nft/market.h"
+
+namespace mv::nft {
+namespace {
+
+struct Fixture {
+  Rng rng{808};
+  std::shared_ptr<ledger::ContractRegistry> contracts =
+      std::make_shared<ledger::ContractRegistry>();
+  crypto::Wallet creator{rng}, collector{rng}, other{rng};
+  ledger::LedgerState state;
+
+  Fixture() {
+    contracts->install(std::make_shared<NftContract>());
+    state.credit(creator.address(), 1000);
+    state.credit(collector.address(), 1000);
+    state.credit(other.address(), 1000);
+  }
+
+  Status call(const crypto::Wallet& w, const std::string& method, Bytes args) {
+    const auto tx = ledger::make_contract_call(
+        w, state.nonce(w.address()), "nft", method, std::move(args), 0, rng);
+    return state.apply(tx, *contracts, 0);
+  }
+};
+
+TEST(NftContract, MintAssignsOwnershipAndMetadata) {
+  Fixture f;
+  ASSERT_TRUE(f.call(f.creator, "mint",
+                     NftContract::encode_mint("ipfs://avatar-hat", 500)).ok());
+  EXPECT_EQ(NftContract::token_count(f.state), 1u);
+  auto token = NftContract::token(f.state, 0);
+  ASSERT_TRUE(token.ok());
+  EXPECT_EQ(token.value().owner, f.creator.address());
+  EXPECT_EQ(token.value().creator, f.creator.address());
+  EXPECT_EQ(token.value().uri, "ipfs://avatar-hat");
+  EXPECT_EQ(token.value().royalty_bps, 500u);
+}
+
+TEST(NftContract, RoyaltyCapEnforced) {
+  Fixture f;
+  EXPECT_FALSE(f.call(f.creator, "mint", NftContract::encode_mint("x", 6000)).ok());
+}
+
+TEST(NftContract, TransferRequiresOwnership) {
+  Fixture f;
+  ASSERT_TRUE(f.call(f.creator, "mint", NftContract::encode_mint("x", 0)).ok());
+  EXPECT_EQ(f.call(f.other, "transfer",
+                   NftContract::encode_transfer(0, f.other.address()))
+                .error()
+                .code,
+            "nft.not_owner");
+  ASSERT_TRUE(f.call(f.creator, "transfer",
+                     NftContract::encode_transfer(0, f.collector.address())).ok());
+  EXPECT_EQ(NftContract::token(f.state, 0).value().owner, f.collector.address());
+  EXPECT_FALSE(f.call(f.creator, "transfer",
+                      NftContract::encode_transfer(9, f.collector.address())).ok());
+}
+
+TEST(NftContract, BuyPaysSellerAndCreatorRoyalty) {
+  Fixture f;
+  // Creator mints with 10% royalty, sells to collector, collector resells.
+  ASSERT_TRUE(f.call(f.creator, "mint", NftContract::encode_mint("art", 1000)).ok());
+  ASSERT_TRUE(f.call(f.creator, "list", NftContract::encode_list(0, 100)).ok());
+  EXPECT_EQ(NftContract::listing_price(f.state, 0), 100u);
+  ASSERT_TRUE(f.call(f.collector, "buy", NftContract::encode_token(0)).ok());
+  // First sale: creator is also seller → gets the full 100 (90 + 10 royalty).
+  EXPECT_EQ(f.state.balance(f.creator.address()), 1100u);
+  EXPECT_EQ(f.state.balance(f.collector.address()), 900u);
+
+  // Resale: collector lists at 200; creator share is 20.
+  ASSERT_TRUE(f.call(f.collector, "list", NftContract::encode_list(0, 200)).ok());
+  ASSERT_TRUE(f.call(f.other, "buy", NftContract::encode_token(0)).ok());
+  EXPECT_EQ(f.state.balance(f.collector.address()), 900u + 180u);
+  EXPECT_EQ(f.state.balance(f.creator.address()), 1100u + 20u);
+  EXPECT_EQ(f.state.balance(f.other.address()), 800u);
+  EXPECT_EQ(NftContract::token(f.state, 0).value().owner, f.other.address());
+  // Listing consumed.
+  EXPECT_EQ(NftContract::listing_price(f.state, 0), 0u);
+}
+
+TEST(NftContract, BuyRequiresFundsAndIsAtomic) {
+  Fixture f;
+  crypto::Wallet broke{f.rng};
+  f.state.credit(broke.address(), 5);
+  ASSERT_TRUE(f.call(f.creator, "mint", NftContract::encode_mint("x", 1000)).ok());
+  ASSERT_TRUE(f.call(f.creator, "list", NftContract::encode_list(0, 100)).ok());
+  const auto root = f.state.state_root();
+  EXPECT_FALSE(f.call(broke, "buy", NftContract::encode_token(0)).ok());
+  EXPECT_EQ(f.state.state_root(), root);  // nothing moved
+}
+
+TEST(NftContract, SelfPurchaseAndListedTransferRejected) {
+  Fixture f;
+  ASSERT_TRUE(f.call(f.creator, "mint", NftContract::encode_mint("x", 0)).ok());
+  ASSERT_TRUE(f.call(f.creator, "list", NftContract::encode_list(0, 50)).ok());
+  EXPECT_EQ(f.call(f.creator, "buy", NftContract::encode_token(0)).error().code,
+            "nft.self_purchase");
+  EXPECT_EQ(f.call(f.creator, "transfer",
+                   NftContract::encode_transfer(0, f.other.address()))
+                .error()
+                .code,
+            "nft.listed");
+  ASSERT_TRUE(f.call(f.creator, "cancel", NftContract::encode_token(0)).ok());
+  EXPECT_TRUE(f.call(f.creator, "transfer",
+                     NftContract::encode_transfer(0, f.other.address())).ok());
+}
+
+TEST(NftContract, TokensOfEnumeratesOwnership) {
+  Fixture f;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(f.call(f.creator, "mint", NftContract::encode_mint("x", 0)).ok());
+  }
+  ASSERT_TRUE(f.call(f.creator, "transfer",
+                     NftContract::encode_transfer(1, f.collector.address())).ok());
+  EXPECT_EQ(NftContract::tokens_of(f.state, f.creator.address()),
+            (std::vector<std::uint64_t>{0, 2}));
+  EXPECT_EQ(NftContract::tokens_of(f.state, f.collector.address()),
+            (std::vector<std::uint64_t>{1}));
+}
+
+// ------------------------------------------------------------ market sim
+
+MarketConfig small_market() {
+  MarketConfig c;
+  c.creators = 400;
+  c.scammer_fraction = 0.1;
+  c.rounds = 12;
+  c.buyers = 600;
+  return c;
+}
+
+TEST(MarketSim, OpenAdmitsEveryone) {
+  MarketSim sim(small_market(), AdmissionPolicy::kOpen, Rng(1));
+  const auto m = sim.run();
+  EXPECT_DOUBLE_EQ(m.honest_inclusion(), 1.0);
+  EXPECT_GT(m.scam_sale_rate(), 0.04);  // scams flow freely
+  EXPECT_GT(m.total_sales, 0u);
+}
+
+TEST(MarketSim, InviteOnlyCutsScamsButExcludesHonest) {
+  MarketSim open(small_market(), AdmissionPolicy::kOpen, Rng(2));
+  MarketSim invite(small_market(), AdmissionPolicy::kInviteOnly, Rng(2));
+  const auto mo = open.run();
+  const auto mi = invite.run();
+  EXPECT_LT(mi.scam_sale_rate(), mo.scam_sale_rate());
+  // The openness cost: most honest creators never get in.
+  EXPECT_LT(mi.honest_inclusion(), 0.3);
+}
+
+TEST(MarketSim, ReputationGatingKeepsInclusionAndCutsScams) {
+  MarketSim open(small_market(), AdmissionPolicy::kOpen, Rng(3));
+  MarketSim gated(small_market(), AdmissionPolicy::kReputationGated, Rng(3));
+  const auto mo = open.run();
+  const auto mg = gated.run();
+  // The paper's proposed balance: everyone enters...
+  EXPECT_DOUBLE_EQ(mg.honest_inclusion(), 1.0);
+  // ...and scammers are expelled as reports land.
+  EXPECT_LT(mg.scam_sale_rate(), mo.scam_sale_rate());
+  EXPECT_GT(mg.scammers_delisted, 0u);
+}
+
+class MarketSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MarketSeedTest, PolicyOrderingHoldsAcrossSeeds) {
+  // The E4 headline: scam rate open > gated, inclusion invite << gated = open.
+  MarketSim open(small_market(), AdmissionPolicy::kOpen, Rng(GetParam()));
+  MarketSim invite(small_market(), AdmissionPolicy::kInviteOnly, Rng(GetParam()));
+  MarketSim gated(small_market(), AdmissionPolicy::kReputationGated, Rng(GetParam()));
+  const auto mo = open.run();
+  const auto mi = invite.run();
+  const auto mg = gated.run();
+  EXPECT_GT(mo.scam_sale_rate(), mg.scam_sale_rate());
+  EXPECT_LT(mi.honest_inclusion(), mg.honest_inclusion());
+  EXPECT_DOUBLE_EQ(mg.honest_inclusion(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarketSeedTest, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace mv::nft

@@ -1,0 +1,222 @@
+// Policy tests: each rule in isolation, the GDPR/CCPA/baseline modules,
+// module composition, and hot-swapping regions in the engine.
+#include <gtest/gtest.h>
+
+#include "policy/engine.h"
+
+namespace mv::policy {
+namespace {
+
+DataFlowEvent clean_event() {
+  DataFlowEvent e;
+  e.id = DataFlowId(1);
+  e.subject = 7;
+  e.collector = "acme-verse";
+  e.category = "gaze";
+  e.purpose = "avatar_animation";
+  e.declared_purpose = "avatar_animation";
+  e.consent = true;
+  e.pet_applied = true;
+  e.collected_at = 0;
+  e.observed_at = 10;
+  return e;
+}
+
+// ------------------------------------------------------------ rules
+
+TEST(Rules, ConsentRequired) {
+  ConsentRequired rule;
+  auto e = clean_event();
+  EXPECT_FALSE(rule.check(e).has_value());
+  e.consent = false;
+  ASSERT_TRUE(rule.check(e).has_value());
+  EXPECT_EQ(rule.check(e)->rule, "consent_required");
+}
+
+TEST(Rules, PurposeLimitation) {
+  PurposeLimitation rule;
+  auto e = clean_event();
+  EXPECT_FALSE(rule.check(e).has_value());
+  e.purpose = "advertising";
+  EXPECT_TRUE(rule.check(e).has_value());
+  // Empty declaration is NoticeRequired's concern.
+  e.declared_purpose = "";
+  EXPECT_FALSE(rule.check(e).has_value());
+}
+
+TEST(Rules, RetentionLimit) {
+  RetentionLimit rule(100);
+  auto e = clean_event();
+  e.observed_at = 99;
+  EXPECT_FALSE(rule.check(e).has_value());
+  e.observed_at = 150;
+  EXPECT_TRUE(rule.check(e).has_value());
+  e.deleted = true;
+  EXPECT_FALSE(rule.check(e).has_value());
+}
+
+TEST(Rules, RightToDelete) {
+  RightToDelete rule(50);
+  auto e = clean_event();
+  EXPECT_FALSE(rule.check(e).has_value());  // nothing requested
+  e.deletion_requested = true;
+  e.deletion_requested_at = 10;
+  e.observed_at = 30;
+  EXPECT_FALSE(rule.check(e).has_value());  // clock running
+  e.observed_at = 100;
+  EXPECT_TRUE(rule.check(e).has_value());  // deadline blown
+  e.deleted = true;
+  e.deleted_at = 40;
+  EXPECT_FALSE(rule.check(e).has_value());  // honoured in time
+  e.deleted_at = 90;
+  EXPECT_TRUE(rule.check(e).has_value());  // honoured too late
+}
+
+TEST(Rules, SaleOptOut) {
+  SaleOptOut rule;
+  auto e = clean_event();
+  e.sold = true;
+  EXPECT_FALSE(rule.check(e).has_value());  // no opt-out on file
+  e.opt_out_of_sale = true;
+  EXPECT_TRUE(rule.check(e).has_value());
+  e.sold = false;
+  EXPECT_FALSE(rule.check(e).has_value());
+}
+
+TEST(Rules, BreachNotification) {
+  BreachNotification rule(72);
+  auto e = clean_event();
+  EXPECT_FALSE(rule.check(e).has_value());
+  e.breached = true;
+  e.breach_at = 100;
+  e.observed_at = 150;
+  EXPECT_FALSE(rule.check(e).has_value());  // window open
+  e.observed_at = 200;
+  EXPECT_TRUE(rule.check(e).has_value());  // window blown, never notified
+  e.breach_notified = true;
+  e.breach_notified_at = 160;
+  EXPECT_FALSE(rule.check(e).has_value());  // 60 <= 72
+  e.breach_notified_at = 190;
+  EXPECT_TRUE(rule.check(e).has_value());  // 90 > 72
+}
+
+TEST(Rules, PetRequired) {
+  PetRequired rule({"gaze", "heart_rate"});
+  auto e = clean_event();
+  EXPECT_FALSE(rule.check(e).has_value());
+  e.pet_applied = false;
+  EXPECT_TRUE(rule.check(e).has_value());
+  e.category = "spatial_map";  // not in the critical set
+  EXPECT_FALSE(rule.check(e).has_value());
+}
+
+TEST(Rules, NoticeRequired) {
+  NoticeRequired rule;
+  auto e = clean_event();
+  EXPECT_FALSE(rule.check(e).has_value());
+  e.declared_purpose = "";
+  EXPECT_TRUE(rule.check(e).has_value());
+}
+
+// ------------------------------------------------------------ modules
+
+TEST(Modules, GdprFlagsConsentlessRawGaze) {
+  const auto gdpr = make_gdpr_module();
+  auto e = clean_event();
+  e.consent = false;
+  e.pet_applied = false;
+  const auto violations = gdpr->audit(e);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].rule, "consent_required");
+  EXPECT_EQ(violations[1].rule, "pet_required");
+}
+
+TEST(Modules, CcpaToleratesNoConsentButNotSaleAfterOptOut) {
+  const auto ccpa = make_ccpa_module();
+  auto e = clean_event();
+  e.consent = false;  // CCPA is opt-out, not opt-in
+  EXPECT_TRUE(ccpa->audit(e).empty());
+  e.sold = true;
+  e.opt_out_of_sale = true;
+  const auto violations = ccpa->audit(e);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "sale_opt_out");
+}
+
+TEST(Modules, AnalogousPurposeDifferentParameters) {
+  // The paper: "The purpose of these regulations is analogous... despite
+  // coming from different local laws." Both modules enforce deletion, with
+  // different deadlines.
+  EXPECT_TRUE(make_gdpr_module()->has_rule("right_to_delete"));
+  EXPECT_TRUE(make_ccpa_module()->has_rule("right_to_delete"));
+  EXPECT_TRUE(make_gdpr_module()->has_rule("consent_required"));
+  EXPECT_FALSE(make_ccpa_module()->has_rule("consent_required"));
+}
+
+TEST(Modules, ComposeTakesUnionOfRules) {
+  const auto both = compose(make_gdpr_module(), make_ccpa_module(), "gdpr+ccpa");
+  EXPECT_TRUE(both->has_rule("consent_required"));  // from GDPR
+  EXPECT_TRUE(both->has_rule("sale_opt_out"));      // from CCPA
+  // Dedupe: right_to_delete appears once (GDPR's instance wins).
+  std::size_t delete_rules = 0;
+  for (const auto& rule : both->rules()) {
+    delete_rules += (rule->name() == "right_to_delete");
+  }
+  EXPECT_EQ(delete_rules, 1u);
+
+  // The composed module catches at least everything each part catches.
+  auto e = clean_event();
+  e.consent = false;
+  e.sold = true;
+  e.opt_out_of_sale = true;
+  const auto violations = both->audit(e);
+  EXPECT_GE(violations.size(), 2u);
+}
+
+// ------------------------------------------------------------ engine
+
+TEST(Engine, RoutesByRegionAndHotSwaps) {
+  PolicyEngine engine;
+  engine.set_region_module("eu", make_gdpr_module());
+  engine.set_region_module("california", make_ccpa_module());
+
+  auto e = clean_event();
+  e.consent = false;
+  e.pet_applied = true;
+  EXPECT_FALSE(engine.audit("eu", e).empty());          // GDPR: consent missing
+  EXPECT_TRUE(engine.audit("california", e).empty());   // CCPA: fine
+
+  // Hot swap: California adopts a GDPR-style law.
+  engine.set_region_module("california", make_gdpr_module());
+  EXPECT_FALSE(engine.audit("california", e).empty());
+  EXPECT_EQ(engine.stats().module_swaps, 1u);
+}
+
+TEST(Engine, UnmappedRegionFallsBackOrCountsGap) {
+  PolicyEngine engine;
+  auto e = clean_event();
+  e.consent = false;
+  EXPECT_TRUE(engine.audit("atlantis", e).empty());
+  EXPECT_EQ(engine.unmapped_events(), 1u);
+  engine.set_default_module(make_baseline_module());
+  e.declared_purpose = "";
+  EXPECT_FALSE(engine.audit("atlantis", e).empty());
+  EXPECT_EQ(engine.unmapped_events(), 1u);  // no longer a gap
+}
+
+TEST(Engine, StatsAccumulate) {
+  PolicyEngine engine;
+  engine.set_region_module("eu", make_gdpr_module());
+  auto good = clean_event();
+  auto bad = clean_event();
+  bad.consent = false;
+  bad.pet_applied = false;
+  (void)engine.audit("eu", good);
+  (void)engine.audit("eu", bad);
+  EXPECT_EQ(engine.stats().events_audited, 2u);
+  EXPECT_EQ(engine.stats().violations, 2u);
+  EXPECT_DOUBLE_EQ(engine.stats().compliance_rate(), 0.0);  // 2 violations / 2 events
+}
+
+}  // namespace
+}  // namespace mv::policy

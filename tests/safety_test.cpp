@@ -1,0 +1,134 @@
+// Safety tests: kinematics, collision accounting, and the E6 shape — every
+// intervention cuts collisions relative to occluded walking.
+#include <gtest/gtest.h>
+
+#include "safety/room.h"
+
+namespace mv::safety {
+namespace {
+
+RoomConfig base_config(Intervention intervention) {
+  RoomConfig c;
+  c.users = 4;
+  c.obstacles = 6;
+  c.intervention = intervention;
+  return c;
+}
+
+SafetyMetrics run_with(Intervention intervention, std::uint64_t seed,
+                       std::size_t ticks = 3000) {
+  RoomSim sim(base_config(intervention), Rng(seed));
+  sim.run(ticks);
+  return sim.metrics();
+}
+
+TEST(TimeToCollision, HeadOnAndMissAndReceding) {
+  using world::Vec2;
+  // Head-on: 10m apart, closing at 2 m/tick, radii 0.5 each → gap 9m → t=4.5.
+  EXPECT_NEAR(time_to_collision({0, 0}, {1, 0}, 0.5, {10, 0}, {-1, 0}, 0.5),
+              4.5, 1e-9);
+  // Parallel tracks far apart never collide.
+  EXPECT_LT(time_to_collision({0, 0}, {1, 0}, 0.3, {0, 5}, {1, 0}, 0.3), 0.0);
+  // Receding.
+  EXPECT_LT(time_to_collision({0, 0}, {-1, 0}, 0.3, {5, 0}, {1, 0}, 0.3), 0.0);
+  // Already overlapping → 0.
+  EXPECT_DOUBLE_EQ(
+      time_to_collision({0, 0}, {0, 0}, 0.5, {0.4, 0}, {0, 0}, 0.5), 0.0);
+  // Stationary pair apart → never.
+  EXPECT_LT(time_to_collision({0, 0}, {0, 0}, 0.3, {5, 0}, {0, 0}, 0.3), 0.0);
+}
+
+TEST(RoomSim, UsersStayInRoom) {
+  RoomSim sim(base_config(Intervention::kNone), Rng(1));
+  sim.run(2000);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto p = sim.user_position(i);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 10.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 10.0);
+  }
+}
+
+TEST(RoomSim, WalkingAccumulatesDistance) {
+  RoomSim sim(base_config(Intervention::kNone), Rng(2));
+  sim.run(1000);
+  // 4 users x 1000 ticks x 0.14 m = 560 m, minus chaperone stops (none here).
+  EXPECT_NEAR(sim.metrics().distance_walked, 560.0, 1.0);
+  EXPECT_EQ(sim.metrics().ticks, 1000u);
+}
+
+TEST(RoomSim, OccludedWalkersCollide) {
+  const auto m = run_with(Intervention::kNone, 3);
+  EXPECT_GT(m.total_collisions(), 10u);  // blind walking in a cluttered room
+  EXPECT_GT(m.user_obstacle_collisions, 0u);
+  EXPECT_DOUBLE_EQ(m.disruption, 0.0);  // nothing ever pops into view
+}
+
+TEST(RoomSim, EveryInterventionReducesCollisions) {
+  // Average over seeds to keep the comparison stable.
+  double none = 0, shadow = 0, redirect = 0, chaperone = 0;
+  const int seeds = 5;
+  for (int s = 0; s < seeds; ++s) {
+    none += run_with(Intervention::kNone, 100 + s).collisions_per_100m();
+    shadow += run_with(Intervention::kShadowAvatars, 100 + s).collisions_per_100m();
+    redirect += run_with(Intervention::kRedirectedWalking, 100 + s).collisions_per_100m();
+    chaperone += run_with(Intervention::kChaperone, 100 + s).collisions_per_100m();
+  }
+  EXPECT_LT(redirect, none * 0.5);
+  EXPECT_LT(chaperone, none * 0.5);
+  EXPECT_LT(shadow, none);  // shadows only reveal users, not furniture
+}
+
+TEST(RoomSim, ShadowAvatarsOnlyHelpAgainstUsers) {
+  double none_uu = 0, shadow_uu = 0;
+  for (int s = 0; s < 5; ++s) {
+    none_uu += static_cast<double>(
+        run_with(Intervention::kNone, 200 + s).user_user_collisions);
+    shadow_uu += static_cast<double>(
+        run_with(Intervention::kShadowAvatars, 200 + s).user_user_collisions);
+  }
+  EXPECT_LT(shadow_uu, none_uu);
+}
+
+TEST(RoomSim, InterventionsCostImmersion) {
+  const auto shadow = run_with(Intervention::kShadowAvatars, 7);
+  const auto redirect = run_with(Intervention::kRedirectedWalking, 7);
+  const auto chaperone = run_with(Intervention::kChaperone, 7);
+  EXPECT_GT(shadow.disruption, 0.0);
+  EXPECT_GT(redirect.disruption, 0.0);
+  EXPECT_GT(chaperone.disruption, 0.0);
+}
+
+TEST(RoomSim, EmptyRoomNoObstacleCollisions) {
+  RoomConfig c = base_config(Intervention::kNone);
+  c.users = 1;
+  c.obstacles = 0;
+  RoomSim sim(c, Rng(8));
+  sim.run(3000);
+  EXPECT_EQ(sim.metrics().user_user_collisions, 0u);
+  EXPECT_EQ(sim.metrics().user_obstacle_collisions, 0u);
+}
+
+class InterventionSeedTest
+    : public ::testing::TestWithParam<std::tuple<Intervention, std::uint64_t>> {};
+
+TEST_P(InterventionSeedTest, MetricsAreSane) {
+  const auto [intervention, seed] = GetParam();
+  const auto m = run_with(intervention, seed, 1500);
+  EXPECT_EQ(m.ticks, 1500u);
+  EXPECT_GT(m.distance_walked, 0.0);
+  EXPECT_GE(m.disruption, 0.0);
+  EXPECT_LT(m.collisions_per_100m(), 100.0);  // sanity ceiling
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InterventionSeedTest,
+    ::testing::Combine(::testing::Values(Intervention::kNone,
+                                         Intervention::kShadowAvatars,
+                                         Intervention::kRedirectedWalking,
+                                         Intervention::kChaperone),
+                       ::testing::Values(11u, 22u)));
+
+}  // namespace
+}  // namespace mv::safety

@@ -1,0 +1,153 @@
+// Trust tests: graph generators, cascade mechanics, and the E5 shape —
+// reputation weighting and flagging incentives shrink misinformation spread.
+#include <gtest/gtest.h>
+
+#include "trust/misinformation.h"
+
+namespace mv::trust {
+namespace {
+
+// ------------------------------------------------------------ graphs
+
+TEST(SocialGraph, AddEdgeIgnoresLoopsAndDuplicates) {
+  SocialGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 2);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(2, 2));
+}
+
+TEST(SocialGraph, WattsStrogatzDegreeAndEdgeCount) {
+  Rng rng(1);
+  const auto g = SocialGraph::watts_strogatz(200, 6, 0.1, rng);
+  EXPECT_EQ(g.size(), 200u);
+  // Lattice has n*k/2 edges; rewiring preserves (or slightly reduces) count.
+  EXPECT_LE(g.edge_count(), 600u);
+  EXPECT_GE(g.edge_count(), 540u);
+  std::size_t degree_sum = 0;
+  for (std::size_t v = 0; v < g.size(); ++v) degree_sum += g.neighbors(v).size();
+  EXPECT_EQ(degree_sum, 2 * g.edge_count());
+}
+
+TEST(SocialGraph, BarabasiAlbertIsSkewed) {
+  Rng rng(2);
+  const auto g = SocialGraph::barabasi_albert(500, 3, rng);
+  EXPECT_EQ(g.size(), 500u);
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    max_degree = std::max(max_degree, g.neighbors(v).size());
+    mean_degree += static_cast<double>(g.neighbors(v).size());
+  }
+  mean_degree /= 500.0;
+  // Scale-free: hubs far above the mean.
+  EXPECT_GT(static_cast<double>(max_degree), 5.0 * mean_degree);
+}
+
+// ------------------------------------------------------------ cascades
+
+PropagationConfig base_config() {
+  PropagationConfig c;
+  c.base_share_probability = 0.2;
+  c.seeds = 5;
+  return c;
+}
+
+TEST(MisinfoSim, CascadeSpreadsOnConnectedGraph) {
+  Rng rng(3);
+  const auto g = SocialGraph::watts_strogatz(2000, 8, 0.1, rng);
+  MisinfoSim sim(g, base_config(), Rng(4));
+  const auto r = sim.run();
+  EXPECT_GT(r.infected, 100u);  // p=0.2 on degree-8 graph is supercritical
+  EXPECT_GT(r.rounds, 1u);
+}
+
+TEST(MisinfoSim, ZeroShareProbabilityStopsAtSeeds) {
+  Rng rng(5);
+  const auto g = SocialGraph::watts_strogatz(500, 6, 0.1, rng);
+  auto config = base_config();
+  config.base_share_probability = 0.0;
+  MisinfoSim sim(g, config, Rng(6));
+  const auto r = sim.run();
+  EXPECT_LE(r.infected, config.seeds);
+}
+
+TEST(MisinfoSim, CredibilityIsBimodal) {
+  Rng rng(7);
+  const auto g = SocialGraph::watts_strogatz(2000, 6, 0.1, rng);
+  MisinfoSim sim(g, base_config(), Rng(8));
+  int low = 0, high = 0;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    if (sim.credibility(v) < 0.4) ++low;
+    if (sim.credibility(v) > 0.5) ++high;
+  }
+  EXPECT_GT(low, 100);
+  EXPECT_GT(high, 1200);
+}
+
+class DefenceSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DefenceSeedTest, ReputationWeightingShrinksCascades) {
+  Rng rng(GetParam());
+  const auto g = SocialGraph::watts_strogatz(3000, 8, 0.1, rng);
+  double base = 0, weighted = 0;
+  for (int i = 0; i < 10; ++i) {
+    MisinfoSim plain(g, base_config(), Rng(GetParam() * 100 + i));
+    auto config = base_config();
+    config.reputation_weighted = true;
+    MisinfoSim defended(g, config, Rng(GetParam() * 100 + i));
+    base += plain.run().spread_fraction(g.size());
+    weighted += defended.run().spread_fraction(g.size());
+  }
+  EXPECT_LT(weighted, base * 0.8);
+}
+
+TEST_P(DefenceSeedTest, FlaggingIncentivesShrinkCascades) {
+  Rng rng(GetParam());
+  const auto g = SocialGraph::watts_strogatz(3000, 8, 0.1, rng);
+  double base = 0, flagged = 0;
+  for (int i = 0; i < 10; ++i) {
+    MisinfoSim plain(g, base_config(), Rng(GetParam() * 200 + i));
+    auto config = base_config();
+    config.flagging_incentives = true;
+    MisinfoSim defended(g, config, Rng(GetParam() * 200 + i));
+    base += plain.run().spread_fraction(g.size());
+    flagged += defended.run().spread_fraction(g.size());
+  }
+  EXPECT_LT(flagged, base * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DefenceSeedTest, ::testing::Values(11, 13));
+
+TEST(MisinfoSim, CombinedDefencesStackOnScaleFreeGraph) {
+  Rng rng(17);
+  const auto g = SocialGraph::barabasi_albert(3000, 4, rng);
+  double base = 0, both = 0;
+  for (int i = 0; i < 10; ++i) {
+    MisinfoSim plain(g, base_config(), Rng(300 + i));
+    auto config = base_config();
+    config.reputation_weighted = true;
+    config.flagging_incentives = true;
+    MisinfoSim defended(g, config, Rng(300 + i));
+    base += plain.run().spread_fraction(g.size());
+    both += defended.run().spread_fraction(g.size());
+  }
+  EXPECT_LT(both, base * 0.6);
+}
+
+TEST(MisinfoSim, FlagsOnlyAccumulateWithIncentives) {
+  Rng rng(18);
+  const auto g = SocialGraph::watts_strogatz(1000, 8, 0.1, rng);
+  MisinfoSim plain(g, base_config(), Rng(19));
+  EXPECT_EQ(plain.run().flags, 0u);
+  auto config = base_config();
+  config.flagging_incentives = true;
+  MisinfoSim defended(g, config, Rng(19));
+  EXPECT_GT(defended.run().flags, 0u);
+}
+
+}  // namespace
+}  // namespace mv::trust

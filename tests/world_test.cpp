@@ -1,0 +1,378 @@
+// World tests: spaces/avatars, privacy-bubble semantics (interactions and
+// visibility), secondary avatars, and the behavioural linkage attack.
+#include <gtest/gtest.h>
+
+#include "world/crowd.h"
+#include "world/equality.h"
+#include "world/linkage.h"
+#include "world/world.h"
+
+namespace mv::world {
+namespace {
+
+struct Fixture {
+  World world{Rng(5)};
+  SpaceId plaza;
+  AvatarId alice, bob, mallory;
+
+  Fixture() {
+    plaza = world.create_space(50, 50);
+    alice = world.spawn_primary(1, plaza, {10, 10});
+    bob = world.spawn_primary(2, plaza, {11, 10});
+    mallory = world.spawn_primary(3, plaza, {10.5, 10.5});
+  }
+};
+
+TEST(World, SpawnAndQuery) {
+  Fixture f;
+  EXPECT_EQ(f.world.avatar_count(), 3u);
+  ASSERT_NE(f.world.avatar(f.alice), nullptr);
+  EXPECT_EQ(f.world.avatar(f.alice)->owner, 1u);
+  EXPECT_FALSE(f.world.avatar(f.alice)->secondary);
+  EXPECT_EQ(f.world.avatar(AvatarId(99)), nullptr);
+  ASSERT_NE(f.world.space(f.plaza), nullptr);
+  EXPECT_DOUBLE_EQ(f.world.space(f.plaza)->width, 50.0);
+}
+
+TEST(World, SecondaryAvatarSharesOwnerButIsDistinct) {
+  Fixture f;
+  auto clone = f.world.spawn_secondary(f.alice, {20, 20});
+  ASSERT_TRUE(clone.ok());
+  const Avatar* c = f.world.avatar(clone.value());
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->secondary);
+  EXPECT_EQ(c->owner, 1u);
+  EXPECT_NE(c->id, f.alice);
+  EXPECT_FALSE(f.world.spawn_secondary(AvatarId(99), {0, 0}).ok());
+}
+
+TEST(World, InteractionRequiresProximity) {
+  Fixture f;
+  EXPECT_TRUE(f.world.interact(f.alice, f.bob, InteractionKind::kChat, 0).ok());
+  f.world.move(f.bob, {40, 40});
+  const auto s = f.world.interact(f.alice, f.bob, InteractionKind::kChat, 1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "world.out_of_range");
+  EXPECT_EQ(f.world.stats().blocked_by_range, 1u);
+}
+
+TEST(World, BubbleVetoesStrangersButNotFriends) {
+  Fixture f;
+  f.world.set_bubble(f.alice, true, 2.0);
+  // Mallory is 0.7 away — inside the bubble, not allowed.
+  const auto blocked = f.world.interact(f.mallory, f.alice, InteractionKind::kHarass, 0);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.error().code, "world.bubble");
+  // Bob is a friend.
+  f.world.allow_in_bubble(f.alice, f.bob);
+  EXPECT_TRUE(f.world.interact(f.bob, f.alice, InteractionKind::kChat, 1).ok());
+  EXPECT_EQ(f.world.stats().blocked_by_bubble, 1u);
+}
+
+TEST(World, BubbleOffRestoresAccess) {
+  Fixture f;
+  f.world.set_bubble(f.alice, true, 2.0);
+  EXPECT_FALSE(f.world.interact(f.mallory, f.alice, InteractionKind::kChat, 0).ok());
+  f.world.set_bubble(f.alice, false);
+  EXPECT_TRUE(f.world.interact(f.mallory, f.alice, InteractionKind::kChat, 1).ok());
+}
+
+TEST(World, VisibilityRespectsBubble) {
+  Fixture f;
+  // Everyone sees everyone at first (range 10).
+  EXPECT_EQ(f.world.visible_to(f.mallory, 10.0).size(), 2u);
+  f.world.set_bubble(f.alice, true, 2.0);
+  // Mallory stands inside Alice's bubble → loses visual access to her.
+  const auto visible = f.world.visible_to(f.mallory, 10.0);
+  ASSERT_EQ(visible.size(), 1u);
+  EXPECT_EQ(visible[0], f.bob);
+  // Bob (1.0 + ~0.7 away from Alice... also inside 2.0) — friend him in.
+  f.world.allow_in_bubble(f.alice, f.bob);
+  EXPECT_EQ(f.world.visible_to(f.bob, 10.0).size(), 2u);
+}
+
+TEST(World, LogRecordsDeliveredOnly) {
+  Fixture f;
+  f.world.set_bubble(f.alice, true, 2.0);
+  (void)f.world.interact(f.mallory, f.alice, InteractionKind::kHarass, 0);
+  ASSERT_TRUE(f.world.interact(f.mallory, f.bob, InteractionKind::kChat, 1).ok());
+  ASSERT_EQ(f.world.log().size(), 1u);
+  EXPECT_EQ(f.world.log()[0].kind, InteractionKind::kChat);
+  EXPECT_EQ(f.world.log()[0].to, f.bob);
+}
+
+TEST(World, WanderStaysInBounds) {
+  Fixture f;
+  for (int i = 0; i < 200; ++i) {
+    f.world.wander(f.alice);
+    const Vec2 p = f.world.avatar(f.alice)->pos;
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 50.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 50.0);
+  }
+}
+
+TEST(World, LandGatingRespectsOracle) {
+  Fixture f;
+  const SpaceId estate = f.world.create_space(20, 20);
+  f.world.set_space_access(estate, /*public_access=*/false, /*land_token=*/7);
+  // No oracle wired: every gate is closed.
+  EXPECT_EQ(f.world.enter(f.alice, estate, {1, 1}).error().code, "world.land_gated");
+  // Oracle: owner 1 (Alice) holds token 7.
+  f.world.set_access_oracle([](std::uint64_t user, std::uint64_t token) {
+    return user == 1 && token == 7;
+  });
+  EXPECT_TRUE(f.world.enter(f.alice, estate, {1, 1}).ok());
+  EXPECT_EQ(f.world.avatar(f.alice)->space, estate);
+  EXPECT_EQ(f.world.enter(f.bob, estate, {1, 2}).error().code, "world.land_gated");
+  // Reopening the space admits everyone.
+  f.world.set_space_access(estate, true);
+  EXPECT_TRUE(f.world.enter(f.bob, estate, {1, 2}).ok());
+  // Unknown ids fail cleanly.
+  EXPECT_FALSE(f.world.enter(AvatarId(99), estate, {0, 0}).ok());
+  EXPECT_FALSE(f.world.enter(f.alice, SpaceId(99), {0, 0}).ok());
+}
+
+TEST(World, EavesdroppersHearNearbyInteractions) {
+  Fixture f;
+  // Mallory stands 0.7 from Alice; Bob is 1.0 away. Alice chats with Bob;
+  // Mallory overhears.
+  const auto listeners = f.world.eavesdroppers(f.alice, f.bob, 2.0);
+  ASSERT_EQ(listeners.size(), 1u);
+  EXPECT_EQ(listeners[0], f.mallory);
+  // Move Mallory out of earshot.
+  f.world.move(f.mallory, {40, 40});
+  EXPECT_TRUE(f.world.eavesdroppers(f.alice, f.bob, 2.0).empty());
+}
+
+TEST(World, BubbleDoesNotStopEavesdropping) {
+  // The paper's residual risk: bubbles restrict access, not observation.
+  Fixture f;
+  f.world.set_bubble(f.alice, true, 2.0);
+  f.world.allow_in_bubble(f.alice, f.bob);
+  ASSERT_TRUE(f.world.interact(f.bob, f.alice, InteractionKind::kChat, 0).ok());
+  // Mallory, vetoed from interacting, still observes the metadata.
+  const auto listeners = f.world.eavesdroppers(f.bob, f.alice, 2.0);
+  ASSERT_EQ(listeners.size(), 1u);
+  EXPECT_EQ(listeners[0], f.mallory);
+}
+
+TEST(World, EavesdropperReconstructsSocialGraph) {
+  // A stationary observer in a busy plaza harvests "who talks to whom" from
+  // interaction metadata alone.
+  World world{Rng(77)};
+  Rng rng(78);
+  const SpaceId plaza = world.create_space(10, 10);
+  const AvatarId observer = world.spawn_primary(0, plaza, {5, 5});
+  std::vector<AvatarId> people;
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    people.push_back(world.spawn_primary(i, plaza, {4.0 + 0.3 * static_cast<double>(i), 5.0}));
+  }
+  // Ground-truth friendship: i talks to i+1.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, int> harvested;
+  for (int round = 0; round < 20; ++round) {
+    for (std::size_t i = 0; i + 1 < people.size(); i += 2) {
+      if (world.interact(people[i], people[i + 1], InteractionKind::kChat, round).ok()) {
+        const auto listeners = world.eavesdroppers(people[i], people[i + 1], 5.0);
+        if (std::find(listeners.begin(), listeners.end(), observer) != listeners.end()) {
+          ++harvested[{i, i + 1}];
+        }
+      }
+    }
+    (void)rng;
+  }
+  // The observer saw every pair repeatedly — behavioural metadata leaked
+  // without any sensor access at all.
+  EXPECT_EQ(harvested.size(), 3u);
+  for (const auto& [pair, count] : harvested) EXPECT_EQ(count, 20);
+}
+
+// ------------------------------------------------------------ linkage
+
+TEST(Linkage, ProfilesNormalized) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const InterestProfile p = sample_profile(rng);
+    double sum = 0.0;
+    for (const double v : p) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Linkage, SessionCountsMatchActions) {
+  Rng rng(7);
+  const InterestProfile p = sample_profile(rng);
+  const SessionTrace t = play_session(AvatarId(1), p, 500, 0.0, rng);
+  std::uint32_t total = 0;
+  for (const auto c : t.counts) total += c;
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(Linkage, SimilarityBounds) {
+  Rng rng(8);
+  const InterestProfile a = sample_profile(rng);
+  const InterestProfile b = sample_profile(rng);
+  EXPECT_NEAR(profile_similarity(a, a), 1.0, 1e-9);
+  const double s = profile_similarity(a, b);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0 + 1e-9);
+}
+
+TEST(Linkage, CloneWithoutNoiseIsLinkable) {
+  Rng rng(9);
+  const std::size_t users = 100;
+  std::vector<InterestProfile> latent, enrolled;
+  for (std::size_t u = 0; u < users; ++u) {
+    latent.push_back(sample_profile(rng));
+    // The attacker enrolls each primary avatar's observed histogram.
+    enrolled.push_back(trace_histogram(
+        play_session(AvatarId(u), latent.back(), 200, 0.0, rng)));
+  }
+  std::size_t linked = 0;
+  for (std::size_t u = 0; u < users; ++u) {
+    const auto clone_trace =
+        play_session(AvatarId(1000 + u), latent[u], 200, 0.0, rng);
+    linked += (link_to_primary(trace_histogram(clone_trace), enrolled) == u);
+  }
+  // Undefended clones are trivially linkable — the paper's implicit premise.
+  EXPECT_GT(static_cast<double>(linked) / users, 0.8);
+}
+
+class LinkageNoiseTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinkageNoiseTest, BehaviourNoiseDefeatsLinkage) {
+  Rng rng(GetParam());
+  const std::size_t users = 80;
+  std::vector<InterestProfile> latent, enrolled;
+  for (std::size_t u = 0; u < users; ++u) {
+    latent.push_back(sample_profile(rng));
+    enrolled.push_back(trace_histogram(
+        play_session(AvatarId(u), latent.back(), 150, 0.0, rng)));
+  }
+  auto accuracy_at = [&](double noise) {
+    std::size_t linked = 0;
+    for (std::size_t u = 0; u < users; ++u) {
+      const auto t = play_session(AvatarId(1000 + u), latent[u], 150, noise, rng);
+      linked += (link_to_primary(trace_histogram(t), enrolled) == u);
+    }
+    return static_cast<double>(linked) / users;
+  };
+  const double none = accuracy_at(0.0);
+  const double heavy = accuracy_at(0.95);
+  EXPECT_GT(none, 0.7);
+  EXPECT_LT(heavy, none - 0.3);  // blending toward uniform breaks the match
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkageNoiseTest, ::testing::Values(21, 42, 63));
+
+// ------------------------------------------------------------ crowd
+
+TEST(Crowd, GridMatchesBruteForceNeighbourhood) {
+  CrowdConfig config;
+  config.arena_width = 50;
+  config.arena_height = 50;
+  config.aoi_radius = 8.0;
+  config.render_cap = 1000;  // cap off: pure range query
+  CrowdSim sim(120, config, Rng(70));
+  sim.run(3);
+  // Verify interest sets against brute force for a few clients. We can't
+  // reach positions directly, so compare set sizes via a second simulation?
+  // interest_set is the API under test: check symmetry + radius soundness
+  // through pairwise containment consistency.
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto set_i = sim.interest_set(i);
+    for (const std::size_t j : set_i) {
+      const auto set_j = sim.interest_set(j);
+      // AOI is symmetric when the cap is off.
+      EXPECT_NE(std::find(set_j.begin(), set_j.end(), i), set_j.end())
+          << i << " sees " << j << " but not vice versa";
+    }
+  }
+}
+
+TEST(Crowd, RenderCapBoundsInterestSet) {
+  CrowdConfig config;
+  config.arena_width = 20;  // dense crush
+  config.arena_height = 20;
+  config.aoi_radius = 15.0;
+  config.render_cap = 16;
+  CrowdSim sim(300, config, Rng(71));
+  sim.run(2);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_LE(sim.interest_set(i).size(), 16u);
+  }
+  EXPECT_GT(sim.metrics().capped_clients, 0u);
+}
+
+TEST(Crowd, NaiveBroadcastCountsAllPairs) {
+  CrowdConfig config;
+  config.mode = DisseminationMode::kNaiveBroadcast;
+  CrowdSim sim(100, config, Rng(72));
+  sim.run(5);
+  EXPECT_EQ(sim.metrics().updates_delivered, 5u * 100u * 99u);
+}
+
+TEST(Crowd, InterestGridBoundsPerClientLoadUnderConstantDensity) {
+  // Same density, 4x the attendance → per-client updates stay ~flat while
+  // naive grows 4x. This is E15's shape as a unit test.
+  auto run_grid = [](std::size_t n) {
+    CrowdConfig config;
+    const double side = std::sqrt(8.0 * static_cast<double>(n));
+    config.arena_width = side;
+    config.arena_height = side;
+    CrowdSim sim(n, config, Rng(73));
+    sim.run(10);
+    return sim.metrics().updates_per_client_tick(n);
+  };
+  const double small = run_grid(1000);
+  const double large = run_grid(4000);
+  EXPECT_NEAR(large, small, small * 0.25 + 2.0);
+}
+
+// ------------------------------------------------------------ equality
+
+TEST(Equality, PhysicalWorldShowsGroupGap) {
+  EqualityConfig config;
+  config.people = 1500;
+  EqualitySim sim(config, Rng(91));
+  const auto m = sim.run(PresentationRegime::kPhysical);
+  EXPECT_GT(m.group_outcome_gap, 0.1);   // structural bias is visible
+  EXPECT_GT(m.talent_correlation, 0.3);  // talent still matters somewhat
+}
+
+TEST(Equality, DefaultAvatarsImportTheBias) {
+  EqualityConfig config;
+  config.people = 1500;
+  EqualitySim physical(config, Rng(92));
+  EqualitySim mirrored(config, Rng(92));
+  const auto mp = physical.run(PresentationRegime::kPhysical);
+  const auto mm = mirrored.run(PresentationRegime::kDefaultAvatars);
+  // Mirroring avatars change nothing: same gap (same seed, same draws).
+  EXPECT_NEAR(mm.group_outcome_gap, mp.group_outcome_gap, 0.05);
+}
+
+class EqualitySeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EqualitySeedTest, CustomAvatarsCollapseTheGapAndLiftTalent) {
+  EqualityConfig config;
+  config.people = 1500;
+  EqualitySim a(config, Rng(GetParam()));
+  EqualitySim b(config, Rng(GetParam()));
+  const auto physical = a.run(PresentationRegime::kPhysical);
+  const auto custom = b.run(PresentationRegime::kCustomAvatars);
+  // The §IV-B claim: the group gap collapses...
+  EXPECT_LT(custom.group_outcome_gap, physical.group_outcome_gap * 0.4);
+  // ...while talent remains the dominant predictor. (Bias noise is
+  // *redistributed*, not removed, so the correlation does not rise — it just
+  // stops being stratified by group.)
+  EXPECT_GT(custom.talent_correlation, 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqualitySeedTest, ::testing::Values(93, 94, 95));
+
+}  // namespace
+}  // namespace mv::world
