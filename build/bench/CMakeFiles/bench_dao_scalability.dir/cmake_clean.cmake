@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dao_scalability.dir/bench_dao_scalability.cpp.o"
+  "CMakeFiles/bench_dao_scalability.dir/bench_dao_scalability.cpp.o.d"
+  "bench_dao_scalability"
+  "bench_dao_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dao_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

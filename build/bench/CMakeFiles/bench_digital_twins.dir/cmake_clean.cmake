@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_digital_twins.dir/bench_digital_twins.cpp.o"
+  "CMakeFiles/bench_digital_twins.dir/bench_digital_twins.cpp.o.d"
+  "bench_digital_twins"
+  "bench_digital_twins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_digital_twins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

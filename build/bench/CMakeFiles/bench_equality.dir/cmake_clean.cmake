@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_equality.dir/bench_equality.cpp.o"
+  "CMakeFiles/bench_equality.dir/bench_equality.cpp.o.d"
+  "bench_equality"
+  "bench_equality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_equality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

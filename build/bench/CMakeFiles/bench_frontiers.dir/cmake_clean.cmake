@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frontiers.dir/bench_frontiers.cpp.o"
+  "CMakeFiles/bench_frontiers.dir/bench_frontiers.cpp.o.d"
+  "bench_frontiers"
+  "bench_frontiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

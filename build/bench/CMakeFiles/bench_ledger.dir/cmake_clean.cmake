@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ledger.dir/bench_ledger.cpp.o"
+  "CMakeFiles/bench_ledger.dir/bench_ledger.cpp.o.d"
+  "bench_ledger"
+  "bench_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mass_event.dir/bench_mass_event.cpp.o"
+  "CMakeFiles/bench_mass_event.dir/bench_mass_event.cpp.o.d"
+  "bench_mass_event"
+  "bench_mass_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mass_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

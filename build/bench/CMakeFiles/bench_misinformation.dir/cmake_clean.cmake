@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_misinformation.dir/bench_misinformation.cpp.o"
+  "CMakeFiles/bench_misinformation.dir/bench_misinformation.cpp.o.d"
+  "bench_misinformation"
+  "bench_misinformation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misinformation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

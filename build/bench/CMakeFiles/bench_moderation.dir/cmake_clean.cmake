@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_moderation.dir/bench_moderation.cpp.o"
+  "CMakeFiles/bench_moderation.dir/bench_moderation.cpp.o.d"
+  "bench_moderation"
+  "bench_moderation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moderation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

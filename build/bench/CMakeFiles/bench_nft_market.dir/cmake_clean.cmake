@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nft_market.dir/bench_nft_market.cpp.o"
+  "CMakeFiles/bench_nft_market.dir/bench_nft_market.cpp.o.d"
+  "bench_nft_market"
+  "bench_nft_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nft_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_engine.dir/bench_policy_engine.cpp.o"
+  "CMakeFiles/bench_policy_engine.dir/bench_policy_engine.cpp.o.d"
+  "bench_policy_engine"
+  "bench_policy_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_privacy_bubble.dir/bench_privacy_bubble.cpp.o"
+  "CMakeFiles/bench_privacy_bubble.dir/bench_privacy_bubble.cpp.o.d"
+  "bench_privacy_bubble"
+  "bench_privacy_bubble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_privacy_bubble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_privacy_pipeline.dir/bench_privacy_pipeline.cpp.o"
+  "CMakeFiles/bench_privacy_pipeline.dir/bench_privacy_pipeline.cpp.o.d"
+  "bench_privacy_pipeline"
+  "bench_privacy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_privacy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

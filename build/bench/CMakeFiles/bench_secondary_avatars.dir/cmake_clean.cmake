@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secondary_avatars.dir/bench_secondary_avatars.cpp.o"
+  "CMakeFiles/bench_secondary_avatars.dir/bench_secondary_avatars.cpp.o.d"
+  "bench_secondary_avatars"
+  "bench_secondary_avatars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secondary_avatars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

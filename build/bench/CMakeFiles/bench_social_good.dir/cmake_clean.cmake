@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_social_good.dir/bench_social_good.cpp.o"
+  "CMakeFiles/bench_social_good.dir/bench_social_good.cpp.o.d"
+  "bench_social_good"
+  "bench_social_good.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_social_good.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governance_town.dir/governance_town.cpp.o"
+  "CMakeFiles/governance_town.dir/governance_town.cpp.o.d"
+  "governance_town"
+  "governance_town.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governance_town.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

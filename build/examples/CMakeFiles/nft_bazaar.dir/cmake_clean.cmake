@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nft_bazaar.dir/nft_bazaar.cpp.o"
+  "CMakeFiles/nft_bazaar.dir/nft_bazaar.cpp.o.d"
+  "nft_bazaar"
+  "nft_bazaar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nft_bazaar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

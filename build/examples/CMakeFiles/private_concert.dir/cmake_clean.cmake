@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_concert.dir/private_concert.cpp.o"
+  "CMakeFiles/private_concert.dir/private_concert.cpp.o.d"
+  "private_concert"
+  "private_concert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_concert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

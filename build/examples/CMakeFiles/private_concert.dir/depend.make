@@ -1,0 +1,2 @@
+# Empty dependencies file for private_concert.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_playroom.dir/safety_playroom.cpp.o"
+  "CMakeFiles/safety_playroom.dir/safety_playroom.cpp.o.d"
+  "safety_playroom"
+  "safety_playroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_playroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

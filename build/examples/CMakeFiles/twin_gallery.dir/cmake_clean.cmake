@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twin_gallery.dir/twin_gallery.cpp.o"
+  "CMakeFiles/twin_gallery.dir/twin_gallery.cpp.o.d"
+  "twin_gallery"
+  "twin_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twin_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

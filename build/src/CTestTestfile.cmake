@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("net")
+subdirs("ledger")
+subdirs("dao")
+subdirs("reputation")
+subdirs("nft")
+subdirs("privacy")
+subdirs("policy")
+subdirs("world")
+subdirs("safety")
+subdirs("moderation")
+subdirs("trust")
+subdirs("twin")
+subdirs("core")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_common.dir/bytes.cpp.o"
+  "CMakeFiles/mv_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/mv_common.dir/logging.cpp.o"
+  "CMakeFiles/mv_common.dir/logging.cpp.o.d"
+  "CMakeFiles/mv_common.dir/rng.cpp.o"
+  "CMakeFiles/mv_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mv_common.dir/stats.cpp.o"
+  "CMakeFiles/mv_common.dir/stats.cpp.o.d"
+  "libmv_common.a"
+  "libmv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_core.dir/ethics.cpp.o"
+  "CMakeFiles/mv_core.dir/ethics.cpp.o.d"
+  "CMakeFiles/mv_core.dir/metaverse.cpp.o"
+  "CMakeFiles/mv_core.dir/metaverse.cpp.o.d"
+  "CMakeFiles/mv_core.dir/portability.cpp.o"
+  "CMakeFiles/mv_core.dir/portability.cpp.o.d"
+  "libmv_core.a"
+  "libmv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/mv_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/mv_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/mv_crypto.dir/schnorr.cpp.o.d"
+  "CMakeFiles/mv_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/mv_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/mv_crypto.dir/wallet.cpp.o"
+  "CMakeFiles/mv_crypto.dir/wallet.cpp.o.d"
+  "libmv_crypto.a"
+  "libmv_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

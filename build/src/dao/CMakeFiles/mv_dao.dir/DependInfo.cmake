@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dao/contract.cpp" "src/dao/CMakeFiles/mv_dao.dir/contract.cpp.o" "gcc" "src/dao/CMakeFiles/mv_dao.dir/contract.cpp.o.d"
+  "/root/repo/src/dao/dao.cpp" "src/dao/CMakeFiles/mv_dao.dir/dao.cpp.o" "gcc" "src/dao/CMakeFiles/mv_dao.dir/dao.cpp.o.d"
+  "/root/repo/src/dao/federated.cpp" "src/dao/CMakeFiles/mv_dao.dir/federated.cpp.o" "gcc" "src/dao/CMakeFiles/mv_dao.dir/federated.cpp.o.d"
+  "/root/repo/src/dao/member.cpp" "src/dao/CMakeFiles/mv_dao.dir/member.cpp.o" "gcc" "src/dao/CMakeFiles/mv_dao.dir/member.cpp.o.d"
+  "/root/repo/src/dao/voting.cpp" "src/dao/CMakeFiles/mv_dao.dir/voting.cpp.o" "gcc" "src/dao/CMakeFiles/mv_dao.dir/voting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/mv_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mv_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_dao.dir/contract.cpp.o"
+  "CMakeFiles/mv_dao.dir/contract.cpp.o.d"
+  "CMakeFiles/mv_dao.dir/dao.cpp.o"
+  "CMakeFiles/mv_dao.dir/dao.cpp.o.d"
+  "CMakeFiles/mv_dao.dir/federated.cpp.o"
+  "CMakeFiles/mv_dao.dir/federated.cpp.o.d"
+  "CMakeFiles/mv_dao.dir/member.cpp.o"
+  "CMakeFiles/mv_dao.dir/member.cpp.o.d"
+  "CMakeFiles/mv_dao.dir/voting.cpp.o"
+  "CMakeFiles/mv_dao.dir/voting.cpp.o.d"
+  "libmv_dao.a"
+  "libmv_dao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_dao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mv_dao.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_ledger.dir/audit.cpp.o"
+  "CMakeFiles/mv_ledger.dir/audit.cpp.o.d"
+  "CMakeFiles/mv_ledger.dir/block.cpp.o"
+  "CMakeFiles/mv_ledger.dir/block.cpp.o.d"
+  "CMakeFiles/mv_ledger.dir/chain.cpp.o"
+  "CMakeFiles/mv_ledger.dir/chain.cpp.o.d"
+  "CMakeFiles/mv_ledger.dir/consensus.cpp.o"
+  "CMakeFiles/mv_ledger.dir/consensus.cpp.o.d"
+  "CMakeFiles/mv_ledger.dir/mempool.cpp.o"
+  "CMakeFiles/mv_ledger.dir/mempool.cpp.o.d"
+  "CMakeFiles/mv_ledger.dir/state.cpp.o"
+  "CMakeFiles/mv_ledger.dir/state.cpp.o.d"
+  "CMakeFiles/mv_ledger.dir/transaction.cpp.o"
+  "CMakeFiles/mv_ledger.dir/transaction.cpp.o.d"
+  "libmv_ledger.a"
+  "libmv_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moderation/classifier.cpp" "src/moderation/CMakeFiles/mv_moderation.dir/classifier.cpp.o" "gcc" "src/moderation/CMakeFiles/mv_moderation.dir/classifier.cpp.o.d"
+  "/root/repo/src/moderation/community.cpp" "src/moderation/CMakeFiles/mv_moderation.dir/community.cpp.o" "gcc" "src/moderation/CMakeFiles/mv_moderation.dir/community.cpp.o.d"
+  "/root/repo/src/moderation/engine.cpp" "src/moderation/CMakeFiles/mv_moderation.dir/engine.cpp.o" "gcc" "src/moderation/CMakeFiles/mv_moderation.dir/engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_moderation.dir/classifier.cpp.o"
+  "CMakeFiles/mv_moderation.dir/classifier.cpp.o.d"
+  "CMakeFiles/mv_moderation.dir/community.cpp.o"
+  "CMakeFiles/mv_moderation.dir/community.cpp.o.d"
+  "CMakeFiles/mv_moderation.dir/engine.cpp.o"
+  "CMakeFiles/mv_moderation.dir/engine.cpp.o.d"
+  "libmv_moderation.a"
+  "libmv_moderation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_moderation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

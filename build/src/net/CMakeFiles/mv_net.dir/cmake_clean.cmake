@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_net.dir/gossip.cpp.o"
+  "CMakeFiles/mv_net.dir/gossip.cpp.o.d"
+  "CMakeFiles/mv_net.dir/network.cpp.o"
+  "CMakeFiles/mv_net.dir/network.cpp.o.d"
+  "libmv_net.a"
+  "libmv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

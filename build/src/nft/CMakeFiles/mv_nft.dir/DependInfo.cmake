@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nft/contract.cpp" "src/nft/CMakeFiles/mv_nft.dir/contract.cpp.o" "gcc" "src/nft/CMakeFiles/mv_nft.dir/contract.cpp.o.d"
+  "/root/repo/src/nft/market.cpp" "src/nft/CMakeFiles/mv_nft.dir/market.cpp.o" "gcc" "src/nft/CMakeFiles/mv_nft.dir/market.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/mv_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/reputation/CMakeFiles/mv_reputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mv_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_nft.dir/contract.cpp.o"
+  "CMakeFiles/mv_nft.dir/contract.cpp.o.d"
+  "CMakeFiles/mv_nft.dir/market.cpp.o"
+  "CMakeFiles/mv_nft.dir/market.cpp.o.d"
+  "libmv_nft.a"
+  "libmv_nft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_nft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

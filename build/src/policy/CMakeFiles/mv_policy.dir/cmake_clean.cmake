@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_policy.dir/engine.cpp.o"
+  "CMakeFiles/mv_policy.dir/engine.cpp.o.d"
+  "CMakeFiles/mv_policy.dir/rules.cpp.o"
+  "CMakeFiles/mv_policy.dir/rules.cpp.o.d"
+  "libmv_policy.a"
+  "libmv_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

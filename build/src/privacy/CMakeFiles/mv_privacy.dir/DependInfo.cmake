@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/inference.cpp" "src/privacy/CMakeFiles/mv_privacy.dir/inference.cpp.o" "gcc" "src/privacy/CMakeFiles/mv_privacy.dir/inference.cpp.o.d"
+  "/root/repo/src/privacy/pets.cpp" "src/privacy/CMakeFiles/mv_privacy.dir/pets.cpp.o" "gcc" "src/privacy/CMakeFiles/mv_privacy.dir/pets.cpp.o.d"
+  "/root/repo/src/privacy/pipeline.cpp" "src/privacy/CMakeFiles/mv_privacy.dir/pipeline.cpp.o" "gcc" "src/privacy/CMakeFiles/mv_privacy.dir/pipeline.cpp.o.d"
+  "/root/repo/src/privacy/sensors.cpp" "src/privacy/CMakeFiles/mv_privacy.dir/sensors.cpp.o" "gcc" "src/privacy/CMakeFiles/mv_privacy.dir/sensors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_privacy.dir/inference.cpp.o"
+  "CMakeFiles/mv_privacy.dir/inference.cpp.o.d"
+  "CMakeFiles/mv_privacy.dir/pets.cpp.o"
+  "CMakeFiles/mv_privacy.dir/pets.cpp.o.d"
+  "CMakeFiles/mv_privacy.dir/pipeline.cpp.o"
+  "CMakeFiles/mv_privacy.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mv_privacy.dir/sensors.cpp.o"
+  "CMakeFiles/mv_privacy.dir/sensors.cpp.o.d"
+  "libmv_privacy.a"
+  "libmv_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_reputation.dir/attacks.cpp.o"
+  "CMakeFiles/mv_reputation.dir/attacks.cpp.o.d"
+  "CMakeFiles/mv_reputation.dir/reputation.cpp.o"
+  "CMakeFiles/mv_reputation.dir/reputation.cpp.o.d"
+  "libmv_reputation.a"
+  "libmv_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

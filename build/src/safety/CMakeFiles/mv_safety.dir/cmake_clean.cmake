@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_safety.dir/room.cpp.o"
+  "CMakeFiles/mv_safety.dir/room.cpp.o.d"
+  "libmv_safety.a"
+  "libmv_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

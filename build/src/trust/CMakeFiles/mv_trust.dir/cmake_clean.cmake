@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_trust.dir/graph.cpp.o"
+  "CMakeFiles/mv_trust.dir/graph.cpp.o.d"
+  "CMakeFiles/mv_trust.dir/misinformation.cpp.o"
+  "CMakeFiles/mv_trust.dir/misinformation.cpp.o.d"
+  "libmv_trust.a"
+  "libmv_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

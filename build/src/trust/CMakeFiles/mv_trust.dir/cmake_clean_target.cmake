@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmv_trust.a"
+)

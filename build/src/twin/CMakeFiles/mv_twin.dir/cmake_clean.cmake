@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_twin.dir/twin.cpp.o"
+  "CMakeFiles/mv_twin.dir/twin.cpp.o.d"
+  "libmv_twin.a"
+  "libmv_twin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_twin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/crowd.cpp" "src/world/CMakeFiles/mv_world.dir/crowd.cpp.o" "gcc" "src/world/CMakeFiles/mv_world.dir/crowd.cpp.o.d"
+  "/root/repo/src/world/equality.cpp" "src/world/CMakeFiles/mv_world.dir/equality.cpp.o" "gcc" "src/world/CMakeFiles/mv_world.dir/equality.cpp.o.d"
+  "/root/repo/src/world/linkage.cpp" "src/world/CMakeFiles/mv_world.dir/linkage.cpp.o" "gcc" "src/world/CMakeFiles/mv_world.dir/linkage.cpp.o.d"
+  "/root/repo/src/world/world.cpp" "src/world/CMakeFiles/mv_world.dir/world.cpp.o" "gcc" "src/world/CMakeFiles/mv_world.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

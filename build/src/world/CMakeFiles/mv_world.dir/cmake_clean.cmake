@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_world.dir/crowd.cpp.o"
+  "CMakeFiles/mv_world.dir/crowd.cpp.o.d"
+  "CMakeFiles/mv_world.dir/equality.cpp.o"
+  "CMakeFiles/mv_world.dir/equality.cpp.o.d"
+  "CMakeFiles/mv_world.dir/linkage.cpp.o"
+  "CMakeFiles/mv_world.dir/linkage.cpp.o.d"
+  "CMakeFiles/mv_world.dir/world.cpp.o"
+  "CMakeFiles/mv_world.dir/world.cpp.o.d"
+  "libmv_world.a"
+  "libmv_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dao_test.dir/dao_test.cpp.o"
+  "CMakeFiles/dao_test.dir/dao_test.cpp.o.d"
+  "dao_test"
+  "dao_test.pdb"
+  "dao_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dao_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

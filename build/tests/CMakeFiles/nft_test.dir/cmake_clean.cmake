@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nft_test.dir/nft_test.cpp.o"
+  "CMakeFiles/nft_test.dir/nft_test.cpp.o.d"
+  "nft_test"
+  "nft_test.pdb"
+  "nft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

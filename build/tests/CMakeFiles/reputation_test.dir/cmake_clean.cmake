@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reputation_test.dir/reputation_test.cpp.o"
+  "CMakeFiles/reputation_test.dir/reputation_test.cpp.o.d"
+  "reputation_test"
+  "reputation_test.pdb"
+  "reputation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reputation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

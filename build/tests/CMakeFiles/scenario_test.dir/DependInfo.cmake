@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/scenario_test.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/scenario_test.dir/scenario_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dao/CMakeFiles/mv_dao.dir/DependInfo.cmake"
+  "/root/repo/build/src/moderation/CMakeFiles/mv_moderation.dir/DependInfo.cmake"
+  "/root/repo/build/src/nft/CMakeFiles/mv_nft.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/mv_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mv_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/mv_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/reputation/CMakeFiles/mv_reputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/safety/CMakeFiles/mv_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/mv_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/twin/CMakeFiles/mv_twin.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mv_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/mv_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/ledger_test[1]_include.cmake")
+include("/root/repo/build/tests/dao_test[1]_include.cmake")
+include("/root/repo/build/tests/reputation_test[1]_include.cmake")
+include("/root/repo/build/tests/nft_test[1]_include.cmake")
+include("/root/repo/build/tests/privacy_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/world_test[1]_include.cmake")
+include("/root/repo/build/tests/safety_test[1]_include.cmake")
+include("/root/repo/build/tests/moderation_test[1]_include.cmake")
+include("/root/repo/build/tests/trust_test[1]_include.cmake")
+include("/root/repo/build/tests/twin_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")

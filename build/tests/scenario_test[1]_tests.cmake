@@ -1,0 +1,3 @@
+add_test([=[Scenario.AFullDayInTheMetaverse]=]  /root/repo/build/tests/scenario_test [==[--gtest_filter=Scenario.AFullDayInTheMetaverse]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Scenario.AFullDayInTheMetaverse]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  scenario_test_TESTS Scenario.AFullDayInTheMetaverse)
