@@ -123,6 +123,87 @@ void BM_TxApplyTransfer(benchmark::State& state) {
 }
 BENCHMARK(BM_TxApplyTransfer);
 
+// Hot path of block production: assemble a 256-tx block on top of a ledger
+// with `range(0)` funded accounts, then fully validate it. The per-block cost
+// must track block size, not world size (the seed deep-copied the whole
+// account map twice per block).
+void BM_BlockAssembleValidate(benchmark::State& state) {
+  const auto accounts = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kTxs = 256;
+  Rng rng(9);
+  auto contracts = std::make_shared<ContractRegistry>();
+  crypto::Wallet validator(rng);
+  LedgerState genesis;
+  for (std::size_t i = 0; i < accounts; ++i) {
+    genesis.credit(crypto::Address{0x100000 + i}, 1);
+  }
+  std::vector<crypto::Wallet> senders;
+  senders.reserve(kTxs);
+  std::vector<Transaction> candidates;
+  candidates.reserve(kTxs);
+  for (std::size_t i = 0; i < kTxs; ++i) {
+    senders.emplace_back(rng);
+    genesis.credit(senders.back().address(), 1'000'000);
+    candidates.push_back(
+        make_transfer(senders.back(), 0, crypto::Address{7}, 1, 1, rng));
+  }
+  ChainConfig config;
+  config.validators = {validator.public_key()};
+  config.max_txs_per_block = kTxs;
+  Blockchain chain(config, contracts, genesis);
+  for (auto _ : state) {
+    const Block block = chain.assemble(validator, candidates, 0, rng);
+    benchmark::DoNotOptimize(chain.validate(block));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTxs));
+}
+BENCHMARK(BM_BlockAssembleValidate)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// Mempool admission/selection/eviction at pool size `range(0)`: select a
+// 256-tx block worth and evict it. Cost must scale with the selected txs,
+// not with the pool size.
+void BM_MempoolSelectRemove(benchmark::State& state) {
+  const auto pool_size = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBlock = 256;
+  Rng rng(11);
+  LedgerState ledger_state;
+  // Few senders with deep nonce queues plus many one-shot senders.
+  std::vector<crypto::Wallet> wallets;
+  const std::size_t deep = 16;
+  for (std::size_t i = 0; i < deep; ++i) {
+    wallets.emplace_back(rng);
+    ledger_state.credit(wallets.back().address(), 1'000'000);
+  }
+  std::vector<Transaction> txs;
+  txs.reserve(pool_size);
+  const std::size_t per_sender = pool_size / 2 / deep;
+  for (std::size_t i = 0; i < deep; ++i) {
+    for (std::size_t n = 0; n < per_sender; ++n) {
+      txs.push_back(make_transfer(wallets[i], n, crypto::Address{3}, 1,
+                                  1 + (i + n) % 7, rng));
+    }
+  }
+  while (txs.size() < pool_size) {
+    wallets.emplace_back(rng);
+    ledger_state.credit(wallets.back().address(), 1'000'000);
+    txs.push_back(make_transfer(wallets.back(), 0, crypto::Address{3}, 1,
+                                1 + txs.size() % 7, rng));
+  }
+  Mempool pool;
+  for (const auto& tx : txs) (void)pool.add(tx, ledger_state);
+  for (auto _ : state) {
+    const auto picked = pool.select(kBlock, ledger_state);
+    pool.remove_included(picked);
+    state.PauseTiming();
+    for (const auto& tx : picked) (void)pool.add(tx, ledger_state);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBlock));
+}
+BENCHMARK(BM_MempoolSelectRemove)->Arg(1024)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
 void BM_MerkleProof256(benchmark::State& state) {
   std::vector<crypto::Digest> leaves;
   for (int i = 0; i < 256; ++i) {

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "net/network.h"
 #include "world/crowd.h"
 
 namespace {
@@ -60,6 +61,29 @@ void BM_CrowdStepGrid(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_CrowdStepGrid)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Announcement fan-out on the simulated network: one 1 KiB payload broadcast
+// to N nodes and delivered. Recipients share a single payload buffer, so the
+// cost is queue churn, not N-1 kilobyte copies.
+void BM_NetworkBroadcast1KiB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  SimClock clock;
+  net::Network network(clock, Rng(7),
+                       net::LinkParams{.base_latency = 1.0, .jitter = 0.0, .drop_rate = 0.0});
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    network.add_node([&delivered](const net::Message&) { ++delivered; });
+  }
+  const Bytes payload(1024, 0xAB);
+  for (auto _ : state) {
+    network.broadcast(NodeId(0), "announce", payload);
+    network.run_until_idle();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_NetworkBroadcast1KiB)->Arg(1000)->Arg(10000);
 
 }  // namespace
 

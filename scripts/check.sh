@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Build and test both configurations: the normal RelWithDebInfo build and the
+# ASan+UBSan build. Run from the repository root. Exits non-zero on the first
+# failing build or test.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure + build: default (RelWithDebInfo) =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "${jobs}"
+
+echo "== ctest: default =="
+ctest --test-dir build --output-on-failure -j "${jobs}"
+
+echo "== configure + build: asan-ubsan =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMV_SANITIZE=ON
+cmake --build build-asan -j "${jobs}"
+
+echo "== ctest: asan-ubsan =="
+ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+
+echo "All checks passed."

@@ -20,6 +20,7 @@ using Bytes = std::vector<std::uint8_t>;
 
 class ByteWriter {
  public:
+  void reserve(std::size_t n) { buf_.reserve(n); }
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);

@@ -63,10 +63,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  if (!std::isfinite(x)) {
+    ++dropped_;
+    return;
+  }
+  // Clamp in the double domain: casting a value outside the target range
+  // (possible for finite samples far beyond [lo, hi]) is also UB.
   const double t = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  std::size_t idx = 0;
+  if (t >= 1.0) {
+    idx = counts_.size() - 1;
+  } else if (t > 0.0) {
+    idx = std::min(static_cast<std::size_t>(t * static_cast<double>(counts_.size())),
+                   counts_.size() - 1);
+  }
+  ++counts_[idx];
   ++total_;
 }
 

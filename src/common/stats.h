@@ -51,10 +51,14 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Record one sample. Non-finite samples (NaN, ±Inf) are discarded and
+  /// counted in dropped() — casting them to an index is undefined behavior.
   void add(double x);
   [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
   [[nodiscard]] std::size_t total() const { return total_; }
+  /// Samples discarded because they were not finite.
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
   /// Render a one-line ASCII sparkline — used by bench binaries.
   [[nodiscard]] std::string sparkline() const;
 
@@ -63,6 +67,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t dropped_ = 0;
 };
 
 }  // namespace mv

@@ -37,7 +37,7 @@ Block Blockchain::assemble(const crypto::Wallet& proposer,
   block.header.timestamp = timestamp;
   block.header.proposer_pub = proposer.public_key();
 
-  LedgerState scratch = state_;
+  LedgerStateOverlay scratch(state_);
   for (const auto& tx : candidates) {
     if (block.txs.size() >= config_.max_txs_per_block) break;
     if (scratch.apply(tx, *contracts_, block.header.height).ok()) {
@@ -50,51 +50,49 @@ Block Blockchain::assemble(const crypto::Wallet& proposer,
   return block;
 }
 
-Result<LedgerState> Blockchain::check(const Block& block) const {
+Status Blockchain::check(const Block& block, LedgerStateOverlay& scratch) const {
   const auto& h = block.header;
   if (h.height != height()) {
-    return make_error("block.bad_height",
-                      "expected " + std::to_string(height()));
+    return Status::fail("block.bad_height",
+                        "expected " + std::to_string(height()));
   }
   if (h.prev_hash != tip_hash()) {
-    return make_error("block.bad_parent", "prev_hash does not match tip");
+    return Status::fail("block.bad_parent", "prev_hash does not match tip");
   }
   if (h.proposer_pub != expected_proposer(h.height)) {
-    return make_error("block.wrong_proposer",
-                      "not this round's proposer (PoA round-robin)");
+    return Status::fail("block.wrong_proposer",
+                        "not this round's proposer (PoA round-robin)");
   }
   if (!crypto::verify(h.proposer_pub, h.signing_bytes(), h.proposer_sig)) {
-    return make_error("block.bad_proposer_sig", "header signature invalid");
+    return Status::fail("block.bad_proposer_sig", "header signature invalid");
   }
   if (block.txs.size() > config_.max_txs_per_block) {
-    return make_error("block.too_many_txs", "exceeds max_txs_per_block");
+    return Status::fail("block.too_many_txs", "exceeds max_txs_per_block");
   }
   if (h.tx_root != Block::compute_tx_root(block.txs)) {
-    return make_error("block.bad_tx_root", "Merkle root mismatch");
+    return Status::fail("block.bad_tx_root", "Merkle root mismatch");
   }
-  LedgerState scratch = state_;
   for (std::size_t i = 0; i < block.txs.size(); ++i) {
     if (auto s = scratch.apply(block.txs[i], *contracts_, h.height); !s.ok()) {
-      return make_error("block.bad_tx",
-                        "tx " + std::to_string(i) + ": " + s.error().to_string());
+      return Status::fail("block.bad_tx",
+                          "tx " + std::to_string(i) + ": " + s.error().to_string());
     }
   }
   if (scratch.state_root() != h.state_root) {
-    return make_error("block.bad_state_root", "post-state mismatch");
+    return Status::fail("block.bad_state_root", "post-state mismatch");
   }
-  return scratch;
-}
-
-Status Blockchain::validate(const Block& block) const {
-  auto post = check(block);
-  if (!post.ok()) return Status::fail(post.error().code, post.error().message);
   return {};
 }
 
+Status Blockchain::validate(const Block& block) const {
+  LedgerStateOverlay scratch(state_);
+  return check(block, scratch);
+}
+
 Status Blockchain::append(const Block& block) {
-  auto post = check(block);
-  if (!post.ok()) return Status::fail(post.error().code, post.error().message);
-  state_ = std::move(post).value();
+  LedgerStateOverlay scratch(state_);
+  if (auto s = check(block, scratch); !s.ok()) return s;
+  scratch.commit();
   blocks_.push_back(block);
   return {};
 }

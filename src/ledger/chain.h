@@ -67,8 +67,9 @@ class Blockchain {
   [[nodiscard]] Result<std::size_t> import_blocks(const Bytes& data);
 
  private:
-  /// Validate and, on success, produce the post-state.
-  [[nodiscard]] Result<LedgerState> check(const Block& block) const;
+  /// Validate the block by trial-applying it onto `scratch` (an overlay over
+  /// the current state). On success the overlay holds the block's delta.
+  [[nodiscard]] Status check(const Block& block, LedgerStateOverlay& scratch) const;
 
   ChainConfig config_;
   std::shared_ptr<const ContractRegistry> contracts_;

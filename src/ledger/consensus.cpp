@@ -105,14 +105,16 @@ bool ValidatorCommittee::run_round(Tick timeout) {
       leader.chain.config().max_txs_per_block, leader.chain.state());
   const Block block = leader.chain.assemble(leader.wallet, candidates,
                                             round_start, leader.rng);
-  // Leader processes its own proposal locally, then broadcasts.
+  // Encode the proposal once; the local delivery and every broadcast
+  // recipient share the same buffer.
+  const auto encoded = std::make_shared<const Bytes>(block.encode());
   net::Message self_propose;
   self_propose.from = leader.node;
   self_propose.to = leader.node;
   self_propose.topic = "propose";
-  self_propose.payload = block.encode();
+  self_propose.payload_buf = encoded;
   handle_propose(leader, self_propose);
-  network_.broadcast(leader.node, "propose", block.encode());
+  network_.broadcast(leader.node, "propose", encoded);
   network_.run_until_idle(timeout);
 
   const bool committed = leader.chain.height() >= target_height + 1;
@@ -133,16 +135,16 @@ void ValidatorCommittee::on_message(std::size_t validator_index,
   if (msg.topic == "propose") {
     handle_propose(v, msg);
   } else if (msg.topic == "vote") {
-    handle_vote(v, msg.payload);
+    handle_vote(v, msg.payload());
   } else if (msg.topic == "sync_req") {
     handle_sync_request(v, msg);
   } else if (msg.topic == "sync_resp") {
-    handle_sync_response(v, msg.payload);
+    handle_sync_response(v, msg.payload());
   }
 }
 
 void ValidatorCommittee::handle_propose(Validator& v, const net::Message& msg) {
-  auto block = Block::decode(msg.payload);
+  auto block = Block::decode(msg.payload());
   if (!block.ok()) return;
   if (block.value().header.height > v.chain.height()) {
     // We are behind (missed commits during a partition): pull the missing
@@ -179,7 +181,7 @@ void ValidatorCommittee::serve_blocks(Validator& v, NodeId to,
 
 void ValidatorCommittee::handle_sync_request(Validator& v,
                                              const net::Message& msg) {
-  ByteReader r(msg.payload);
+  ByteReader r(msg.payload());
   auto from_height = r.i64();
   if (!from_height.ok()) return;
   serve_blocks(v, msg.from, from_height.value());
@@ -201,9 +203,9 @@ void ValidatorCommittee::broadcast_vote(Validator& v, const Block& block) {
   vote.block_hash = block.header.hash();
   vote.voter = v.wallet.public_key();
   vote.sig = v.wallet.sign(vote_signing_bytes(vote.height, vote.block_hash), v.rng);
-  const Bytes encoded = vote.encode();
+  const auto encoded = std::make_shared<const Bytes>(vote.encode());
   // Count our own vote, then tell everyone else.
-  handle_vote(v, encoded);
+  handle_vote(v, *encoded);
   network_.broadcast(v.node, "vote", encoded);
 }
 

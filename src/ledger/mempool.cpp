@@ -1,6 +1,6 @@
 #include "ledger/mempool.h"
 
-#include <unordered_map>
+#include <queue>
 
 namespace mv::ledger {
 
@@ -14,70 +14,97 @@ Status Mempool::add(Transaction tx, const LedgerState& state) {
   if (!tx.signature_valid()) {
     return Status::fail("mempool.bad_signature", "rejected at admission");
   }
-  const std::uint64_t key = dedupe_key(tx);
-  if (by_digest_.contains(key)) {
+  const std::uint64_t dk = dedupe_key(tx);
+  if (by_digest_.contains(dk)) {
     return Status::fail("mempool.duplicate", "transaction already pending");
   }
-  if (tx.nonce < state.nonce(tx.sender())) {
+  const crypto::Address sender = tx.sender();
+  if (tx.nonce < state.nonce(sender)) {
     return Status::fail("mempool.stale_nonce", "nonce already consumed");
   }
-  by_digest_.insert(key);
-  ordered_.emplace(Key{tx.fee, seq_++}, std::move(tx));
+  const std::uint64_t nonce = tx.nonce;
+  auto& queue = by_sender_[sender.value];
+  if (const auto it = queue.find(nonce); it != queue.end()) {
+    // Same sender+nonce already pending: replace-by-fee, strictly higher.
+    if (tx.fee <= it->second.tx.fee) {
+      return Status::fail("mempool.underpriced",
+                          "pending tx with this nonce pays an equal or higher fee");
+    }
+    by_digest_.erase(it->second.dedupe);
+    by_digest_.emplace(dk, Locator{sender.value, nonce});
+    it->second = Entry{std::move(tx), dk, seq_++};
+    return {};
+  }
+  by_digest_.emplace(dk, Locator{sender.value, nonce});
+  queue.emplace(nonce, Entry{std::move(tx), dk, seq_++});
   return {};
 }
 
 std::vector<Transaction> Mempool::select(std::size_t max_txs,
                                          const LedgerState& state) const {
+  // Heap of per-sender heads: each sender contributes its next runnable tx
+  // (nonce exactly the one the ledger expects); picking a head advances that
+  // sender's queue iterator when the following nonce is contiguous. Cost is
+  // O(senders + picked · log senders) — no repeated full-pool passes and no
+  // re-hashing (the fee/seq ordering key lives in the entry).
+  struct Head {
+    std::uint64_t fee = 0;
+    std::uint64_t seq = 0;
+    const SenderQueue* queue = nullptr;
+    SenderQueue::const_iterator it;
+    bool operator<(const Head& other) const {
+      if (fee != other.fee) return fee < other.fee;  // max-heap: higher fee first
+      return seq > other.seq;                        // then FIFO
+    }
+  };
+  std::priority_queue<Head> heads;
+  for (const auto& [sender, queue] : by_sender_) {
+    const std::uint64_t expected = state.nonce(crypto::Address{sender});
+    const auto it = queue.lower_bound(expected);
+    if (it == queue.end() || it->first != expected) continue;  // gap: not runnable
+    heads.push(Head{it->second.tx.fee, it->second.seq, &queue, it});
+  }
   std::vector<Transaction> out;
-  out.reserve(std::min(max_txs, ordered_.size()));
-  // Track the next expected nonce per sender as we pick.
-  std::unordered_map<std::uint64_t, std::uint64_t> next_nonce;
-  // Fee-ordered greedy pass; a tx whose nonce is not yet due is skipped this
-  // round (its predecessor may be cheaper and appear later in fee order, so
-  // we loop until a pass adds nothing).
-  std::unordered_set<std::uint64_t> taken;
-  bool progress = true;
-  while (out.size() < max_txs && progress) {
-    progress = false;
-    for (const auto& [key, tx] : ordered_) {
-      if (out.size() >= max_txs) break;
-      const std::uint64_t dk = dedupe_key(tx);
-      if (taken.contains(dk)) continue;
-      const std::uint64_t sender = tx.sender().value;
-      const auto it = next_nonce.find(sender);
-      const std::uint64_t expected =
-          it != next_nonce.end() ? it->second : state.nonce(tx.sender());
-      if (tx.nonce != expected) continue;
-      out.push_back(tx);
-      taken.insert(dk);
-      next_nonce[sender] = expected + 1;
-      progress = true;
+  out.reserve(std::min(max_txs, by_digest_.size()));
+  while (!heads.empty() && out.size() < max_txs) {
+    const Head head = heads.top();
+    heads.pop();
+    out.push_back(head.it->second.tx);
+    const auto next = std::next(head.it);
+    if (next != head.queue->end() && next->first == head.it->first + 1) {
+      heads.push(Head{next->second.tx.fee, next->second.seq, head.queue, next});
     }
   }
   return out;
 }
 
+void Mempool::erase_entry(std::uint64_t sender, SenderQueue::iterator it) {
+  const auto sit = by_sender_.find(sender);
+  by_digest_.erase(it->second.dedupe);
+  sit->second.erase(it);
+  if (sit->second.empty()) by_sender_.erase(sit);
+}
+
 void Mempool::remove_included(const std::vector<Transaction>& txs) {
   for (const auto& tx : txs) {
-    const std::uint64_t key = dedupe_key(tx);
-    if (!by_digest_.erase(key)) continue;
-    for (auto it = ordered_.begin(); it != ordered_.end(); ++it) {
-      if (dedupe_key(it->second) == key) {
-        ordered_.erase(it);
-        break;
-      }
-    }
+    const auto dit = by_digest_.find(dedupe_key(tx));
+    if (dit == by_digest_.end()) continue;
+    const Locator loc = dit->second;
+    auto& queue = by_sender_[loc.sender];
+    erase_entry(loc.sender, queue.find(loc.nonce));
   }
 }
 
 void Mempool::prune(const LedgerState& state) {
-  for (auto it = ordered_.begin(); it != ordered_.end();) {
-    if (it->second.nonce < state.nonce(it->second.sender())) {
-      by_digest_.erase(dedupe_key(it->second));
-      it = ordered_.erase(it);
-    } else {
-      ++it;
+  for (auto sit = by_sender_.begin(); sit != by_sender_.end();) {
+    auto& queue = sit->second;
+    const std::uint64_t expected = state.nonce(crypto::Address{sit->first});
+    const auto keep_from = queue.lower_bound(expected);
+    for (auto it = queue.begin(); it != keep_from; ++it) {
+      by_digest_.erase(it->second.dedupe);
     }
+    queue.erase(queue.begin(), keep_from);
+    sit = queue.empty() ? by_sender_.erase(sit) : std::next(sit);
   }
 }
 

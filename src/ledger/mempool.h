@@ -1,8 +1,17 @@
 // Mempool: pending transactions awaiting inclusion, ordered fee-first.
+//
+// Indexed two ways so every operation touches only the transactions involved:
+//  - by_sender_: per-sender nonce-ordered queues (selection walks each
+//    sender's runnable prefix in nonce order);
+//  - by_digest_: cached dedupe key -> (sender, nonce) locator (duplicate
+//    detection and eviction without re-hashing or scanning the pool).
+// Admission, selection, and eviction are O(log n) per transaction; the
+// historical implementation re-hashed every pending tx per selection pass and
+// scanned the whole pool per eviction (O(n²) around every block).
 #pragma once
 
 #include <map>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "ledger/state.h"
@@ -13,7 +22,9 @@ namespace mv::ledger {
 class Mempool {
  public:
   /// Admit a transaction. Rejects duplicates, bad signatures, and nonces
-  /// already consumed by `state`.
+  /// already consumed by `state`. A pending transaction with the same sender
+  /// and nonce is replaced only by a strictly higher fee
+  /// ("mempool.underpriced" otherwise).
   [[nodiscard]] Status add(Transaction tx, const LedgerState& state);
 
   /// Select up to `max_txs` transactions for a block, highest fee first but
@@ -32,17 +43,25 @@ class Mempool {
   [[nodiscard]] bool empty() const { return by_digest_.empty(); }
 
  private:
-  struct Key {
-    std::uint64_t fee;
-    std::uint64_t seq;
-    bool operator<(const Key& other) const {
-      if (fee != other.fee) return fee > other.fee;  // higher fee first
-      return seq < other.seq;                        // then FIFO
-    }
+  struct Entry {
+    Transaction tx;
+    std::uint64_t dedupe = 0;  ///< cached digest prefix (hashed once, at add)
+    std::uint64_t seq = 0;     ///< admission order (FIFO fee tie-break)
+  };
+  /// nonce -> entry, ordered so the runnable prefix is a forward walk.
+  using SenderQueue = std::map<std::uint64_t, Entry>;
+
+  struct Locator {
+    std::uint64_t sender = 0;
+    std::uint64_t nonce = 0;
   };
 
-  std::map<Key, Transaction> ordered_;
-  std::unordered_set<std::uint64_t> by_digest_;  // digest prefix as dedupe key
+  /// Erase one entry and its locator. Returns the iterator past the erased
+  /// entry; drops the sender's queue when it empties.
+  void erase_entry(std::uint64_t sender, SenderQueue::iterator it);
+
+  std::unordered_map<std::uint64_t, SenderQueue> by_sender_;
+  std::unordered_map<std::uint64_t, Locator> by_digest_;
   std::uint64_t seq_ = 0;
 };
 

@@ -1,39 +1,103 @@
 #include "ledger/state.h"
 
+#include <cassert>
+
 namespace mv::ledger {
 
-std::uint64_t LedgerState::balance(crypto::Address a) const {
-  const auto it = balances_.find(a);
-  return it == balances_.end() ? 0 : it->second;
+namespace {
+
+void hash_audit_record(crypto::HashWriter& w, const StoredAuditRecord& rec) {
+  w.u64(rec.collector.value);
+  w.raw(rec.body.encode());
+  w.i64(rec.height);
 }
 
-std::uint64_t LedgerState::nonce(crypto::Address a) const {
-  const auto it = nonces_.find(a);
-  return it == nonces_.end() ? 0 : it->second;
+/// Two-pointer merge of a base map and a delta map (delta wins on equal
+/// keys), visiting entries in key order. `emit(key, base_value_or_null,
+/// delta_value_or_null)` is called once per merged key.
+template <typename BaseMap, typename DeltaMap, typename Emit>
+void merge_maps(const BaseMap& base, const DeltaMap& delta, Emit emit) {
+  auto bit = base.begin();
+  auto dit = delta.begin();
+  while (bit != base.end() || dit != delta.end()) {
+    if (dit == delta.end() || (bit != base.end() && bit->first < dit->first)) {
+      emit(bit->first, &bit->second, nullptr);
+      ++bit;
+    } else if (bit == base.end() || dit->first < bit->first) {
+      emit(dit->first, nullptr, &dit->second);
+      ++dit;
+    } else {
+      emit(bit->first, &bit->second, &dit->second);
+      ++bit;
+      ++dit;
+    }
+  }
 }
 
-void LedgerState::credit(crypto::Address a, std::uint64_t amount) {
-  balances_[a] += amount;
+void hash_merged_accounts(crypto::HashWriter& w,
+                          const std::map<crypto::Address, std::uint64_t>& base,
+                          const std::map<crypto::Address, std::uint64_t>& delta) {
+  std::size_t count = base.size();
+  for (const auto& [addr, value] : delta) {
+    (void)value;
+    if (!base.contains(addr)) ++count;
+  }
+  w.u32(static_cast<std::uint32_t>(count));
+  merge_maps(base, delta,
+             [&w](crypto::Address addr, const std::uint64_t* base_value,
+                  const std::uint64_t* delta_value) {
+               w.u64(addr.value);
+               w.u64(delta_value != nullptr ? *delta_value : *base_value);
+             });
 }
 
-Status LedgerState::debit(crypto::Address a, std::uint64_t amount) {
-  const auto it = balances_.find(a);
-  if (it == balances_.end() || it->second < amount) {
+using StoreDelta = std::map<std::string, std::optional<Bytes>>;
+
+void hash_merged_store(crypto::HashWriter& w, const ContractStore& base,
+                       const StoreDelta& delta) {
+  std::size_t count = base.size();
+  for (const auto& [key, value] : delta) {
+    const bool in_base = base.contains(key);
+    if (value.has_value() && !in_base) ++count;
+    if (!value.has_value() && in_base) --count;
+  }
+  w.u32(static_cast<std::uint32_t>(count));
+  merge_maps(base, delta,
+             [&w](const std::string& key, const Bytes* base_value,
+                  const std::optional<Bytes>* delta_value) {
+               if (delta_value != nullptr) {
+                 if (delta_value->has_value()) {
+                   w.str(key);
+                   w.bytes(**delta_value);
+                 }  // tombstone: skip
+               } else {
+                 w.str(key);
+                 w.bytes(*base_value);
+               }
+             });
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- LedgerView
+
+void LedgerView::credit(crypto::Address a, std::uint64_t amount) {
+  set_balance(a, find_balance(a).value_or(0) + amount);
+}
+
+Status LedgerView::debit(crypto::Address a, std::uint64_t amount) {
+  const auto bal = find_balance(a);
+  if (!bal.has_value() || *bal < amount) {
     return Status::fail("state.insufficient_funds",
                         "balance below " + std::to_string(amount));
   }
-  it->second -= amount;
+  set_balance(a, *bal - amount);
   return {};
 }
 
-const ContractStore* LedgerState::find_store(const std::string& contract) const {
-  const auto it = contracts_.find(contract);
-  return it == contracts_.end() ? nullptr : &it->second;
-}
-
-Status LedgerState::apply(const Transaction& tx,
-                          const ContractRegistry& contracts, Tick height) {
-  // apply() is atomic: any failure leaves the state exactly as it was, so
+Status LedgerView::apply(const Transaction& tx,
+                         const ContractRegistry& contracts, Tick height) {
+  // apply() is atomic: any failure leaves the view exactly as it was, so
   // block assembly can trial-apply candidates in sequence and skip failures.
   if (!tx.signature_valid()) {
     return Status::fail("tx.bad_signature", "signature does not verify");
@@ -52,21 +116,25 @@ Status LedgerState::apply(const Transaction& tx,
         return Status::fail("tx.bad_recipient", "null recipient");
       }
       // All checks before any mutation keeps this branch trivially atomic.
-      if (balance(sender) < tx.fee + body.value().amount) {
+      // One lookup serves the affordability check and the debit.
+      const std::uint64_t need = tx.fee + body.value().amount;
+      const auto bal = find_balance(sender);
+      if (bal.value_or(0) < need) {
         return Status::fail("state.insufficient_funds", "cannot cover amount + fee");
       }
-      (void)debit(sender, tx.fee + body.value().amount);
+      if (bal.has_value()) set_balance(sender, *bal - need);
       credit(body.value().to, body.value().amount);
       break;
     }
     case TxKind::kAuditRecord: {
       auto body = AuditRecordBody::decode(tx.payload);
       if (!body.ok()) return Status::fail(body.error().code, body.error().message);
-      if (balance(sender) < tx.fee) {
+      const auto bal = find_balance(sender);
+      if (bal.value_or(0) < tx.fee) {
         return Status::fail("state.insufficient_funds", "cannot cover fee");
       }
-      (void)debit(sender, tx.fee);
-      audit_log_.push_back(StoredAuditRecord{sender, std::move(body).value(), height});
+      if (bal.has_value()) set_balance(sender, *bal - tx.fee);
+      append_audit(StoredAuditRecord{sender, std::move(body).value(), height});
       break;
     }
     case TxKind::kContractCall: {
@@ -77,27 +145,90 @@ Status LedgerState::apply(const Transaction& tx,
       if (balance(sender) < tx.fee) {
         return Status::fail("state.insufficient_funds", "cannot cover fee");
       }
-      // Contract bodies may fail after arbitrary writes; snapshot-rollback
-      // keeps the whole transaction atomic.
-      LedgerState snapshot = *this;
-      (void)debit(sender, tx.fee);
-      CallContext ctx(*this, tx.contract, sender, height);
+      // Contract bodies may fail after arbitrary writes; running the call in
+      // a nested overlay keeps the whole transaction atomic — discarding the
+      // overlay on failure costs O(writes), not a full-state snapshot.
+      LedgerStateOverlay scratch(static_cast<LedgerView&>(*this));
+      (void)scratch.debit(sender, tx.fee);
+      CallContext ctx(scratch, tx.contract, sender, height);
       if (Status status = contract->call(ctx, tx.method, tx.payload); !status.ok()) {
-        *this = std::move(snapshot);
         return status;
       }
+      scratch.commit();
       break;
     }
     default:
       return Status::fail("tx.bad_kind", "unknown transaction kind");
   }
-  nonces_[sender] = tx.nonce + 1;
-  burned_fees_ += tx.fee;
+  set_nonce(sender, tx.nonce + 1);
+  add_burned_fees(tx.fee);
   return {};
 }
 
+// ------------------------------------------------------------ LedgerState
+
+std::optional<std::uint64_t> LedgerState::find_balance(crypto::Address a) const {
+  const auto it = balances_.find(a);
+  if (it == balances_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t LedgerState::nonce(crypto::Address a) const {
+  const auto it = nonces_.find(a);
+  return it == nonces_.end() ? 0 : it->second;
+}
+
+void LedgerState::set_balance(crypto::Address a, std::uint64_t value) {
+  balances_[a] = value;
+}
+
+void LedgerState::set_nonce(crypto::Address a, std::uint64_t value) {
+  nonces_[a] = value;
+}
+
+void LedgerState::append_audit(StoredAuditRecord record) {
+  audit_log_.push_back(std::move(record));
+}
+
+const ContractStore* LedgerState::find_store(const std::string& contract) const {
+  const auto it = contracts_.find(contract);
+  return it == contracts_.end() ? nullptr : &it->second;
+}
+
+const Bytes* LedgerState::store_get(const std::string& contract,
+                                    const std::string& key) const {
+  const ContractStore* store = find_store(contract);
+  if (store == nullptr) return nullptr;
+  const auto it = store->find(key);
+  return it == store->end() ? nullptr : &it->second;
+}
+
+void LedgerState::store_put(const std::string& contract, const std::string& key,
+                            Bytes value) {
+  contracts_[contract][key] = std::move(value);
+}
+
+void LedgerState::store_erase(const std::string& contract,
+                              const std::string& key) {
+  // Deliberately creates the (empty) store if missing — matches the
+  // historical CallContext::erase semantics that the state root covers.
+  contracts_[contract].erase(key);
+}
+
+std::vector<std::string> LedgerState::store_keys_with_prefix(
+    const std::string& contract, const std::string& prefix) const {
+  std::vector<std::string> out;
+  const ContractStore* store = find_store(contract);
+  if (store == nullptr) return out;
+  for (auto it = store->lower_bound(prefix); it != store->end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
 crypto::Digest LedgerState::state_root() const {
-  ByteWriter w;
+  crypto::HashWriter w;
   w.u32(static_cast<std::uint32_t>(balances_.size()));
   for (const auto& [addr, bal] : balances_) {
     w.u64(addr.value);
@@ -110,9 +241,7 @@ crypto::Digest LedgerState::state_root() const {
   }
   w.u32(static_cast<std::uint32_t>(audit_log_.size()));
   for (const auto& rec : audit_log_) {
-    w.u64(rec.collector.value);
-    w.raw(rec.body.encode());
-    w.i64(rec.height);
+    hash_audit_record(w, rec);
   }
   w.u32(static_cast<std::uint32_t>(contracts_.size()));
   for (const auto& [name, store] : contracts_) {
@@ -124,34 +253,157 @@ crypto::Digest LedgerState::state_root() const {
     }
   }
   w.u64(burned_fees_);
-  return crypto::sha256(w.data());
+  return w.digest();
 }
 
+// ----------------------------------------------------- LedgerStateOverlay
+
+std::optional<std::uint64_t> LedgerStateOverlay::find_balance(
+    crypto::Address a) const {
+  const auto it = balances_.find(a);
+  if (it != balances_.end()) return it->second;
+  return base_->find_balance(a);
+}
+
+std::uint64_t LedgerStateOverlay::nonce(crypto::Address a) const {
+  const auto it = nonces_.find(a);
+  return it != nonces_.end() ? it->second : base_->nonce(a);
+}
+
+void LedgerStateOverlay::set_balance(crypto::Address a, std::uint64_t value) {
+  balances_[a] = value;
+}
+
+void LedgerStateOverlay::set_nonce(crypto::Address a, std::uint64_t value) {
+  nonces_[a] = value;
+}
+
+std::uint64_t LedgerStateOverlay::burned_fees() const {
+  return base_->burned_fees() + burned_delta_;
+}
+
+void LedgerStateOverlay::append_audit(StoredAuditRecord record) {
+  audit_appended_.push_back(std::move(record));
+}
+
+const Bytes* LedgerStateOverlay::store_get(const std::string& contract,
+                                           const std::string& key) const {
+  const auto sit = stores_.find(contract);
+  if (sit != stores_.end()) {
+    const auto kit = sit->second.find(key);
+    if (kit != sit->second.end()) {
+      return kit->second.has_value() ? &*kit->second : nullptr;
+    }
+  }
+  return base_->store_get(contract, key);
+}
+
+void LedgerStateOverlay::store_put(const std::string& contract,
+                                   const std::string& key, Bytes value) {
+  stores_[contract][key] = std::move(value);
+}
+
+void LedgerStateOverlay::store_erase(const std::string& contract,
+                                     const std::string& key) {
+  stores_[contract][key] = std::nullopt;
+}
+
+std::vector<std::string> LedgerStateOverlay::store_keys_with_prefix(
+    const std::string& contract, const std::string& prefix) const {
+  std::vector<std::string> out = base_->store_keys_with_prefix(contract, prefix);
+  const auto sit = stores_.find(contract);
+  if (sit == stores_.end()) return out;
+  for (auto it = sit->second.lower_bound(prefix); it != sit->second.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    const auto pos = std::lower_bound(out.begin(), out.end(), it->first);
+    const bool present = pos != out.end() && *pos == it->first;
+    if (it->second.has_value()) {
+      if (!present) out.insert(pos, it->first);
+    } else if (present) {
+      out.erase(pos);
+    }
+  }
+  return out;
+}
+
+void LedgerStateOverlay::commit() {
+  assert(writable_ != nullptr && "commit() on a read-only overlay");
+  if (writable_ == nullptr) return;
+  for (const auto& [addr, value] : balances_) writable_->set_balance(addr, value);
+  for (const auto& [addr, value] : nonces_) writable_->set_nonce(addr, value);
+  for (auto& rec : audit_appended_) writable_->append_audit(std::move(rec));
+  for (auto& [contract, delta] : stores_) {
+    for (auto& [key, value] : delta) {
+      if (value.has_value()) {
+        writable_->store_put(contract, key, std::move(*value));
+      } else {
+        writable_->store_erase(contract, key);
+      }
+    }
+  }
+  writable_->add_burned_fees(burned_delta_);
+  balances_.clear();
+  nonces_.clear();
+  audit_appended_.clear();
+  stores_.clear();
+  burned_delta_ = 0;
+}
+
+std::size_t LedgerStateOverlay::touched() const {
+  std::size_t n = balances_.size() + nonces_.size() + audit_appended_.size();
+  for (const auto& [contract, delta] : stores_) n += delta.size();
+  return n;
+}
+
+crypto::Digest LedgerStateOverlay::state_root() const {
+  assert(base_state_ != nullptr &&
+         "state_root() requires a LedgerState base (not a nested overlay)");
+  const LedgerState& base = *base_state_;
+  crypto::HashWriter w;
+  hash_merged_accounts(w, base.balances_, balances_);
+  hash_merged_accounts(w, base.nonces_, nonces_);
+  w.u32(static_cast<std::uint32_t>(base.audit_log_.size() + audit_appended_.size()));
+  for (const auto& rec : base.audit_log_) hash_audit_record(w, rec);
+  for (const auto& rec : audit_appended_) hash_audit_record(w, rec);
+  // Contract stores: union of base and overlay contract names, each store
+  // merged entry-wise. A delta consisting solely of tombstones still names
+  // the contract (store_erase materializes an empty store on commit).
+  std::size_t contract_count = base.contracts_.size();
+  for (const auto& [name, delta] : stores_) {
+    (void)delta;
+    if (!base.contracts_.contains(name)) ++contract_count;
+  }
+  w.u32(static_cast<std::uint32_t>(contract_count));
+  static const ContractStore kEmptyStore;
+  static const StoreDelta kEmptyDelta;
+  merge_maps(base.contracts_, stores_,
+             [&w](const std::string& name, const ContractStore* base_store,
+                  const StoreDelta* delta) {
+               w.str(name);
+               hash_merged_store(w, base_store != nullptr ? *base_store : kEmptyStore,
+                                 delta != nullptr ? *delta : kEmptyDelta);
+             });
+  w.u64(base.burned_fees_ + burned_delta_);
+  return w.digest();
+}
+
+// ------------------------------------------------------------ CallContext
+
 const Bytes* CallContext::get(const std::string& key) const {
-  const ContractStore* store = state_.find_store(contract_name_);
-  if (store == nullptr) return nullptr;
-  const auto it = store->find(key);
-  return it == store->end() ? nullptr : &it->second;
+  return state_.store_get(contract_name_, key);
 }
 
 void CallContext::put(const std::string& key, Bytes value) {
-  state_.store(contract_name_)[key] = std::move(value);
+  state_.store_put(contract_name_, key, std::move(value));
 }
 
 void CallContext::erase(const std::string& key) {
-  state_.store(contract_name_).erase(key);
+  state_.store_erase(contract_name_, key);
 }
 
 std::vector<std::string> CallContext::keys_with_prefix(
     const std::string& prefix) const {
-  std::vector<std::string> out;
-  const ContractStore* store = state_.find_store(contract_name_);
-  if (store == nullptr) return out;
-  for (auto it = store->lower_bound(prefix); it != store->end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    out.push_back(it->first);
-  }
-  return out;
+  return state_.store_keys_with_prefix(contract_name_, prefix);
 }
 
 Status CallContext::transfer(crypto::Address from, crypto::Address to,

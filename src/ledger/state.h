@@ -1,13 +1,18 @@
 // Ledger state: balances, nonces, the on-chain audit log, and per-contract
 // key-value stores.
 //
-// The state is a plain value type (copyable): block assembly trial-applies
-// transactions on a copy and commits only when the whole block validates, so
-// replicas never observe partially applied blocks.
+// Two layers share one mutation interface (LedgerView):
+//  - LedgerState is the committed, materialized state (a plain value type);
+//  - LedgerStateOverlay is a copy-on-write delta over a base view. Block
+//    assembly and validation trial-apply transactions on an overlay and
+//    commit (or discard) only the touched accounts/keys, so the per-block
+//    cost is proportional to the block, not to the world. Contract-call
+//    atomicity uses a nested overlay the same way.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/bytes.h"
@@ -30,38 +35,95 @@ struct StoredAuditRecord {
 /// Per-contract ordered KV store. Ordered so the state root is canonical.
 using ContractStore = std::map<std::string, Bytes>;
 
-class LedgerState {
+/// Mutation/read interface shared by the committed state and overlays.
+/// Transactions and contracts touch the ledger only through these
+/// primitives, so the same apply() runs against either layer.
+class LedgerView {
+ public:
+  virtual ~LedgerView() = default;
+
+  // ---- accounts ----
+  /// Balance entry, or nullopt when the account was never credited. The
+  /// distinction matters: debit refuses unknown accounts, and a zero entry
+  /// is serialized into the state root.
+  [[nodiscard]] virtual std::optional<std::uint64_t> find_balance(
+      crypto::Address a) const = 0;
+  [[nodiscard]] std::uint64_t balance(crypto::Address a) const {
+    return find_balance(a).value_or(0);
+  }
+  [[nodiscard]] bool has_account(crypto::Address a) const {
+    return find_balance(a).has_value();
+  }
+  [[nodiscard]] virtual std::uint64_t nonce(crypto::Address a) const = 0;
+  virtual void set_balance(crypto::Address a, std::uint64_t value) = 0;
+  virtual void set_nonce(crypto::Address a, std::uint64_t value) = 0;
+
+  // ---- fees / audit ----
+  [[nodiscard]] virtual std::uint64_t burned_fees() const = 0;
+  virtual void add_burned_fees(std::uint64_t amount) = 0;
+  virtual void append_audit(StoredAuditRecord record) = 0;
+
+  // ---- contract stores ----
+  [[nodiscard]] virtual const Bytes* store_get(const std::string& contract,
+                                               const std::string& key) const = 0;
+  virtual void store_put(const std::string& contract, const std::string& key,
+                         Bytes value) = 0;
+  virtual void store_erase(const std::string& contract,
+                           const std::string& key) = 0;
+  [[nodiscard]] virtual std::vector<std::string> store_keys_with_prefix(
+      const std::string& contract, const std::string& prefix) const = 0;
+
+  // ---- conveniences built on the primitives ----
+  void credit(crypto::Address a, std::uint64_t amount);
+  /// Debit; fails if the balance is insufficient (or the account is unknown).
+  [[nodiscard]] Status debit(crypto::Address a, std::uint64_t amount);
+
+  /// Validate and apply one transaction at the given height.
+  /// Checks: signature, nonce equality, fee affordability, kind-specific body.
+  /// Atomic: any failure leaves the view exactly as it was (contract calls
+  /// run in a nested overlay that is committed only on success).
+  [[nodiscard]] Status apply(const Transaction& tx,
+                             const ContractRegistry& contracts, Tick height);
+};
+
+class LedgerState final : public LedgerView {
  public:
   // ---- accounts ----
-  [[nodiscard]] std::uint64_t balance(crypto::Address a) const;
-  [[nodiscard]] std::uint64_t nonce(crypto::Address a) const;
-  void credit(crypto::Address a, std::uint64_t amount);
-  /// Debit; fails if the balance is insufficient.
-  [[nodiscard]] Status debit(crypto::Address a, std::uint64_t amount);
+  [[nodiscard]] std::optional<std::uint64_t> find_balance(
+      crypto::Address a) const override;
+  [[nodiscard]] std::uint64_t nonce(crypto::Address a) const override;
+  void set_balance(crypto::Address a, std::uint64_t value) override;
+  void set_nonce(crypto::Address a, std::uint64_t value) override;
 
   // ---- audit log (§II-D) ----
   [[nodiscard]] const std::vector<StoredAuditRecord>& audit_log() const {
     return audit_log_;
   }
+  void append_audit(StoredAuditRecord record) override;
 
   // ---- contract stores ----
   [[nodiscard]] ContractStore& store(const std::string& contract) {
     return contracts_[contract];
   }
   [[nodiscard]] const ContractStore* find_store(const std::string& contract) const;
-
-  /// Validate and apply one transaction at the given height.
-  /// Checks: signature, nonce equality, fee affordability, kind-specific body.
-  [[nodiscard]] Status apply(const Transaction& tx, const ContractRegistry& contracts,
-                             Tick height);
+  [[nodiscard]] const Bytes* store_get(const std::string& contract,
+                                       const std::string& key) const override;
+  void store_put(const std::string& contract, const std::string& key,
+                 Bytes value) override;
+  void store_erase(const std::string& contract, const std::string& key) override;
+  [[nodiscard]] std::vector<std::string> store_keys_with_prefix(
+      const std::string& contract, const std::string& prefix) const override;
 
   /// Canonical digest over the entire state.
   [[nodiscard]] crypto::Digest state_root() const;
 
-  [[nodiscard]] std::uint64_t burned_fees() const { return burned_fees_; }
+  [[nodiscard]] std::uint64_t burned_fees() const override { return burned_fees_; }
+  void add_burned_fees(std::uint64_t amount) override { burned_fees_ += amount; }
   [[nodiscard]] std::size_t account_count() const { return balances_.size(); }
 
  private:
+  friend class LedgerStateOverlay;  // merged state_root serialization
+
   std::map<crypto::Address, std::uint64_t> balances_;
   std::map<crypto::Address, std::uint64_t> nonces_;
   std::vector<StoredAuditRecord> audit_log_;
@@ -69,11 +131,71 @@ class LedgerState {
   std::uint64_t burned_fees_ = 0;
 };
 
+/// Copy-on-write delta over a base view. Reads fall through to the base;
+/// writes land in the overlay. commit() folds the delta into the base in
+/// O(touched); discarding the overlay (destruction) costs the same.
+///
+/// Single-use: after commit() the overlay is empty and should be dropped.
+class LedgerStateOverlay final : public LedgerView {
+ public:
+  /// Read-only base: trial application without the right to commit
+  /// (block validation on a const chain).
+  explicit LedgerStateOverlay(const LedgerState& base)
+      : base_(&base), base_state_(&base) {}
+  /// Writable base: commit() folds the delta into `base`.
+  explicit LedgerStateOverlay(LedgerState& base)
+      : base_(&base), writable_(&base), base_state_(&base) {}
+  /// Nested overlay (contract-call atomicity); state_root() is unavailable.
+  explicit LedgerStateOverlay(LedgerView& parent)
+      : base_(&parent), writable_(&parent) {}
+
+  [[nodiscard]] std::optional<std::uint64_t> find_balance(
+      crypto::Address a) const override;
+  [[nodiscard]] std::uint64_t nonce(crypto::Address a) const override;
+  void set_balance(crypto::Address a, std::uint64_t value) override;
+  void set_nonce(crypto::Address a, std::uint64_t value) override;
+
+  [[nodiscard]] std::uint64_t burned_fees() const override;
+  void add_burned_fees(std::uint64_t amount) override { burned_delta_ += amount; }
+  void append_audit(StoredAuditRecord record) override;
+
+  [[nodiscard]] const Bytes* store_get(const std::string& contract,
+                                       const std::string& key) const override;
+  void store_put(const std::string& contract, const std::string& key,
+                 Bytes value) override;
+  void store_erase(const std::string& contract, const std::string& key) override;
+  [[nodiscard]] std::vector<std::string> store_keys_with_prefix(
+      const std::string& contract, const std::string& prefix) const override;
+
+  /// Fold the delta into the (writable) base. O(touched entries).
+  void commit();
+
+  /// Digest of base-with-delta-applied; byte-identical to materializing the
+  /// overlay into a LedgerState and calling state_root() on it. Only
+  /// available on overlays whose direct base is a LedgerState.
+  [[nodiscard]] crypto::Digest state_root() const;
+
+  /// Number of accounts/keys recorded in the delta (diagnostics).
+  [[nodiscard]] std::size_t touched() const;
+
+ private:
+  const LedgerView* base_ = nullptr;        ///< read fall-through
+  LedgerView* writable_ = nullptr;          ///< commit target (null = read-only)
+  const LedgerState* base_state_ = nullptr; ///< set when base is materialized
+
+  std::map<crypto::Address, std::uint64_t> balances_;
+  std::map<crypto::Address, std::uint64_t> nonces_;
+  std::vector<StoredAuditRecord> audit_appended_;
+  /// nullopt marks a deletion (tombstone).
+  std::map<std::string, std::map<std::string, std::optional<Bytes>>> stores_;
+  std::uint64_t burned_delta_ = 0;
+};
+
 /// Execution context handed to contracts. Contracts touch the ledger only
 /// through this interface; their own store is pre-resolved.
 class CallContext {
  public:
-  CallContext(LedgerState& state, std::string contract_name,
+  CallContext(LedgerView& state, std::string contract_name,
               crypto::Address caller, Tick height)
       : state_(state),
         contract_name_(std::move(contract_name)),
@@ -96,7 +218,7 @@ class CallContext {
                                 std::uint64_t amount);
 
  private:
-  LedgerState& state_;
+  LedgerView& state_;
   std::string contract_name_;
   crypto::Address caller_;
   Tick height_;

@@ -41,21 +41,39 @@ Result<AuditRecordBody> AuditRecordBody::decode(const Bytes& bytes) {
                          pet.value()};
 }
 
+namespace {
+
+/// Everything covered by the signature, in wire order. Works against any
+/// writer with the ByteWriter field interface (ByteWriter, HashWriter).
+template <typename Writer>
+void write_signing_fields(Writer& w, const Transaction& tx) {
+  w.u64(tx.sender_pub.y);
+  w.u64(tx.nonce);
+  w.u8(static_cast<std::uint8_t>(tx.kind));
+  w.str(tx.contract);
+  w.str(tx.method);
+  w.bytes(tx.payload);
+  w.u64(tx.fee);
+}
+
+std::size_t signing_fields_size(const Transaction& tx) {
+  return 8 + 8 + 1 + (4 + tx.contract.size()) + (4 + tx.method.size()) +
+         (4 + tx.payload.size()) + 8;
+}
+
+}  // namespace
+
 Bytes Transaction::signing_bytes() const {
   ByteWriter w;
-  w.u64(sender_pub.y);
-  w.u64(nonce);
-  w.u8(static_cast<std::uint8_t>(kind));
-  w.str(contract);
-  w.str(method);
-  w.bytes(payload);
-  w.u64(fee);
+  w.reserve(signing_fields_size(*this));
+  write_signing_fields(w, *this);
   return w.take();
 }
 
 Bytes Transaction::encode() const {
   ByteWriter w;
-  w.raw(signing_bytes());
+  w.reserve(signing_fields_size(*this) + 16);
+  write_signing_fields(w, *this);
   w.u64(sig.e);
   w.u64(sig.s);
   return w.take();
@@ -99,7 +117,14 @@ Result<Transaction> Transaction::decode(const Bytes& bytes) {
   return tx;
 }
 
-crypto::Digest Transaction::digest() const { return crypto::sha256(encode()); }
+crypto::Digest Transaction::digest() const {
+  // Streams the exact encode() byte sequence; no intermediate buffer.
+  crypto::HashWriter w;
+  write_signing_fields(w, *this);
+  w.u64(sig.e);
+  w.u64(sig.s);
+  return w.digest();
+}
 
 bool Transaction::signature_valid() const {
   return crypto::verify(sender_pub, signing_bytes(), sig);

@@ -24,19 +24,19 @@ NodeId Gossip::join() {
 void Gossip::publish(NodeId origin, const Bytes& payload) {
   if (mark_seen(origin, payload)) {
     deliver_(origin, payload);
-    relay(origin, payload);
+    relay(origin, std::make_shared<const Bytes>(payload));
   }
 }
 
 void Gossip::on_message(const Message& msg) {
   if (msg.topic != "gossip") return;
-  if (mark_seen(msg.to, msg.payload)) {
-    deliver_(msg.to, msg.payload);
-    relay(msg.to, msg.payload);
+  if (mark_seen(msg.to, msg.payload())) {
+    deliver_(msg.to, msg.payload());
+    relay(msg.to, msg.payload_buf);
   }
 }
 
-void Gossip::relay(NodeId from, const Bytes& payload) {
+void Gossip::relay(NodeId from, const std::shared_ptr<const Bytes>& payload) {
   if (members_.size() <= 1) return;
   const std::size_t peers = std::min(fanout_, members_.size() - 1);
   if (peers == members_.size() - 1) {

@@ -35,7 +35,9 @@ class Gossip {
 
  private:
   void on_message(const Message& msg);
-  void relay(NodeId from, const Bytes& payload);
+  /// Forward a rumor to up to `fanout` peers. The buffer is shared, not
+  /// copied: every hop of a rumor reuses the original sender's bytes.
+  void relay(NodeId from, const std::shared_ptr<const Bytes>& payload);
   /// First-seen bookkeeping; true when `node` had not seen the rumor yet.
   bool mark_seen(NodeId node, const Bytes& payload);
 

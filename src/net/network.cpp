@@ -1,6 +1,5 @@
 #include "net/network.h"
 
-#include <cassert>
 #include <cmath>
 
 namespace mv::net {
@@ -35,9 +34,20 @@ void Network::set_group(NodeId node, int group) { groups_[node] = group; }
 void Network::heal() { groups_.clear(); }
 
 bool Network::send(NodeId from, NodeId to, std::string topic, Bytes payload) {
-  assert(to.value() < nodes_.size());
+  return send(from, to, std::move(topic),
+              std::make_shared<const Bytes>(std::move(payload)));
+}
+
+bool Network::send(NodeId from, NodeId to, std::string topic,
+                   std::shared_ptr<const Bytes> payload) {
+  if (to.value() >= nodes_.size()) {
+    // Unknown destination: refuse and count rather than indexing out of
+    // bounds at delivery time.
+    ++stats_.invalid_dest;
+    return false;
+  }
   ++stats_.sent;
-  stats_.bytes_sent += payload.size();
+  stats_.bytes_sent += payload ? payload->size() : 0;
 
   const auto gfrom = groups_.find(from);
   const auto gto = groups_.find(to);
@@ -58,7 +68,7 @@ bool Network::send(NodeId from, NodeId to, std::string topic, Bytes payload) {
   msg.from = from;
   msg.to = to;
   msg.topic = std::move(topic);
-  msg.payload = std::move(payload);
+  msg.payload_buf = std::move(payload);
   msg.sent_at = clock_.now();
   const double delay = lp.base_latency + (lp.jitter > 0.0 ? rng_.uniform(0.0, lp.jitter) : 0.0);
   msg.deliver_at = clock_.now() + std::max<Tick>(1, static_cast<Tick>(std::llround(delay)));
@@ -68,6 +78,11 @@ bool Network::send(NodeId from, NodeId to, std::string topic, Bytes payload) {
 
 void Network::broadcast(NodeId from, const std::string& topic,
                         const Bytes& payload) {
+  broadcast(from, topic, std::make_shared<const Bytes>(payload));
+}
+
+void Network::broadcast(NodeId from, const std::string& topic,
+                        std::shared_ptr<const Bytes> payload) {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const NodeId to(i);
     if (to == from) continue;
@@ -77,11 +92,13 @@ void Network::broadcast(NodeId from, const std::string& topic,
 
 void Network::step() {
   while (!queue_.empty() && queue_.top().msg.deliver_at <= clock_.now()) {
-    // Copy out before pop: the handler may enqueue new messages.
-    Message msg = queue_.top().msg;
+    // Move out before pop: the handler may enqueue new messages. Moving from
+    // top() is safe because the element is removed immediately and the heap
+    // comparator reads only deliver_at/seq, which a move leaves intact.
+    Pending p = std::move(const_cast<Pending&>(queue_.top()));
     queue_.pop();
     ++stats_.delivered;
-    nodes_[msg.to.value()](msg);
+    nodes_[p.msg.to.value()](p.msg);
   }
 }
 

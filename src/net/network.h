@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <string>
@@ -25,9 +26,16 @@ struct Message {
   NodeId from;
   NodeId to;
   std::string topic;
-  Bytes payload;
+  /// Payload buffer, shared across broadcast/relay recipients so one encode
+  /// serves every copy in flight. Never mutated after send.
+  std::shared_ptr<const Bytes> payload_buf;
   Tick sent_at = 0;
   Tick deliver_at = 0;
+
+  [[nodiscard]] const Bytes& payload() const {
+    static const Bytes kEmpty;
+    return payload_buf ? *payload_buf : kEmpty;
+  }
 };
 
 /// Link behaviour; latency is in clock ticks.
@@ -42,6 +50,7 @@ struct NetworkStats {
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
   std::uint64_t partitioned = 0;
+  std::uint64_t invalid_dest = 0;  ///< sends refused: unknown destination
   std::uint64_t bytes_sent = 0;
 };
 
@@ -65,11 +74,19 @@ class Network {
   void set_group(NodeId node, int group);
   void heal();
 
-  /// Queue a unicast message; returns false if dropped at send time.
+  /// Queue a unicast message; returns false if refused at send time (unknown
+  /// destination, partition, or simulated loss).
   bool send(NodeId from, NodeId to, std::string topic, Bytes payload);
+  /// Zero-copy variant: the payload buffer is shared with the message, not
+  /// copied. The caller must not mutate it afterwards.
+  bool send(NodeId from, NodeId to, std::string topic,
+            std::shared_ptr<const Bytes> payload);
 
-  /// Queue the same payload to every other node.
+  /// Queue the same payload to every other node. All recipients share one
+  /// payload buffer — the bytes are copied once, not node_count-1 times.
   void broadcast(NodeId from, const std::string& topic, const Bytes& payload);
+  void broadcast(NodeId from, const std::string& topic,
+                 std::shared_ptr<const Bytes> payload);
 
   /// Deliver everything due at or before the current tick.
   void step();

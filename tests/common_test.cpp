@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <unordered_set>
 
@@ -340,6 +341,24 @@ TEST(Histogram, BinsAndClamps) {
   EXPECT_EQ(h.bin_count(9), 2u);
   EXPECT_EQ(h.total(), 4u);
   EXPECT_EQ(h.sparkline().size() > 0, true);
+}
+
+TEST(Histogram, DropsNonFiniteSamples) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.dropped(), 3u);
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.dropped(), 3u);
+  // Finite but astronomically out-of-range samples still clamp, not UB.
+  h.add(1e300);
+  h.add(-1e300);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.total(), 3u);
 }
 
 // Property sweep: RNG uniformity chi-square sanity across seeds.

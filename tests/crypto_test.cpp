@@ -45,6 +45,37 @@ TEST(Sha256, IncrementalMatchesOneShot) {
   EXPECT_EQ(h.finalize(), sha256(std::string_view{msg}));
 }
 
+TEST(Sha256, ReusableAfterFinalize) {
+  // finalize() resets the hasher; the same instance must produce correct
+  // digests for subsequent, independent messages (historically it silently
+  // hashed garbage on reuse).
+  Sha256 h;
+  h.update(std::string_view{"abc"});
+  EXPECT_EQ(to_hex(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(h.finalize()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  h.update(std::string_view{"abc"});
+  EXPECT_EQ(h.finalize(), sha256(std::string_view{"abc"}));
+}
+
+TEST(Sha256, HashWriterMatchesByteWriterBytes) {
+  // HashWriter streams the ByteWriter wire format; digests must agree.
+  ByteWriter bw;
+  bw.u8(7);
+  bw.u32(0xdeadbeef);
+  bw.u64(0x0123456789abcdefULL);
+  bw.str("metaverse");
+  bw.bytes(Bytes{1, 2, 3});
+  HashWriter hw;
+  hw.u8(7);
+  hw.u32(0xdeadbeef);
+  hw.u64(0x0123456789abcdefULL);
+  hw.str("metaverse");
+  hw.bytes(Bytes{1, 2, 3});
+  EXPECT_EQ(hw.digest(), sha256(bw.take()));
+}
+
 TEST(Sha256, PrefixIsStable) {
   const Digest d = sha256(std::string_view{"abc"});
   EXPECT_EQ(digest_prefix64(d), digest_prefix64(sha256(std::string_view{"abc"})));

@@ -217,6 +217,86 @@ TEST(Mempool, RemoveIncludedAndPrune) {
   EXPECT_EQ(pool.size(), 0u);
 }
 
+TEST(Mempool, NonceGapBlocksSuccessors) {
+  Fixture f;
+  Mempool pool;
+  // Nonces 0 and 2 are pending; 1 is missing. Only 0 is runnable — the
+  // expensive successor behind the gap must not jump the queue.
+  ASSERT_TRUE(pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 1, f.rng), f.state).ok());
+  ASSERT_TRUE(pool.add(make_transfer(f.alice, 2, f.bob.address(), 1, 100, f.rng), f.state).ok());
+  auto picked = pool.select(10, f.state);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0].nonce, 0u);
+  // Filling the gap releases the whole prefix, still in nonce order.
+  ASSERT_TRUE(pool.add(make_transfer(f.alice, 1, f.bob.address(), 1, 1, f.rng), f.state).ok());
+  picked = pool.select(10, f.state);
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked[0].nonce, 0u);
+  EXPECT_EQ(picked[1].nonce, 1u);
+  EXPECT_EQ(picked[2].nonce, 2u);
+}
+
+TEST(Mempool, CheapPredecessorDoesNotStarveBehindOtherSenders) {
+  Fixture f;
+  Mempool pool;
+  // Alice: cheap nonce-0 (fee 1) gating an expensive nonce-1 (fee 100).
+  // Bob: a single fee-50 tx. Priority must see only runnable heads: bob's
+  // fee-50 first, then alice's fee-1, and only then the released fee-100.
+  ASSERT_TRUE(pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 1, f.rng), f.state).ok());
+  ASSERT_TRUE(pool.add(make_transfer(f.alice, 1, f.bob.address(), 1, 100, f.rng), f.state).ok());
+  ASSERT_TRUE(pool.add(make_transfer(f.bob, 0, f.alice.address(), 1, 50, f.rng), f.state).ok());
+  const auto picked = pool.select(3, f.state);
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked[0].sender(), f.bob.address());
+  EXPECT_EQ(picked[1].nonce, 0u);
+  EXPECT_EQ(picked[1].sender(), f.alice.address());
+  EXPECT_EQ(picked[2].nonce, 1u);
+  EXPECT_EQ(picked[2].fee, 100u);
+}
+
+TEST(Mempool, ReplaceByFeeRequiresStrictlyHigherFee) {
+  Fixture f;
+  Mempool pool;
+  ASSERT_TRUE(pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 5, f.rng), f.state).ok());
+  const auto equal = make_transfer(f.alice, 0, f.bob.address(), 2, 5, f.rng);
+  EXPECT_EQ(pool.add(equal, f.state).error().code, "mempool.underpriced");
+  const auto lower = make_transfer(f.alice, 0, f.bob.address(), 2, 4, f.rng);
+  EXPECT_EQ(pool.add(lower, f.state).error().code, "mempool.underpriced");
+  const auto higher = make_transfer(f.alice, 0, f.bob.address(), 2, 6, f.rng);
+  ASSERT_TRUE(pool.add(higher, f.state).ok());
+  EXPECT_EQ(pool.size(), 1u);
+  const auto picked = pool.select(10, f.state);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0].fee, 6u);
+}
+
+TEST(Mempool, RemovalKeepsIndexesConsistent) {
+  Fixture f;
+  Mempool pool;
+  const auto tx0 = make_transfer(f.alice, 0, f.bob.address(), 1, 0, f.rng);
+  const auto tx1 = make_transfer(f.alice, 1, f.bob.address(), 1, 0, f.rng);
+  const auto tx2 = make_transfer(f.bob, 0, f.alice.address(), 1, 0, f.rng);
+  ASSERT_TRUE(pool.add(tx0, f.state).ok());
+  ASSERT_TRUE(pool.add(tx1, f.state).ok());
+  ASSERT_TRUE(pool.add(tx2, f.state).ok());
+  // Removing a tx that is not pending is a no-op.
+  pool.remove_included({make_transfer(f.bob, 1, f.alice.address(), 1, 0, f.rng)});
+  EXPECT_EQ(pool.size(), 3u);
+  pool.remove_included({tx0, tx2});
+  EXPECT_EQ(pool.size(), 1u);
+  // Dedupe entries of removed txs are gone: re-admission succeeds...
+  ASSERT_TRUE(pool.add(tx0, f.state).ok());
+  // ...while a still-pending tx is still recognized as a duplicate.
+  EXPECT_EQ(pool.add(tx1, f.state).error().code, "mempool.duplicate");
+  EXPECT_EQ(pool.size(), 2u);
+  // Prune drops everything below the committed nonce and clears dedupe keys.
+  ASSERT_TRUE(f.state.apply(tx0, *f.contracts, 0).ok());
+  ASSERT_TRUE(f.state.apply(tx1, *f.contracts, 0).ok());
+  pool.prune(f.state);
+  EXPECT_TRUE(pool.empty());
+  EXPECT_TRUE(pool.select(10, f.state).empty());
+}
+
 // ---------------------------------------------------------------- chain
 
 struct ChainFixture : Fixture {

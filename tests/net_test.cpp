@@ -35,7 +35,7 @@ TEST(Network, DeliversAfterLatency) {
   ASSERT_EQ(h.inboxes[1].size(), 1u);
   EXPECT_EQ(h.inboxes[1][0].from, a);
   EXPECT_EQ(h.inboxes[1][0].topic, "t");
-  EXPECT_EQ(h.inboxes[1][0].payload, Bytes{1});
+  EXPECT_EQ(h.inboxes[1][0].payload(), Bytes{1});
 }
 
 TEST(Network, FifoForEqualDeliveryTick) {
@@ -49,7 +49,7 @@ TEST(Network, FifoForEqualDeliveryTick) {
   h.net.step();
   ASSERT_EQ(h.inboxes[1].size(), 10u);
   for (std::uint8_t i = 0; i < 10; ++i) {
-    EXPECT_EQ(h.inboxes[1][i].payload[0], i);
+    EXPECT_EQ(h.inboxes[1][i].payload()[0], i);
   }
 }
 
@@ -63,6 +63,42 @@ TEST(Network, BroadcastSkipsSender) {
   EXPECT_TRUE(h.inboxes[0].empty());
   EXPECT_EQ(h.inboxes[1].size(), 1u);
   EXPECT_EQ(h.inboxes[2].size(), 1u);
+}
+
+TEST(Network, BroadcastRecipientsShareOnePayloadBuffer) {
+  Harness h;
+  const NodeId a = h.add();
+  h.add();
+  h.add();
+  h.add();
+  h.net.broadcast(a, "t", Bytes{1, 2, 3});
+  h.net.run_until_idle();
+  ASSERT_EQ(h.inboxes[1].size(), 1u);
+  ASSERT_EQ(h.inboxes[2].size(), 1u);
+  ASSERT_EQ(h.inboxes[3].size(), 1u);
+  const Bytes expected{1, 2, 3};
+  EXPECT_EQ(h.inboxes[1][0].payload(), expected);
+  EXPECT_EQ(h.inboxes[2][0].payload(), expected);
+  EXPECT_EQ(h.inboxes[3][0].payload(), expected);
+  // Same buffer, not equal copies: broadcast must not duplicate the bytes.
+  EXPECT_EQ(h.inboxes[1][0].payload_buf.get(), h.inboxes[2][0].payload_buf.get());
+  EXPECT_EQ(h.inboxes[1][0].payload_buf.get(), h.inboxes[3][0].payload_buf.get());
+}
+
+TEST(Network, UnknownDestinationRefusedAndCounted) {
+  Harness h;
+  const NodeId a = h.add();
+  EXPECT_FALSE(h.net.send(a, NodeId(99), "t", Bytes{1}));
+  EXPECT_EQ(h.net.stats().invalid_dest, 1u);
+  EXPECT_EQ(h.net.stats().sent, 0u);  // refused before accounting
+  EXPECT_TRUE(h.net.idle());
+}
+
+TEST(Network, EmptyPayloadAccessorIsSafe) {
+  // A default-constructed Message has no buffer; payload() must still return
+  // a valid (empty) reference.
+  Message m;
+  EXPECT_TRUE(m.payload().empty());
 }
 
 TEST(Network, DropRateLosesRoughlyThatFraction) {
