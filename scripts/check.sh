@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Build and test both configurations: the normal RelWithDebInfo build and the
-# ASan+UBSan build. Run from the repository root. Exits non-zero on the first
-# failing build or test.
+# ASan+UBSan build, then emit ledger benchmark medians to BENCH_ledger.json.
+# Run from the repository root. Exits non-zero on the first failing build,
+# test, or missing gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,6 +15,29 @@ cmake --build build -j "${jobs}"
 
 echo "== ctest: default =="
 ctest --test-dir build --output-on-failure -j "${jobs}"
+
+echo "== gate: differential commitment test must run (not be skipped) =="
+# The incremental-vs-full-rehash differential test is the commitment format's
+# safety net; --no-tests=error fails if a rename makes the filter match
+# nothing, and the grep fails if gtest reports it skipped.
+diff_out="$(ctest --test-dir build -R 'Differential' --no-tests=error --output-on-failure 2>&1)" || {
+  echo "${diff_out}"
+  echo "FAIL: differential commitment test did not run or did not pass"
+  exit 1
+}
+if echo "${diff_out}" | grep -qi 'skipped'; then
+  echo "${diff_out}"
+  echo "FAIL: differential commitment test was skipped"
+  exit 1
+fi
+
+echo "== bench: ledger microbenchmarks -> BENCH_ledger.json (median of 3) =="
+MV_BENCH_NO_TABLE=1 ./build/bench/bench_ledger \
+  --benchmark_filter='BM_BlockAssembleValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove' \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out=BENCH_ledger.json \
+  --benchmark_out_format=json
 
 echo "== configure + build: asan-ubsan =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMV_SANITIZE=ON

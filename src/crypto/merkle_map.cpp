@@ -1,0 +1,327 @@
+#include "crypto/merkle_map.h"
+
+#include <algorithm>
+#include <cassert>
+#include <span>
+
+namespace mv::crypto {
+
+namespace {
+
+/// Most-significant-nibble-first path through the key, depth 0..15.
+unsigned nibble(std::uint64_t key, int depth) {
+  return static_cast<unsigned>((key >> (60 - 4 * depth)) & 0xF);
+}
+
+}  // namespace
+
+struct MerkleMap::Node {
+  bool leaf = true;
+  std::uint64_t key = 0;  ///< leaf only
+  /// Leaf: exact leaf_hash (always fresh). Inner: cached subtree digest,
+  /// valid when !dirty. Mutable so a const tree can flush its cache.
+  mutable Digest hash{};
+  mutable bool dirty = false;  ///< inner only
+  std::uint32_t count = 1;     ///< keys in this subtree
+  /// Children, allocated for inner nodes only (keeps leaves small).
+  std::unique_ptr<std::array<std::unique_ptr<Node>, 16>> kids;
+};
+
+namespace {
+
+using Node = MerkleMap::Node;
+using NodePtr = std::unique_ptr<Node>;
+
+NodePtr make_leaf(std::uint64_t key, const Digest& leaf_hash) {
+  auto n = std::make_unique<Node>();
+  n->key = key;
+  n->hash = leaf_hash;
+  return n;
+}
+
+NodePtr make_inner() {
+  auto n = std::make_unique<Node>();
+  n->leaf = false;
+  n->dirty = true;
+  n->count = 0;
+  n->kids = std::make_unique<std::array<NodePtr, 16>>();
+  return n;
+}
+
+NodePtr clone(const Node* n) {
+  if (n == nullptr) return nullptr;
+  auto c = std::make_unique<Node>();
+  c->leaf = n->leaf;
+  c->key = n->key;
+  c->hash = n->hash;
+  c->dirty = n->dirty;
+  c->count = n->count;
+  if (n->kids) {
+    c->kids = std::make_unique<std::array<NodePtr, 16>>();
+    for (int i = 0; i < 16; ++i) (*c->kids)[i] = clone((*n->kids)[i].get());
+  }
+  return c;
+}
+
+/// Combine child digests into an inner commitment. `present` marks non-empty
+/// children; their digests appear in index order after a 16-bit bitmap.
+Digest inner_hash(const std::array<const Digest*, 16>& children) {
+  HashWriter w;
+  w.u8(0x01);
+  std::uint32_t bitmap = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (children[i] != nullptr) bitmap |= 1u << i;
+  }
+  w.u8(static_cast<std::uint8_t>(bitmap));
+  w.u8(static_cast<std::uint8_t>(bitmap >> 8));
+  for (int i = 0; i < 16; ++i) {
+    if (children[i] != nullptr) w.raw(*children[i]);
+  }
+  return w.digest();
+}
+
+/// Re-hash a dirty subtree bottom-up. After this, every node's cached hash
+/// equals its canonical commitment (a count-1 subtree commits as its single
+/// leaf, regardless of how many inner nodes physically wrap it).
+void ensure(const Node* n) {
+  if (n->leaf || !n->dirty) return;
+  const Node* single = nullptr;
+  std::array<const Digest*, 16> children{};
+  for (int i = 0; i < 16; ++i) {
+    const Node* kid = (*n->kids)[i].get();
+    if (kid == nullptr) continue;
+    ensure(kid);
+    children[i] = &kid->hash;
+    single = kid;
+  }
+  n->hash = (n->count == 1) ? single->hash : inner_hash(children);
+  n->dirty = false;
+}
+
+/// Either an update (leaf hash) or a tombstone, pre-hashed from a Delta.
+struct DeltaEntry {
+  std::uint64_t key = 0;
+  std::optional<Digest> leaf;  ///< nullopt = erase
+};
+
+/// Canonical commitment of an explicit (key, leaf_hash) set at `depth`.
+/// `leaves` must be sorted by key and unique. Shared by the virtual-merge
+/// path (collision regions) and the reference oracle.
+Digest build_from_leaves(int depth,
+                         std::span<const std::pair<std::uint64_t, Digest>> leaves) {
+  if (leaves.empty()) return Digest{};
+  if (leaves.size() == 1) return leaves[0].second;
+  assert(depth < 16);
+  std::array<Digest, 16> slots;
+  std::array<const Digest*, 16> children{};
+  std::size_t i = 0;
+  for (unsigned nib = 0; nib < 16 && i < leaves.size(); ++nib) {
+    std::size_t j = i;
+    while (j < leaves.size() && nibble(leaves[j].first, depth) == nib) ++j;
+    if (j > i) {
+      slots[nib] = build_from_leaves(depth + 1, leaves.subspan(i, j - i));
+      children[nib] = &slots[nib];
+      i = j;
+    }
+  }
+  return inner_hash(children);
+}
+
+struct MergeResult {
+  Digest digest{};
+  std::size_t count = 0;
+};
+
+/// Commitment of (subtree at `node`) ⊕ (delta `entries`), computed without
+/// touching the tree. Cached hashes must be fresh (root() flushed) before
+/// the top-level call.
+MergeResult merge(const Node* node, int depth, std::span<const DeltaEntry> entries) {
+  if (entries.empty()) {
+    if (node == nullptr) return {};
+    return {node->hash, node->leaf ? 1u : node->count};
+  }
+  if (node == nullptr || node->leaf) {
+    // Materialize the merged leaf set: the node's leaf (unless overridden by
+    // a delta entry with the same key) plus every delta insert. Collision
+    // regions are small — at most |delta| + 1 leaves — so building them
+    // explicitly keeps this path simple without hurting the O(touched·log n)
+    // bound.
+    std::vector<std::pair<std::uint64_t, Digest>> leaves;
+    leaves.reserve(entries.size() + 1);
+    bool node_pending = node != nullptr;
+    for (const auto& e : entries) {
+      if (node_pending && node->key <= e.key) {
+        if (node->key < e.key) leaves.emplace_back(node->key, node->hash);
+        node_pending = false;  // equal key: delta overrides the base leaf
+        if (node->key == e.key && !e.leaf.has_value()) continue;
+      }
+      if (e.leaf.has_value()) leaves.emplace_back(e.key, *e.leaf);
+    }
+    if (node_pending) leaves.emplace_back(node->key, node->hash);
+    return {build_from_leaves(depth, leaves), leaves.size()};
+  }
+  // Inner node: partition the (sorted) delta by this depth's nibble and
+  // recurse; untouched children contribute their cached digest for free.
+  std::array<Digest, 16> slots;
+  std::array<const Digest*, 16> children{};
+  std::size_t total = 0;
+  const Digest* single = nullptr;
+  std::size_t i = 0;
+  for (unsigned nib = 0; nib < 16; ++nib) {
+    std::size_t j = i;
+    while (j < entries.size() && nibble(entries[j].key, depth) == nib) ++j;
+    const MergeResult r =
+        merge((*node->kids)[nib].get(), depth + 1, entries.subspan(i, j - i));
+    i = j;
+    if (r.count == 0) continue;
+    slots[nib] = r.digest;
+    children[nib] = &slots[nib];
+    single = &slots[nib];
+    total += r.count;
+  }
+  if (total == 0) return {};
+  if (total == 1) return {*single, 1};
+  return {inner_hash(children), total};
+}
+
+/// Push two distinct leaves down until their paths diverge.
+NodePtr split(NodePtr a, NodePtr b, int depth) {
+  assert(depth < 16);
+  auto inner = make_inner();
+  inner->count = 2;
+  const unsigned na = nibble(a->key, depth);
+  const unsigned nb = nibble(b->key, depth);
+  if (na == nb) {
+    (*inner->kids)[na] = split(std::move(a), std::move(b), depth + 1);
+  } else {
+    (*inner->kids)[na] = std::move(a);
+    (*inner->kids)[nb] = std::move(b);
+  }
+  return inner;
+}
+
+/// Returns true when a new key was added (vs updated in place).
+bool insert(NodePtr& slot, int depth, std::uint64_t key, const Digest& leaf) {
+  Node* n = slot.get();
+  if (n->leaf) {
+    if (n->key == key) {
+      n->hash = leaf;
+      return false;
+    }
+    slot = split(std::move(slot), make_leaf(key, leaf), depth);
+    return true;
+  }
+  n->dirty = true;
+  NodePtr& kid = (*n->kids)[nibble(key, depth)];
+  bool added = true;
+  if (!kid) {
+    kid = make_leaf(key, leaf);
+  } else {
+    added = insert(kid, depth + 1, key, leaf);
+  }
+  if (added) ++n->count;
+  return added;
+}
+
+/// Returns true when the key was found and removed.
+bool remove(NodePtr& slot, int depth, std::uint64_t key) {
+  Node* n = slot.get();
+  if (n->leaf) {
+    if (n->key != key) return false;
+    slot.reset();
+    return true;
+  }
+  NodePtr& kid = (*n->kids)[nibble(key, depth)];
+  if (!kid || !remove(kid, depth + 1, key)) return false;
+  n->dirty = true;
+  if (--n->count == 0) slot.reset();
+  return true;
+}
+
+}  // namespace
+
+MerkleMap::MerkleMap() = default;
+MerkleMap::~MerkleMap() = default;
+MerkleMap::MerkleMap(MerkleMap&&) noexcept = default;
+MerkleMap& MerkleMap::operator=(MerkleMap&&) noexcept = default;
+
+MerkleMap::MerkleMap(const MerkleMap& other)
+    : root_(clone(other.root_.get())), size_(other.size_) {}
+
+MerkleMap& MerkleMap::operator=(const MerkleMap& other) {
+  if (this != &other) {
+    root_ = clone(other.root_.get());
+    size_ = other.size_;
+  }
+  return *this;
+}
+
+Digest MerkleMap::leaf_hash(std::uint64_t key, const Digest& value) {
+  HashWriter w;
+  w.u8(0x00);
+  w.u64(key);
+  w.raw(value);
+  return w.digest();
+}
+
+void MerkleMap::put(std::uint64_t key, const Digest& value) {
+  const Digest lh = leaf_hash(key, value);
+  if (!root_) {
+    root_ = make_leaf(key, lh);
+    size_ = 1;
+    return;
+  }
+  if (insert(root_, 0, key, lh)) ++size_;
+}
+
+void MerkleMap::erase(std::uint64_t key) {
+  if (root_ && remove(root_, 0, key)) --size_;
+}
+
+bool MerkleMap::contains(std::uint64_t key) const {
+  const Node* n = root_.get();
+  for (int depth = 0; n != nullptr; ++depth) {
+    if (n->leaf) return n->key == key;
+    n = (*n->kids)[nibble(key, depth)].get();
+  }
+  return false;
+}
+
+Digest MerkleMap::root() const {
+  if (!root_) return Digest{};
+  ensure(root_.get());
+  return root_->hash;
+}
+
+Digest MerkleMap::root_with(const Delta& delta) const {
+  if (delta.empty()) return root();
+  (void)root();  // flush cached hashes so merge() can trust them
+  std::vector<DeltaEntry> entries;
+  entries.reserve(delta.size());
+  for (const auto& [key, value] : delta) {
+    entries.push_back(DeltaEntry{
+        key, value.has_value() ? std::optional(leaf_hash(key, *value))
+                               : std::nullopt});
+  }
+  return merge(root_.get(), 0, entries).digest;
+}
+
+std::size_t MerkleMap::size_with(const Delta& delta) const {
+  std::size_t n = size_;
+  for (const auto& [key, value] : delta) {
+    const bool present = contains(key);
+    if (value.has_value() && !present) ++n;
+    if (!value.has_value() && present) --n;
+  }
+  return n;
+}
+
+Digest merkle_map_reference_root(
+    std::vector<std::pair<std::uint64_t, Digest>> leaves) {
+  for (auto& [key, value] : leaves) value = MerkleMap::leaf_hash(key, value);
+  std::sort(leaves.begin(), leaves.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return build_from_leaves(0, leaves);
+}
+
+}  // namespace mv::crypto

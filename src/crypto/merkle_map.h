@@ -1,0 +1,77 @@
+// Incremental Merkle map: an ordered map from 64-bit keys to 32-byte value
+// digests that maintains a Merkle commitment to its full contents.
+//
+// The commitment is defined purely on the key set (shape-independent, like
+// rippled's SHAMap): a subtree spanning a nibble prefix hashes to
+//   - the all-zero digest when it holds no keys,
+//   - leaf_hash(key, value) when it holds exactly one key (at any depth),
+//   - sha256(0x01 || present-children bitmap || child digests) otherwise,
+// with children partitioned by the next most-significant nibble of the key.
+//
+// The in-memory tree caches every subtree digest and re-hashes only dirtied
+// paths, so after m point updates the next root() costs O(m · log n) hashing
+// instead of O(n). root_with() computes the root of "this map plus a delta"
+// without mutating the map at all — the ledger state overlay uses it to
+// commit to a block's post-state in O(touched · log n).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace mv::crypto {
+
+class MerkleMap {
+ public:
+  /// Overlay delta: key -> new value digest, or nullopt to erase the key.
+  using Delta = std::map<std::uint64_t, std::optional<Digest>>;
+
+  MerkleMap();
+  ~MerkleMap();
+  MerkleMap(const MerkleMap& other);
+  MerkleMap& operator=(const MerkleMap& other);
+  MerkleMap(MerkleMap&&) noexcept;
+  MerkleMap& operator=(MerkleMap&&) noexcept;
+
+  /// Insert or update. O(log n) pointer work; hashing is deferred to root().
+  void put(std::uint64_t key, const Digest& value);
+  /// Remove a key (no-op when absent).
+  void erase(std::uint64_t key);
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Commitment to the current contents; the empty map commits to all-zero.
+  /// Lazily re-hashes dirty paths: O(dirty · log n), O(1) when clean.
+  [[nodiscard]] Digest root() const;
+
+  /// Root of this map with `delta` applied on top, without mutating the map.
+  /// O(|delta| · log n) hashing against the cached tree.
+  [[nodiscard]] Digest root_with(const Delta& delta) const;
+
+  /// Number of keys after applying `delta` (erases of absent keys ignored).
+  [[nodiscard]] std::size_t size_with(const Delta& delta) const;
+
+  /// Leaf commitment; exposed so oracles can reproduce the format.
+  [[nodiscard]] static Digest leaf_hash(std::uint64_t key, const Digest& value);
+
+  struct Node;  ///< opaque; defined in merkle_map.cpp
+
+ private:
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+/// Reference oracle: the canonical root of a key->value-digest set, computed
+/// by direct structural recursion with no caching or tree reuse. Input pairs
+/// need not be sorted; keys must be unique. Differential tests compare this
+/// against MerkleMap's incrementally maintained root.
+[[nodiscard]] Digest merkle_map_reference_root(
+    std::vector<std::pair<std::uint64_t, Digest>> leaves);
+
+}  // namespace mv::crypto

@@ -1,0 +1,56 @@
+// Order-independent incremental multiset hash (AdHash-style).
+//
+// The digest of a multiset is the lane-wise sum, mod 2^64 per lane, of the
+// SHA-256 digests of its elements, so inserting or removing one element is
+// O(1) regardless of set size. The ledger uses it for per-contract-store
+// section digests, where entries are updated in place and a Merkle structure
+// per store would be overkill.
+//
+// Security note: additive combination is weaker than a Merkle tree (finding
+// a colliding multiset reduces to a generalized-birthday / lattice problem,
+// not to a SHA-256 collision). Acceptable here for the same reason the toy
+// Schnorr field is: the simulated chain's claims need integrity bookkeeping,
+// not production-grade cryptographic hardness (DESIGN.md §"Production
+// blockchain").
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/sha256.h"
+
+namespace mv::crypto {
+
+class SetHash {
+ public:
+  void add(const Digest& d) {
+    for (int lane = 0; lane < 4; ++lane) lanes_[lane] += load_lane(d, lane);
+  }
+  void remove(const Digest& d) {
+    for (int lane = 0; lane < 4; ++lane) lanes_[lane] -= load_lane(d, lane);
+  }
+
+  /// Serialized accumulator (little-endian lanes); the empty set is all-zero.
+  [[nodiscard]] std::array<std::uint8_t, 32> bytes() const {
+    std::array<std::uint8_t, 32> out{};
+    for (int lane = 0; lane < 4; ++lane) {
+      for (int i = 0; i < 8; ++i) {
+        out[lane * 8 + i] = static_cast<std::uint8_t>(lanes_[lane] >> (8 * i));
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool operator==(const SetHash&) const = default;
+
+ private:
+  static std::uint64_t load_lane(const Digest& d, int lane) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | d[lane * 8 + i];
+    return v;
+  }
+
+  std::array<std::uint64_t, 4> lanes_{};
+};
+
+}  // namespace mv::crypto

@@ -17,7 +17,7 @@ struct BlockHeader {
   std::int64_t height = 0;
   crypto::Digest prev_hash{};
   crypto::Digest tx_root{};     ///< Merkle root over tx digests
-  crypto::Digest state_root{};  ///< LedgerState digest after applying the block
+  crypto::Digest state_root{};  ///< StateCommitment root after applying the block
   Tick timestamp = 0;
   crypto::PublicKey proposer_pub;
   crypto::Signature proposer_sig;

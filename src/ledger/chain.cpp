@@ -15,7 +15,7 @@ Blockchain::Blockchain(ChainConfig config,
   }
   ByteWriter w;
   w.str("genesis");
-  w.raw(state_.state_root());
+  w.raw(state_.commitment().root);
   genesis_hash_ = crypto::sha256(w.data());
 }
 
@@ -37,7 +37,7 @@ Block Blockchain::assemble(const crypto::Wallet& proposer,
   block.header.timestamp = timestamp;
   block.header.proposer_pub = proposer.public_key();
 
-  LedgerStateOverlay scratch(state_);
+  auto scratch = LedgerStateOverlay::reader(state_);
   for (const auto& tx : candidates) {
     if (block.txs.size() >= config_.max_txs_per_block) break;
     if (scratch.apply(tx, *contracts_, block.header.height).ok()) {
@@ -45,7 +45,7 @@ Block Blockchain::assemble(const crypto::Wallet& proposer,
     }
   }
   block.header.tx_root = Block::compute_tx_root(block.txs);
-  block.header.state_root = scratch.state_root();
+  block.header.state_root = scratch.commitment().root;
   block.header.proposer_sig = proposer.sign(block.header.signing_bytes(), rng);
   return block;
 }
@@ -78,19 +78,19 @@ Status Blockchain::check(const Block& block, LedgerStateOverlay& scratch) const 
                           "tx " + std::to_string(i) + ": " + s.error().to_string());
     }
   }
-  if (scratch.state_root() != h.state_root) {
+  if (scratch.commitment().root != h.state_root) {
     return Status::fail("block.bad_state_root", "post-state mismatch");
   }
   return {};
 }
 
 Status Blockchain::validate(const Block& block) const {
-  LedgerStateOverlay scratch(state_);
+  auto scratch = LedgerStateOverlay::reader(state_);
   return check(block, scratch);
 }
 
 Status Blockchain::append(const Block& block) {
-  LedgerStateOverlay scratch(state_);
+  auto scratch = LedgerStateOverlay::writer(state_);
   if (auto s = check(block, scratch); !s.ok()) return s;
   scratch.commit();
   blocks_.push_back(block);

@@ -83,13 +83,19 @@ ValidatorCommittee::ValidatorCommittee(
 }
 
 void ValidatorCommittee::submit(const Transaction& tx) {
+  const Tick now = network_.clock().now();
   for (auto& v : validators_) {
-    (void)v.mempool.add(tx, v.chain.state());
+    (void)v.mempool.add(tx, v.chain.state(), now);
   }
 }
 
 bool ValidatorCommittee::run_round(Tick timeout) {
   ++stats_.rounds;
+  // Expire transactions that have lingered past their TTL (nonce-gapped or
+  // priced out) before this round selects candidates.
+  for (auto& v : validators_) {
+    (void)v.mempool.sweep_expired(network_.clock().now());
+  }
   // Rotation follows the committee's best height, so a lagging replica 0
   // cannot anchor leader election to a stale view.
   std::int64_t target_height = 0;

@@ -10,7 +10,13 @@ std::uint64_t dedupe_key(const Transaction& tx) {
 }
 }  // namespace
 
-Status Mempool::add(Transaction tx, const LedgerState& state) {
+void Mempool::index_entry(const Entry& entry, const Locator& loc) {
+  by_digest_.emplace(entry.dedupe, loc);
+  by_fee_.emplace(std::pair{entry.tx.fee, entry.seq}, loc);
+  by_admission_.emplace(std::pair{entry.admitted, entry.seq}, loc);
+}
+
+Status Mempool::add(Transaction tx, const LedgerState& state, Tick now) {
   if (!tx.signature_valid()) {
     return Status::fail("mempool.bad_signature", "rejected at admission");
   }
@@ -23,21 +29,59 @@ Status Mempool::add(Transaction tx, const LedgerState& state) {
     return Status::fail("mempool.stale_nonce", "nonce already consumed");
   }
   const std::uint64_t nonce = tx.nonce;
-  auto& queue = by_sender_[sender.value];
-  if (const auto it = queue.find(nonce); it != queue.end()) {
-    // Same sender+nonce already pending: replace-by-fee, strictly higher.
-    if (tx.fee <= it->second.tx.fee) {
-      return Status::fail("mempool.underpriced",
-                          "pending tx with this nonce pays an equal or higher fee");
+  if (const auto sit = by_sender_.find(sender.value); sit != by_sender_.end()) {
+    if (const auto it = sit->second.find(nonce); it != sit->second.end()) {
+      // Same sender+nonce already pending: replace-by-fee, strictly higher.
+      if (tx.fee <= it->second.tx.fee) {
+        return Status::fail(
+            "mempool.underpriced",
+            "pending tx with this nonce pays an equal or higher fee");
+      }
+      by_digest_.erase(it->second.dedupe);
+      by_fee_.erase({it->second.tx.fee, it->second.seq});
+      by_admission_.erase({it->second.admitted, it->second.seq});
+      it->second = Entry{std::move(tx), dk, seq_++, now};
+      index_entry(it->second, Locator{sender.value, nonce});
+      ++stats_.replaced;
+      return {};
     }
-    by_digest_.erase(it->second.dedupe);
-    by_digest_.emplace(dk, Locator{sender.value, nonce});
-    it->second = Entry{std::move(tx), dk, seq_++};
-    return {};
   }
-  by_digest_.emplace(dk, Locator{sender.value, nonce});
-  queue.emplace(nonce, Entry{std::move(tx), dk, seq_++});
+  if (config_.max_txs != 0 && by_digest_.size() >= config_.max_txs) {
+    // Full: the newcomer must strictly out-pay the cheapest pending entry,
+    // which it displaces. (Evicting before inserting keeps the queue
+    // reference below valid — the victim may be the newcomer's own sender.)
+    const auto cheapest = by_fee_.begin();
+    if (cheapest->first.first >= tx.fee) {
+      ++stats_.rejected_full;
+      return Status::fail("mempool.full",
+                          "pool at capacity and fee does not beat the floor");
+    }
+    const Locator victim = cheapest->second;
+    erase_entry(victim.sender, by_sender_[victim.sender].find(victim.nonce));
+    ++stats_.evicted_low_fee;
+  }
+  auto& queue = by_sender_[sender.value];
+  const auto [it, inserted] =
+      queue.emplace(nonce, Entry{std::move(tx), dk, seq_++, now});
+  index_entry(it->second, Locator{sender.value, nonce});
+  ++stats_.admitted;
+  (void)inserted;
   return {};
+}
+
+std::size_t Mempool::sweep_expired(Tick now) {
+  if (config_.ttl == 0) return 0;
+  std::size_t dropped = 0;
+  while (!by_admission_.empty()) {
+    const auto oldest = by_admission_.begin();
+    const Tick admitted = oldest->first.first;
+    if (now <= admitted || now - admitted <= config_.ttl) break;
+    const Locator loc = oldest->second;
+    erase_entry(loc.sender, by_sender_[loc.sender].find(loc.nonce));
+    ++dropped;
+  }
+  stats_.expired += dropped;
+  return dropped;
 }
 
 std::vector<Transaction> Mempool::select(std::size_t max_txs,
@@ -81,6 +125,8 @@ std::vector<Transaction> Mempool::select(std::size_t max_txs,
 void Mempool::erase_entry(std::uint64_t sender, SenderQueue::iterator it) {
   const auto sit = by_sender_.find(sender);
   by_digest_.erase(it->second.dedupe);
+  by_fee_.erase({it->second.tx.fee, it->second.seq});
+  by_admission_.erase({it->second.admitted, it->second.seq});
   sit->second.erase(it);
   if (sit->second.empty()) by_sender_.erase(sit);
 }
@@ -102,6 +148,8 @@ void Mempool::prune(const LedgerState& state) {
     const auto keep_from = queue.lower_bound(expected);
     for (auto it = queue.begin(); it != keep_from; ++it) {
       by_digest_.erase(it->second.dedupe);
+      by_fee_.erase({it->second.tx.fee, it->second.seq});
+      by_admission_.erase({it->second.admitted, it->second.seq});
     }
     queue.erase(queue.begin(), keep_from);
     sit = queue.empty() ? by_sender_.erase(sit) : std::next(sit);

@@ -1,13 +1,24 @@
 // Mempool: pending transactions awaiting inclusion, ordered fee-first.
 //
-// Indexed two ways so every operation touches only the transactions involved:
+// Indexed four ways so every operation touches only the transactions involved:
 //  - by_sender_: per-sender nonce-ordered queues (selection walks each
 //    sender's runnable prefix in nonce order);
 //  - by_digest_: cached dedupe key -> (sender, nonce) locator (duplicate
-//    detection and eviction without re-hashing or scanning the pool).
-// Admission, selection, and eviction are O(log n) per transaction; the
+//    detection and eviction without re-hashing or scanning the pool);
+//  - by_fee_: (fee, seq) -> locator, so the lowest-fee victim for at-cap
+//    eviction is begin();
+//  - by_admission_: (admission tick, seq) -> locator, so expiry sweeps cost
+//    O(expired · log n) instead of a full scan.
+// Admission, selection, eviction, and expiry are O(log n) per transaction; the
 // historical implementation re-hashed every pending tx per selection pass and
 // scanned the whole pool per eviction (O(n²) around every block).
+//
+// Unselected transactions no longer pend forever: each entry is stamped with
+// the network tick at admission and sweep_expired() drops entries older than
+// the configured TTL (a nonce-gapped tx whose predecessor never arrives, a
+// fee too low to ever win selection). The pool is also size-capped: at
+// capacity a new transaction must strictly out-pay the cheapest pending one,
+// which it evicts ("mempool.full" otherwise).
 #pragma once
 
 #include <map>
@@ -19,13 +30,40 @@
 
 namespace mv::ledger {
 
+struct MempoolConfig {
+  /// Pending lifetime in ticks; entries with `now - admitted > ttl` are
+  /// dropped by sweep_expired(). 0 disables expiry.
+  Tick ttl = 600;
+  /// Pool size cap; admission beyond it evicts the lowest-fee entry (or
+  /// rejects the newcomer when it does not strictly out-pay it).
+  std::size_t max_txs = 65536;
+};
+
+/// Monotonic counters for pool churn (diagnostics / tests).
+struct MempoolStats {
+  std::uint64_t admitted = 0;          ///< entries accepted into the pool
+  std::uint64_t replaced = 0;          ///< replace-by-fee substitutions
+  std::uint64_t expired = 0;           ///< dropped by TTL sweep
+  std::uint64_t evicted_low_fee = 0;   ///< displaced by a better-paying tx
+  std::uint64_t rejected_full = 0;     ///< refused: pool full, fee too low
+};
+
 class Mempool {
  public:
-  /// Admit a transaction. Rejects duplicates, bad signatures, and nonces
-  /// already consumed by `state`. A pending transaction with the same sender
-  /// and nonce is replaced only by a strictly higher fee
-  /// ("mempool.underpriced" otherwise).
-  [[nodiscard]] Status add(Transaction tx, const LedgerState& state);
+  explicit Mempool(MempoolConfig config = {}) : config_(config) {}
+
+  /// Admit a transaction, stamped with admission tick `now`. Rejects
+  /// duplicates, bad signatures, and nonces already consumed by `state`. A
+  /// pending transaction with the same sender and nonce is replaced only by a
+  /// strictly higher fee ("mempool.underpriced" otherwise). At capacity the
+  /// lowest-fee entry is evicted if the newcomer strictly out-pays it;
+  /// otherwise the newcomer is rejected ("mempool.full").
+  [[nodiscard]] Status add(Transaction tx, const LedgerState& state,
+                           Tick now = 0);
+
+  /// Drop entries admitted more than `ttl` ticks before `now`. Returns the
+  /// number dropped. O(expired · log n); no-op when ttl == 0.
+  std::size_t sweep_expired(Tick now);
 
   /// Select up to `max_txs` transactions for a block, highest fee first but
   /// respecting per-sender nonce order. Selected txs stay in the pool until
@@ -41,12 +79,15 @@ class Mempool {
 
   [[nodiscard]] std::size_t size() const { return by_digest_.size(); }
   [[nodiscard]] bool empty() const { return by_digest_.empty(); }
+  [[nodiscard]] const MempoolConfig& config() const { return config_; }
+  [[nodiscard]] const MempoolStats& stats() const { return stats_; }
 
  private:
   struct Entry {
     Transaction tx;
     std::uint64_t dedupe = 0;  ///< cached digest prefix (hashed once, at add)
     std::uint64_t seq = 0;     ///< admission order (FIFO fee tie-break)
+    Tick admitted = 0;         ///< network tick at admission (TTL anchor)
   };
   /// nonce -> entry, ordered so the runnable prefix is a forward walk.
   using SenderQueue = std::map<std::uint64_t, Entry>;
@@ -56,12 +97,19 @@ class Mempool {
     std::uint64_t nonce = 0;
   };
 
-  /// Erase one entry and its locator. Returns the iterator past the erased
-  /// entry; drops the sender's queue when it empties.
+  void index_entry(const Entry& entry, const Locator& loc);
+  /// Erase one entry and every index record pointing at it; drops the
+  /// sender's queue when it empties.
   void erase_entry(std::uint64_t sender, SenderQueue::iterator it);
 
+  MempoolConfig config_;
+  MempoolStats stats_;
   std::unordered_map<std::uint64_t, SenderQueue> by_sender_;
   std::unordered_map<std::uint64_t, Locator> by_digest_;
+  /// (fee, seq) -> locator; begin() is the cheapest (oldest first among ties).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Locator> by_fee_;
+  /// (admission tick, seq) -> locator; begin() is the oldest entry.
+  std::map<std::pair<Tick, std::uint64_t>, Locator> by_admission_;
   std::uint64_t seq_ = 0;
 };
 

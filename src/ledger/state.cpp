@@ -12,6 +12,34 @@ void hash_audit_record(crypto::HashWriter& w, const StoredAuditRecord& rec) {
   w.i64(rec.height);
 }
 
+/// One link of the audit log's running hash: h' = H(h || record).
+crypto::Digest chain_audit(const crypto::Digest& h, const StoredAuditRecord& rec) {
+  crypto::HashWriter w;
+  w.raw(h);
+  hash_audit_record(w, rec);
+  return w.digest();
+}
+
+/// Account leaf payload. The key (address) is mixed in by MerkleMap's leaf
+/// hash; the payload commits to balance presence, balance, and nonce. An
+/// account leaf exists iff it has a balance entry or a nonzero nonce.
+crypto::Digest account_leaf(bool has_balance, std::uint64_t balance,
+                            std::uint64_t nonce) {
+  crypto::HashWriter w;
+  w.u8(has_balance ? 1 : 0);
+  w.u64(balance);
+  w.u64(nonce);
+  return w.digest();
+}
+
+/// Element digest of one contract-store entry for the multiset section hash.
+crypto::Digest store_entry_hash(const std::string& key, const Bytes& value) {
+  crypto::HashWriter w;
+  w.str(key);
+  w.bytes(value);
+  return w.digest();
+}
+
 /// Two-pointer merge of a base map and a delta map (delta wins on equal
 /// keys), visiting entries in key order. `emit(key, base_value_or_null,
 /// delta_value_or_null)` is called once per merged key.
@@ -34,47 +62,18 @@ void merge_maps(const BaseMap& base, const DeltaMap& delta, Emit emit) {
   }
 }
 
-void hash_merged_accounts(crypto::HashWriter& w,
-                          const std::map<crypto::Address, std::uint64_t>& base,
-                          const std::map<crypto::Address, std::uint64_t>& delta) {
-  std::size_t count = base.size();
-  for (const auto& [addr, value] : delta) {
-    (void)value;
-    if (!base.contains(addr)) ++count;
-  }
-  w.u32(static_cast<std::uint32_t>(count));
-  merge_maps(base, delta,
-             [&w](crypto::Address addr, const std::uint64_t* base_value,
-                  const std::uint64_t* delta_value) {
-               w.u64(addr.value);
-               w.u64(delta_value != nullptr ? *delta_value : *base_value);
-             });
-}
-
-using StoreDelta = std::map<std::string, std::optional<Bytes>>;
-
-void hash_merged_store(crypto::HashWriter& w, const ContractStore& base,
-                       const StoreDelta& delta) {
-  std::size_t count = base.size();
-  for (const auto& [key, value] : delta) {
-    const bool in_base = base.contains(key);
-    if (value.has_value() && !in_base) ++count;
-    if (!value.has_value() && in_base) --count;
-  }
-  w.u32(static_cast<std::uint32_t>(count));
-  merge_maps(base, delta,
-             [&w](const std::string& key, const Bytes* base_value,
-                  const std::optional<Bytes>* delta_value) {
-               if (delta_value != nullptr) {
-                 if (delta_value->has_value()) {
-                   w.str(key);
-                   w.bytes(**delta_value);
-                 }  // tombstone: skip
-               } else {
-                 w.str(key);
-                 w.bytes(*base_value);
-               }
-             });
+/// Combine the root from the section digests (the commitment layout spec in
+/// DESIGN.md §"State commitment" documents this byte order).
+crypto::Digest combine_commitment_root(const StateCommitment& c) {
+  crypto::HashWriter w;
+  w.str("mv.state.v2");
+  w.raw(c.accounts_root);
+  w.u64(c.account_count);
+  w.raw(c.audit_digest);
+  w.u64(c.audit_count);
+  w.raw(c.stores_digest);
+  w.u64(c.burned_fees);
+  return w.digest();
 }
 
 }  // namespace
@@ -148,7 +147,7 @@ Status LedgerView::apply(const Transaction& tx,
       // Contract bodies may fail after arbitrary writes; running the call in
       // a nested overlay keeps the whole transaction atomic — discarding the
       // overlay on failure costs O(writes), not a full-state snapshot.
-      LedgerStateOverlay scratch(static_cast<LedgerView&>(*this));
+      auto scratch = LedgerStateOverlay::nested(*this);
       (void)scratch.debit(sender, tx.fee);
       CallContext ctx(scratch, tx.contract, sender, height);
       if (Status status = contract->call(ctx, tx.method, tx.payload); !status.ok()) {
@@ -178,15 +177,28 @@ std::uint64_t LedgerState::nonce(crypto::Address a) const {
   return it == nonces_.end() ? 0 : it->second;
 }
 
+void LedgerState::refresh_account_leaf(crypto::Address a) {
+  const auto bal = find_balance(a);
+  const std::uint64_t n = nonce(a);
+  if (bal.has_value() || n != 0) {
+    accounts_.put(a.value, account_leaf(bal.has_value(), bal.value_or(0), n));
+  } else {
+    accounts_.erase(a.value);
+  }
+}
+
 void LedgerState::set_balance(crypto::Address a, std::uint64_t value) {
   balances_[a] = value;
+  refresh_account_leaf(a);
 }
 
 void LedgerState::set_nonce(crypto::Address a, std::uint64_t value) {
   nonces_[a] = value;
+  refresh_account_leaf(a);
 }
 
 void LedgerState::append_audit(StoredAuditRecord record) {
+  audit_digest_ = chain_audit(audit_digest_, record);
   audit_log_.push_back(std::move(record));
 }
 
@@ -205,14 +217,30 @@ const Bytes* LedgerState::store_get(const std::string& contract,
 
 void LedgerState::store_put(const std::string& contract, const std::string& key,
                             Bytes value) {
-  contracts_[contract][key] = std::move(value);
+  ContractStore& store = contracts_[contract];
+  StoreDigest& sd = store_digests_[contract];
+  const auto it = store.find(key);
+  if (it != store.end()) {
+    sd.sum.remove(store_entry_hash(key, it->second));
+    --sd.count;
+  }
+  sd.sum.add(store_entry_hash(key, value));
+  ++sd.count;
+  store[key] = std::move(value);
 }
 
 void LedgerState::store_erase(const std::string& contract,
                               const std::string& key) {
   // Deliberately creates the (empty) store if missing — matches the
-  // historical CallContext::erase semantics that the state root covers.
-  contracts_[contract].erase(key);
+  // historical CallContext::erase semantics that the commitment covers.
+  ContractStore& store = contracts_[contract];
+  StoreDigest& sd = store_digests_[contract];
+  const auto it = store.find(key);
+  if (it != store.end()) {
+    sd.sum.remove(store_entry_hash(key, it->second));
+    --sd.count;
+    store.erase(it);
+  }
 }
 
 std::vector<std::string> LedgerState::store_keys_with_prefix(
@@ -227,33 +255,129 @@ std::vector<std::string> LedgerState::store_keys_with_prefix(
   return out;
 }
 
-crypto::Digest LedgerState::state_root() const {
-  crypto::HashWriter w;
-  w.u32(static_cast<std::uint32_t>(balances_.size()));
-  for (const auto& [addr, bal] : balances_) {
-    w.u64(addr.value);
-    w.u64(bal);
+StateCommitment LedgerState::commitment_with(const CommitmentDelta& delta) const {
+  StateCommitment c;
+
+  // Accounts: cached Merkle tree plus the delta's touched leaves.
+  if (delta.balances.empty() && delta.nonces.empty()) {
+    c.accounts_root = accounts_.root();
+    c.account_count = accounts_.size();
+  } else {
+    crypto::MerkleMap::Delta acc;
+    merge_maps(delta.balances, delta.nonces,
+               [&](crypto::Address addr, const std::uint64_t* dbal,
+                   const std::uint64_t* dnon) {
+                 bool has_bal = true;
+                 std::uint64_t bal = 0;
+                 if (dbal != nullptr) {
+                   bal = *dbal;
+                 } else {
+                   const auto base_bal = find_balance(addr);
+                   has_bal = base_bal.has_value();
+                   bal = base_bal.value_or(0);
+                 }
+                 const std::uint64_t n = dnon != nullptr ? *dnon : nonce(addr);
+                 if (has_bal || n != 0) {
+                   acc[addr.value] = account_leaf(has_bal, bal, n);
+                 } else {
+                   acc[addr.value] = std::nullopt;
+                 }
+               });
+    c.accounts_root = accounts_.root_with(acc);
+    c.account_count = accounts_.size_with(acc);
   }
-  w.u32(static_cast<std::uint32_t>(nonces_.size()));
-  for (const auto& [addr, n] : nonces_) {
-    w.u64(addr.value);
-    w.u64(n);
-  }
-  w.u32(static_cast<std::uint32_t>(audit_log_.size()));
-  for (const auto& rec : audit_log_) {
-    hash_audit_record(w, rec);
-  }
-  w.u32(static_cast<std::uint32_t>(contracts_.size()));
-  for (const auto& [name, store] : contracts_) {
-    w.str(name);
-    w.u32(static_cast<std::uint32_t>(store.size()));
-    for (const auto& [key, value] : store) {
-      w.str(key);
-      w.bytes(value);
+
+  // Audit log: extend the running chain hash with the appended records.
+  crypto::Digest h = audit_digest_;
+  for (const StoredAuditRecord* rec : delta.audit) h = chain_audit(h, *rec);
+  c.audit_digest = h;
+  c.audit_count = audit_log_.size() + delta.audit.size();
+
+  // Contract stores: adjust the touched contracts' multiset digests, then
+  // combine all per-contract digests in name order. A delta consisting
+  // solely of tombstones still names the contract (store_erase materializes
+  // an empty store on commit).
+  std::map<std::string, StoreDigest> adjusted;
+  for (const auto& [contract, kv] : delta.stores) {
+    const auto base_it = store_digests_.find(contract);
+    StoreDigest sd = base_it != store_digests_.end() ? base_it->second : StoreDigest{};
+    for (const auto& [key, pval] : kv) {
+      const Bytes* old = store_get(contract, key);
+      if (old != nullptr) {
+        sd.sum.remove(store_entry_hash(key, *old));
+        --sd.count;
+      }
+      if (pval != nullptr && pval->has_value()) {
+        sd.sum.add(store_entry_hash(key, **pval));
+        ++sd.count;
+      }
     }
+    adjusted[contract] = sd;
   }
-  w.u64(burned_fees_);
-  return w.digest();
+  std::size_t contract_count = store_digests_.size();
+  for (const auto& [name, sd] : adjusted) {
+    (void)sd;
+    if (!store_digests_.contains(name)) ++contract_count;
+  }
+  crypto::HashWriter stores_w;
+  stores_w.u32(static_cast<std::uint32_t>(contract_count));
+  merge_maps(store_digests_, adjusted,
+             [&stores_w](const std::string& name, const StoreDigest* base_sd,
+                         const StoreDigest* adj_sd) {
+               const StoreDigest& sd = adj_sd != nullptr ? *adj_sd : *base_sd;
+               stores_w.str(name);
+               stores_w.u64(sd.count);
+               stores_w.raw(sd.sum.bytes());
+             });
+  c.stores_digest = stores_w.digest();
+
+  c.burned_fees = burned_fees_ + delta.burned;
+  c.root = combine_commitment_root(c);
+  return c;
+}
+
+StateCommitment LedgerState::full_rehash_commitment() const {
+  StateCommitment c;
+
+  // Accounts: independent structural recursion over an explicit leaf list
+  // (no cached tree involved).
+  std::vector<std::pair<std::uint64_t, crypto::Digest>> leaves;
+  leaves.reserve(balances_.size() + nonces_.size());
+  merge_maps(balances_, nonces_,
+             [&leaves](crypto::Address addr, const std::uint64_t* bal,
+                       const std::uint64_t* n) {
+               const bool has_bal = bal != nullptr;
+               const std::uint64_t nonce_value = n != nullptr ? *n : 0;
+               if (has_bal || nonce_value != 0) {
+                 leaves.emplace_back(
+                     addr.value,
+                     account_leaf(has_bal, has_bal ? *bal : 0, nonce_value));
+               }
+             });
+  c.account_count = leaves.size();
+  c.accounts_root = crypto::merkle_map_reference_root(std::move(leaves));
+
+  // Audit log: refold the whole chain from zero.
+  crypto::Digest h{};
+  for (const auto& rec : audit_log_) h = chain_audit(h, rec);
+  c.audit_digest = h;
+  c.audit_count = audit_log_.size();
+
+  // Contract stores: rebuild every multiset digest from the raw maps.
+  crypto::HashWriter stores_w;
+  stores_w.u32(static_cast<std::uint32_t>(contracts_.size()));
+  for (const auto& [name, store] : contracts_) {
+    crypto::SetHash sum;
+    for (const auto& [key, value] : store) sum.add(store_entry_hash(key, value));
+    stores_w.str(name);
+    stores_w.u64(store.size());
+    stores_w.raw(sum.bytes());
+  }
+  c.stores_digest = stores_w.digest();
+
+  c.burned_fees = burned_fees_;
+  c.root = combine_commitment_root(c);
+  return c;
 }
 
 // ----------------------------------------------------- LedgerStateOverlay
@@ -326,6 +450,31 @@ std::vector<std::string> LedgerStateOverlay::store_keys_with_prefix(
   return out;
 }
 
+StateCommitment LedgerStateOverlay::commitment_with(
+    const CommitmentDelta& above) const {
+  // Fold this overlay's delta under the layers stacked above it (above
+  // wins on equal keys — it is newer) and recurse toward the materialized
+  // base, which combines the flattened delta with its cached sections.
+  CommitmentDelta merged;
+  merged.balances = balances_;
+  for (const auto& [addr, value] : above.balances) merged.balances[addr] = value;
+  merged.nonces = nonces_;
+  for (const auto& [addr, value] : above.nonces) merged.nonces[addr] = value;
+  merged.audit.reserve(audit_appended_.size() + above.audit.size());
+  for (const auto& rec : audit_appended_) merged.audit.push_back(&rec);
+  merged.audit.insert(merged.audit.end(), above.audit.begin(), above.audit.end());
+  for (const auto& [contract, kv] : stores_) {
+    auto& dst = merged.stores[contract];
+    for (const auto& [key, value] : kv) dst[key] = &value;
+  }
+  for (const auto& [contract, kv] : above.stores) {
+    auto& dst = merged.stores[contract];
+    for (const auto& [key, pval] : kv) dst[key] = pval;
+  }
+  merged.burned = burned_delta_ + above.burned;
+  return base_->commitment_with(merged);
+}
+
 void LedgerStateOverlay::commit() {
   assert(writable_ != nullptr && "commit() on a read-only overlay");
   if (writable_ == nullptr) return;
@@ -353,38 +502,6 @@ std::size_t LedgerStateOverlay::touched() const {
   std::size_t n = balances_.size() + nonces_.size() + audit_appended_.size();
   for (const auto& [contract, delta] : stores_) n += delta.size();
   return n;
-}
-
-crypto::Digest LedgerStateOverlay::state_root() const {
-  assert(base_state_ != nullptr &&
-         "state_root() requires a LedgerState base (not a nested overlay)");
-  const LedgerState& base = *base_state_;
-  crypto::HashWriter w;
-  hash_merged_accounts(w, base.balances_, balances_);
-  hash_merged_accounts(w, base.nonces_, nonces_);
-  w.u32(static_cast<std::uint32_t>(base.audit_log_.size() + audit_appended_.size()));
-  for (const auto& rec : base.audit_log_) hash_audit_record(w, rec);
-  for (const auto& rec : audit_appended_) hash_audit_record(w, rec);
-  // Contract stores: union of base and overlay contract names, each store
-  // merged entry-wise. A delta consisting solely of tombstones still names
-  // the contract (store_erase materializes an empty store on commit).
-  std::size_t contract_count = base.contracts_.size();
-  for (const auto& [name, delta] : stores_) {
-    (void)delta;
-    if (!base.contracts_.contains(name)) ++contract_count;
-  }
-  w.u32(static_cast<std::uint32_t>(contract_count));
-  static const ContractStore kEmptyStore;
-  static const StoreDelta kEmptyDelta;
-  merge_maps(base.contracts_, stores_,
-             [&w](const std::string& name, const ContractStore* base_store,
-                  const StoreDelta* delta) {
-               w.str(name);
-               hash_merged_store(w, base_store != nullptr ? *base_store : kEmptyStore,
-                                 delta != nullptr ? *delta : kEmptyDelta);
-             });
-  w.u64(base.burned_fees_ + burned_delta_);
-  return w.digest();
 }
 
 // ------------------------------------------------------------ CallContext

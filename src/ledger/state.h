@@ -3,11 +3,19 @@
 //
 // Two layers share one mutation interface (LedgerView):
 //  - LedgerState is the committed, materialized state (a plain value type);
-//  - LedgerStateOverlay is a copy-on-write delta over a base view. Block
-//    assembly and validation trial-apply transactions on an overlay and
-//    commit (or discard) only the touched accounts/keys, so the per-block
-//    cost is proportional to the block, not to the world. Contract-call
-//    atomicity uses a nested overlay the same way.
+//  - LedgerStateOverlay is a copy-on-write delta over a base view, built via
+//    the named factories reader()/writer()/nested(). Block assembly and
+//    validation trial-apply transactions on an overlay and commit (or
+//    discard) only the touched accounts/keys, so the per-block cost is
+//    proportional to the block, not to the world. Contract-call atomicity
+//    uses a nested overlay the same way.
+//
+// State commitment is incremental (DESIGN.md §"State commitment"): the
+// account map is Merkleized (crypto::MerkleMap), the audit log carries a
+// running chain hash, and each contract store an additive multiset digest,
+// so commitment() costs O(touched · log n) on an overlay instead of
+// re-hashing the world. full_rehash_commitment() recomputes everything from
+// scratch as a differential-testing oracle.
 #pragma once
 
 #include <map>
@@ -18,6 +26,8 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/result.h"
+#include "crypto/merkle_map.h"
+#include "crypto/set_hash.h"
 #include "crypto/sha256.h"
 #include "ledger/transaction.h"
 
@@ -32,8 +42,36 @@ struct StoredAuditRecord {
   Tick height = 0;
 };
 
-/// Per-contract ordered KV store. Ordered so the state root is canonical.
+/// Per-contract ordered KV store. Ordered so commitments are canonical.
 using ContractStore = std::map<std::string, Bytes>;
+
+/// Commitment to a full ledger state: one root digest plus the per-section
+/// digests it is combined from. Returned by LedgerView::commitment() on the
+/// materialized state and on overlays at any nesting depth; block headers
+/// carry `root`.
+struct StateCommitment {
+  crypto::Digest root{};           ///< combined commitment (block header field)
+  crypto::Digest accounts_root{};  ///< MerkleMap root over account leaves
+  std::uint64_t account_count = 0;
+  crypto::Digest audit_digest{};   ///< running hash over the audit log
+  std::uint64_t audit_count = 0;
+  crypto::Digest stores_digest{};  ///< combined per-contract-store digests
+  std::uint64_t burned_fees = 0;
+
+  [[nodiscard]] bool operator==(const StateCommitment&) const = default;
+};
+
+/// A view delta flattened for commitment computation: the overlay stack folds
+/// itself into one of these and hands it to the materialized base. Internal
+/// plumbing for commitment_with(); use LedgerView::commitment() instead.
+struct CommitmentDelta {
+  std::map<crypto::Address, std::uint64_t> balances;
+  std::map<crypto::Address, std::uint64_t> nonces;
+  std::vector<const StoredAuditRecord*> audit;  ///< appended, oldest first
+  /// contract -> key -> new value (pointer into an overlay; nullopt* = erase)
+  std::map<std::string, std::map<std::string, const std::optional<Bytes>*>> stores;
+  std::uint64_t burned = 0;
+};
 
 /// Mutation/read interface shared by the committed state and overlays.
 /// Transactions and contracts touch the ledger only through these
@@ -45,7 +83,7 @@ class LedgerView {
   // ---- accounts ----
   /// Balance entry, or nullopt when the account was never credited. The
   /// distinction matters: debit refuses unknown accounts, and a zero entry
-  /// is serialized into the state root.
+  /// is part of the state commitment.
   [[nodiscard]] virtual std::optional<std::uint64_t> find_balance(
       crypto::Address a) const = 0;
   [[nodiscard]] std::uint64_t balance(crypto::Address a) const {
@@ -72,6 +110,20 @@ class LedgerView {
                            const std::string& key) = 0;
   [[nodiscard]] virtual std::vector<std::string> store_keys_with_prefix(
       const std::string& contract, const std::string& prefix) const = 0;
+
+  // ---- state commitment ----
+  /// Commitment to this view's full state (root + per-section digests).
+  /// O(touched · log n) on an overlay — the base's cached Merkle tree and
+  /// section digests are combined with the delta without materializing —
+  /// and valid at any overlay nesting depth.
+  [[nodiscard]] StateCommitment commitment() const {
+    return commitment_with(CommitmentDelta{});
+  }
+  /// Internal: commitment of this view's state with `delta` stacked on top.
+  /// Overlays fold their own delta into `delta` and recurse into their base.
+  /// Public only so overlays can recurse through any LedgerView base.
+  [[nodiscard]] virtual StateCommitment commitment_with(
+      const CommitmentDelta& delta) const = 0;
 
   // ---- conveniences built on the primitives ----
   void credit(crypto::Address a, std::uint64_t amount);
@@ -102,9 +154,6 @@ class LedgerState final : public LedgerView {
   void append_audit(StoredAuditRecord record) override;
 
   // ---- contract stores ----
-  [[nodiscard]] ContractStore& store(const std::string& contract) {
-    return contracts_[contract];
-  }
   [[nodiscard]] const ContractStore* find_store(const std::string& contract) const;
   [[nodiscard]] const Bytes* store_get(const std::string& contract,
                                        const std::string& key) const override;
@@ -114,40 +163,70 @@ class LedgerState final : public LedgerView {
   [[nodiscard]] std::vector<std::string> store_keys_with_prefix(
       const std::string& contract, const std::string& prefix) const override;
 
-  /// Canonical digest over the entire state.
-  [[nodiscard]] crypto::Digest state_root() const;
+  // ---- state commitment ----
+  [[nodiscard]] StateCommitment commitment_with(
+      const CommitmentDelta& delta) const override;
+  /// Oracle: recompute the commitment from the raw maps with no incremental
+  /// caches (independent account-tree recursion, audit chain refold, store
+  /// digests from scratch). Differential tests assert it equals commitment().
+  [[nodiscard]] StateCommitment full_rehash_commitment() const;
+  [[nodiscard]] crypto::Digest full_rehash_root() const {
+    return full_rehash_commitment().root;
+  }
 
   [[nodiscard]] std::uint64_t burned_fees() const override { return burned_fees_; }
   void add_burned_fees(std::uint64_t amount) override { burned_fees_ += amount; }
   [[nodiscard]] std::size_t account_count() const { return balances_.size(); }
 
  private:
-  friend class LedgerStateOverlay;  // merged state_root serialization
+  /// Re-derive the Merkle leaf for `a` from balances_/nonces_ (absent when
+  /// the account has neither a balance entry nor a nonzero nonce).
+  void refresh_account_leaf(crypto::Address a);
+
+  /// Incrementally maintained digest of one contract store.
+  struct StoreDigest {
+    crypto::SetHash sum;       ///< multiset hash over (key, value) entries
+    std::uint64_t count = 0;   ///< live entries
+  };
 
   std::map<crypto::Address, std::uint64_t> balances_;
   std::map<crypto::Address, std::uint64_t> nonces_;
   std::vector<StoredAuditRecord> audit_log_;
   std::map<std::string, ContractStore> contracts_;
   std::uint64_t burned_fees_ = 0;
+
+  // Maintained commitment sections (see DESIGN.md §"State commitment").
+  crypto::MerkleMap accounts_;                      ///< addr -> account leaf
+  crypto::Digest audit_digest_{};                   ///< running chain hash
+  std::map<std::string, StoreDigest> store_digests_;  ///< mirrors contracts_
 };
 
 /// Copy-on-write delta over a base view. Reads fall through to the base;
 /// writes land in the overlay. commit() folds the delta into the base in
 /// O(touched); discarding the overlay (destruction) costs the same.
 ///
+/// Construct via the named factories — the intent is part of the call site:
+///   auto scratch = LedgerStateOverlay::reader(base);   // no commit right
+///   auto scratch = LedgerStateOverlay::writer(base);   // commit() folds in
+///   auto scratch = LedgerStateOverlay::nested(parent); // sub-tx atomicity
+///
 /// Single-use: after commit() the overlay is empty and should be dropped.
 class LedgerStateOverlay final : public LedgerView {
  public:
   /// Read-only base: trial application without the right to commit
-  /// (block validation on a const chain).
-  explicit LedgerStateOverlay(const LedgerState& base)
-      : base_(&base), base_state_(&base) {}
+  /// (block validation on a const chain). commit() is a checked no-op.
+  [[nodiscard]] static LedgerStateOverlay reader(const LedgerView& base) {
+    return LedgerStateOverlay(&base, nullptr);
+  }
   /// Writable base: commit() folds the delta into `base`.
-  explicit LedgerStateOverlay(LedgerState& base)
-      : base_(&base), writable_(&base), base_state_(&base) {}
-  /// Nested overlay (contract-call atomicity); state_root() is unavailable.
-  explicit LedgerStateOverlay(LedgerView& parent)
-      : base_(&parent), writable_(&parent) {}
+  [[nodiscard]] static LedgerStateOverlay writer(LedgerView& base) {
+    return LedgerStateOverlay(&base, &base);
+  }
+  /// Nested overlay over another overlay (contract-call atomicity). Same
+  /// mechanics as writer(); the name keeps sub-transaction call sites honest.
+  [[nodiscard]] static LedgerStateOverlay nested(LedgerView& parent) {
+    return LedgerStateOverlay(&parent, &parent);
+  }
 
   [[nodiscard]] std::optional<std::uint64_t> find_balance(
       crypto::Address a) const override;
@@ -167,21 +246,23 @@ class LedgerStateOverlay final : public LedgerView {
   [[nodiscard]] std::vector<std::string> store_keys_with_prefix(
       const std::string& contract, const std::string& prefix) const override;
 
+  /// Folds this overlay's delta into `delta` (the layers stacked above it)
+  /// and recurses into the base, so the commitment works at any depth.
+  [[nodiscard]] StateCommitment commitment_with(
+      const CommitmentDelta& delta) const override;
+
   /// Fold the delta into the (writable) base. O(touched entries).
   void commit();
-
-  /// Digest of base-with-delta-applied; byte-identical to materializing the
-  /// overlay into a LedgerState and calling state_root() on it. Only
-  /// available on overlays whose direct base is a LedgerState.
-  [[nodiscard]] crypto::Digest state_root() const;
 
   /// Number of accounts/keys recorded in the delta (diagnostics).
   [[nodiscard]] std::size_t touched() const;
 
  private:
-  const LedgerView* base_ = nullptr;        ///< read fall-through
-  LedgerView* writable_ = nullptr;          ///< commit target (null = read-only)
-  const LedgerState* base_state_ = nullptr; ///< set when base is materialized
+  LedgerStateOverlay(const LedgerView* base, LedgerView* writable)
+      : base_(base), writable_(writable) {}
+
+  const LedgerView* base_ = nullptr;  ///< read fall-through
+  LedgerView* writable_ = nullptr;    ///< commit target (null = read-only)
 
   std::map<crypto::Address, std::uint64_t> balances_;
   std::map<crypto::Address, std::uint64_t> nonces_;

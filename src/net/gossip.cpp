@@ -8,11 +8,13 @@ std::uint64_t rumor_key(const Bytes& payload) {
 }
 }  // namespace
 
-Gossip::Gossip(Network& network, Rng rng, std::size_t fanout, DeliverFn deliver)
+Gossip::Gossip(Network& network, Rng rng, std::size_t fanout, DeliverFn deliver,
+               std::size_t relay_high_water)
     : network_(network),
       rng_(rng),
       fanout_(fanout),
-      deliver_(std::move(deliver)) {}
+      deliver_(std::move(deliver)),
+      relay_high_water_(relay_high_water) {}
 
 NodeId Gossip::join() {
   const NodeId id =
@@ -30,6 +32,11 @@ void Gossip::publish(NodeId origin, const Bytes& payload) {
 
 void Gossip::on_message(const Message& msg) {
   if (msg.topic != "gossip") return;
+  // One of msg.from's relays just landed: release its in-flight slot.
+  if (const auto it = inflight_.find(msg.from);
+      it != inflight_.end() && it->second > 0) {
+    --it->second;
+  }
   if (mark_seen(msg.to, msg.payload())) {
     deliver_(msg.to, msg.payload());
     relay(msg.to, msg.payload_buf);
@@ -41,19 +48,32 @@ void Gossip::relay(NodeId from, const std::shared_ptr<const Bytes>& payload) {
   const std::size_t peers = std::min(fanout_, members_.size() - 1);
   if (peers == members_.size() - 1) {
     // Flood mode: relay to every peer — guarantees coverage on a connected
-    // lossless network at the cost of O(n^2) messages.
+    // lossless network at the cost of O(n^2) messages. The coverage
+    // guarantee is the point of this mode, so backpressure does not apply.
     for (const NodeId peer : members_) {
       if (peer != from) network_.send(from, peer, "gossip", payload);
     }
     return;
   }
+  // Backpressure (epidemic mode only): a node with too many undelivered
+  // relays in flight defers to the redundancy of the mesh instead of
+  // queueing more.
+  std::size_t budget = peers;
+  if (relay_high_water_ != 0) {
+    const std::size_t inflight = inflight_[from];
+    budget = inflight < relay_high_water_
+                 ? std::min(peers, relay_high_water_ - inflight)
+                 : 0;
+  }
+  if (budget < peers) network_.note_backpressure_drop(peers - budget);
+  if (budget == 0) return;
   const auto picks = rng_.sample_indices(members_.size(), std::min(fanout_ + 1, members_.size()));
   std::size_t sent = 0;
   for (const auto idx : picks) {
-    if (sent == peers) break;
+    if (sent == budget) break;
     const NodeId peer = members_[idx];
     if (peer == from) continue;
-    network_.send(from, peer, "gossip", payload);
+    if (network_.send(from, peer, "gossip", payload)) ++inflight_[from];
     ++sent;
   }
 }

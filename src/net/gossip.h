@@ -4,6 +4,12 @@
 // governance announcements by gossip rather than central fan-out. Each node
 // relays a newly seen rumor to `fanout` random peers; duplicates are dropped
 // by digest.
+//
+// Relaying is backpressured: each node tracks how many of its relays are
+// still in flight (sent but not yet delivered) and stops relaying past a
+// high-water mark, so a slow or high-latency mesh bounds its queue instead
+// of amplifying every rumor into an unbounded burst. Withheld relays are
+// surfaced in NetworkStats::backpressure_dropped.
 #pragma once
 
 #include <functional>
@@ -20,7 +26,10 @@ class Gossip {
   /// Called exactly once per node per rumor, at first reception.
   using DeliverFn = std::function<void(NodeId node, const Bytes& payload)>;
 
-  Gossip(Network& network, Rng rng, std::size_t fanout, DeliverFn deliver);
+  /// `relay_high_water` bounds each node's in-flight relays; 0 disables
+  /// backpressure.
+  Gossip(Network& network, Rng rng, std::size_t fanout, DeliverFn deliver,
+         std::size_t relay_high_water = 64);
 
   /// Register this gossip instance as the message handler of a fresh node.
   NodeId join();
@@ -32,6 +41,12 @@ class Gossip {
   [[nodiscard]] double coverage(const Bytes& payload) const;
 
   [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+
+  /// Relays from `node` currently in flight (sent, not yet delivered).
+  [[nodiscard]] std::size_t inflight(NodeId node) const {
+    const auto it = inflight_.find(node);
+    return it == inflight_.end() ? 0 : it->second;
+  }
 
  private:
   void on_message(const Message& msg);
@@ -45,8 +60,10 @@ class Gossip {
   Rng rng_;
   std::size_t fanout_;
   DeliverFn deliver_;
+  std::size_t relay_high_water_;
   std::vector<NodeId> members_;
   std::unordered_map<std::uint64_t, std::unordered_set<NodeId>> seen_;
+  std::unordered_map<NodeId, std::size_t> inflight_;
 };
 
 }  // namespace mv::net

@@ -52,6 +52,9 @@ struct NetworkStats {
   std::uint64_t partitioned = 0;
   std::uint64_t invalid_dest = 0;  ///< sends refused: unknown destination
   std::uint64_t bytes_sent = 0;
+  /// Relays withheld by a protocol's backpressure (e.g. Gossip's in-flight
+  /// high-water mark) — never entered the queue, distinct from link `dropped`.
+  std::uint64_t backpressure_dropped = 0;
 };
 
 class Network {
@@ -97,6 +100,10 @@ class Network {
 
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  /// Record `n` protocol-level backpressure drops (see NetworkStats).
+  void note_backpressure_drop(std::uint64_t n) {
+    stats_.backpressure_dropped += n;
+  }
   [[nodiscard]] SimClock& clock() { return clock_; }
 
  private:

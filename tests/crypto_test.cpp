@@ -4,8 +4,12 @@
 
 #include <string>
 
+#include <map>
+
 #include "crypto/merkle.h"
+#include "crypto/merkle_map.h"
 #include "crypto/schnorr.h"
+#include "crypto/set_hash.h"
 #include "crypto/sha256.h"
 #include "crypto/wallet.h"
 
@@ -258,6 +262,148 @@ TEST(Wallet, SignaturesVerifyAgainstPublicKey) {
 TEST(Wallet, AddressToStringHex) {
   Address a{0xff};
   EXPECT_EQ(a.to_string(), "0xff");
+}
+
+// ---------------------------------------------------------------- MerkleMap
+
+namespace {
+Digest value_digest(std::uint64_t x) {
+  HashWriter w;
+  w.u64(x);
+  return w.digest();
+}
+
+Digest reference_of(const std::map<std::uint64_t, Digest>& model) {
+  return merkle_map_reference_root({model.begin(), model.end()});
+}
+}  // namespace
+
+TEST(MerkleMap, EmptyMapZeroRoot) {
+  MerkleMap m;
+  EXPECT_EQ(m.root(), Digest{});
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(merkle_map_reference_root({}), Digest{});
+}
+
+TEST(MerkleMap, SingleKeyRootIsLeafHash) {
+  MerkleMap m;
+  m.put(42, value_digest(1));
+  EXPECT_EQ(m.root(), MerkleMap::leaf_hash(42, value_digest(1)));
+}
+
+TEST(MerkleMap, EraseRestoresPriorRoot) {
+  MerkleMap m;
+  m.put(1, value_digest(1));
+  const Digest one = m.root();
+  m.put(2, value_digest(2));
+  EXPECT_NE(m.root(), one);
+  m.erase(2);
+  EXPECT_EQ(m.root(), one);
+  m.erase(1);
+  EXPECT_EQ(m.root(), Digest{});
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(MerkleMap, DeepCopyIsIndependent) {
+  MerkleMap a;
+  for (std::uint64_t k = 0; k < 100; ++k) a.put(k, value_digest(k));
+  MerkleMap b = a;
+  const Digest before = a.root();
+  b.put(7, value_digest(999));
+  b.erase(50);
+  EXPECT_EQ(a.root(), before);
+  EXPECT_NE(b.root(), before);
+}
+
+TEST(MerkleMap, MatchesReferenceOracleUnderRandomChurn) {
+  // Incremental root (cached tree, dirty-path rehash) vs. the structural
+  // recursion oracle, across interleaved inserts, updates, and erases.
+  // Keys mix dense low values (deep shared prefixes, node splits) with
+  // random 64-bit values (shallow spread).
+  Rng rng(77);
+  MerkleMap m;
+  std::map<std::uint64_t, Digest> model;
+  for (int round = 0; round < 40; ++round) {
+    for (int op = 0; op < 50; ++op) {
+      const std::uint64_t key =
+          rng.chance(0.5) ? rng.next_below(64) : rng.next_u64();
+      if (rng.chance(0.3) && !model.empty()) {
+        // Erase: an existing key half the time, a probably-absent one else.
+        const std::uint64_t victim =
+            rng.chance(0.5) ? std::next(model.begin(),
+                                        static_cast<std::ptrdiff_t>(
+                                            rng.next_below(model.size())))
+                                  ->first
+                            : key;
+        m.erase(victim);
+        model.erase(victim);
+      } else {
+        const Digest v = value_digest(rng.next_u64());
+        m.put(key, v);
+        model[key] = v;
+      }
+    }
+    ASSERT_EQ(m.size(), model.size());
+    ASSERT_EQ(m.root(), reference_of(model)) << "round " << round;
+  }
+}
+
+TEST(MerkleMap, RootWithMatchesMaterializedApplication) {
+  Rng rng(91);
+  MerkleMap base;
+  std::map<std::uint64_t, Digest> model;
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const std::uint64_t key = rng.chance(0.5) ? k : rng.next_u64();
+    const Digest v = value_digest(key);
+    base.put(key, v);
+    model[key] = v;
+  }
+  for (int round = 0; round < 20; ++round) {
+    MerkleMap::Delta delta;
+    auto expected = model;
+    for (int op = 0; op < 30; ++op) {
+      const std::uint64_t key =
+          rng.chance(0.5)
+              ? std::next(model.begin(), static_cast<std::ptrdiff_t>(
+                                             rng.next_below(model.size())))
+                    ->first
+              : rng.next_u64();
+      if (rng.chance(0.4)) {
+        delta[key] = std::nullopt;  // tombstone (possibly of an absent key)
+        expected.erase(key);
+      } else {
+        const Digest v = value_digest(rng.next_u64());
+        delta[key] = v;
+        expected[key] = v;
+      }
+    }
+    const Digest before = base.root();
+    ASSERT_EQ(base.root_with(delta), reference_of(expected)) << "round " << round;
+    ASSERT_EQ(base.size_with(delta), expected.size());
+    ASSERT_EQ(base.root(), before);  // root_with must not mutate the map
+  }
+}
+
+// ---------------------------------------------------------------- SetHash
+
+TEST(SetHash, OrderIndependentAndRemovable) {
+  SetHash a;
+  a.add(value_digest(1));
+  a.add(value_digest(2));
+  a.add(value_digest(3));
+  SetHash b;
+  b.add(value_digest(3));
+  b.add(value_digest(1));
+  b.add(value_digest(2));
+  EXPECT_EQ(a, b);
+  a.remove(value_digest(2));
+  SetHash c;
+  c.add(value_digest(1));
+  c.add(value_digest(3));
+  EXPECT_EQ(a.bytes(), c.bytes());
+  a.remove(value_digest(1));
+  a.remove(value_digest(3));
+  EXPECT_EQ(a, SetHash{});  // empty multiset is all-zero
 }
 
 }  // namespace

@@ -592,9 +592,9 @@ TEST(DaoContract, VotingClosesAfterPeriod) {
 TEST(DaoContract, FailedCallLeavesNoTrace) {
   ContractFixture f;
   ASSERT_TRUE(f.call(f.w0, "join", {}, 0).ok());
-  const auto root = f.state.state_root();
+  const auto root = f.state.commitment().root;
   EXPECT_FALSE(f.call(f.w0, "vote", DaoContract::encode_vote(0, 0), 1).ok());
-  EXPECT_EQ(f.state.state_root(), root);
+  EXPECT_EQ(f.state.commitment().root, root);
 }
 
 TEST(DaoContract, TokenWeightedBallotsFollowBalances) {

@@ -86,11 +86,11 @@ TEST(LedgerState, RejectsWrongNonce) {
 TEST(LedgerState, RejectsOverdraft) {
   Fixture f;
   const auto tx = make_transfer(f.alice, 0, f.bob.address(), 99999, 0, f.rng);
-  const auto root_before = f.state.state_root();
+  const auto root_before = f.state.commitment().root;
   EXPECT_FALSE(f.state.apply(tx, *f.contracts, 0).ok());
   // apply() is atomic: a failed transaction leaves no trace.
   EXPECT_EQ(f.state.nonce(f.alice.address()), 0u);
-  EXPECT_EQ(f.state.state_root(), root_before);
+  EXPECT_EQ(f.state.commitment().root, root_before);
 }
 
 TEST(LedgerState, RejectsBadSignature) {
@@ -152,16 +152,16 @@ TEST(LedgerState, ContractBodyIsAtomic) {
 
 TEST(LedgerState, StateRootChangesWithState) {
   Fixture f;
-  const auto before = f.state.state_root();
+  const auto before = f.state.commitment().root;
   const auto tx = make_transfer(f.alice, 0, f.bob.address(), 1, 0, f.rng);
   ASSERT_TRUE(f.state.apply(tx, *f.contracts, 0).ok());
-  EXPECT_NE(f.state.state_root(), before);
+  EXPECT_NE(f.state.commitment().root, before);
 }
 
 TEST(LedgerState, StateRootDeterministicAcrossCopies) {
   Fixture f;
   LedgerState copy = f.state;
-  EXPECT_EQ(copy.state_root(), f.state.state_root());
+  EXPECT_EQ(copy.commitment().root, f.state.commitment().root);
 }
 
 // ---------------------------------------------------------------- mempool
@@ -415,7 +415,7 @@ TEST(Blockchain, ExportImportReplaysIdentically) {
   EXPECT_EQ(imported.value(), 4u);
   EXPECT_EQ(fresh.height(), source.height());
   EXPECT_EQ(fresh.tip_hash(), source.tip_hash());
-  EXPECT_EQ(fresh.state().state_root(), source.state().state_root());
+  EXPECT_EQ(fresh.state().commitment().root, source.state().commitment().root);
 
   // Re-importing onto a synced node is a no-op.
   auto again = fresh.import_blocks(source.export_blocks());
@@ -670,6 +670,256 @@ TEST(Audit, MonopolyDetection) {
   EXPECT_TRUE(query.has_data_monopoly(0.5));
   EXPECT_FALSE(query.has_data_monopoly(0.95));
   EXPECT_NEAR(query.data_concentration_hhi(), 0.81 + 0.01, 1e-9);
+}
+
+// --------------------------------------------------------- state commitment
+
+TEST(StateCommitment, IncrementalMatchesFullRehash) {
+  Fixture f;
+  EXPECT_EQ(f.state.commitment(), f.state.full_rehash_commitment());
+  const auto tx = make_transfer(f.alice, 0, f.bob.address(), 100, 5, f.rng);
+  ASSERT_TRUE(f.state.apply(tx, *f.contracts, 0).ok());
+  f.state.store_put("reg", "k", Bytes{1, 2});
+  f.state.append_audit(
+      StoredAuditRecord{f.alice.address(), {"gaze", "ads", 1, "none"}, 0});
+  const auto c = f.state.commitment();
+  EXPECT_EQ(c, f.state.full_rehash_commitment());
+  EXPECT_EQ(c.root, f.state.full_rehash_root());
+  EXPECT_EQ(c.account_count, 2u);
+  EXPECT_EQ(c.audit_count, 1u);
+  EXPECT_EQ(c.burned_fees, 5u);
+}
+
+TEST(StateCommitment, SectionsIsolateWhatChanged) {
+  Fixture f;
+  const auto before = f.state.commitment();
+  f.state.append_audit(
+      StoredAuditRecord{f.alice.address(), {"gaze", "ads", 1, "none"}, 0});
+  const auto after = f.state.commitment();
+  EXPECT_NE(after.root, before.root);
+  EXPECT_NE(after.audit_digest, before.audit_digest);
+  EXPECT_EQ(after.accounts_root, before.accounts_root);  // accounts untouched
+  EXPECT_EQ(after.stores_digest, before.stores_digest);  // stores untouched
+}
+
+TEST(LedgerStateOverlay, ReaderComputesCommitmentWithoutMutatingBase) {
+  Fixture f;
+  const auto base_before = f.state.commitment();
+  auto scratch = LedgerStateOverlay::reader(f.state);
+  const auto tx = make_transfer(f.alice, 0, f.bob.address(), 100, 5, f.rng);
+  ASSERT_TRUE(scratch.apply(tx, *f.contracts, 0).ok());
+  const auto oc = scratch.commitment();
+  EXPECT_NE(oc.root, base_before.root);
+  EXPECT_EQ(f.state.commitment(), base_before);  // base untouched
+}
+
+TEST(LedgerStateOverlay, WriterCommitmentPredictsPostCommitState) {
+  Fixture f;
+  auto scratch = LedgerStateOverlay::writer(f.state);
+  const auto tx = make_transfer(f.alice, 0, f.bob.address(), 100, 5, f.rng);
+  ASSERT_TRUE(scratch.apply(tx, *f.contracts, 0).ok());
+  scratch.store_put("reg", "k", Bytes{9});
+  const auto oc = scratch.commitment();
+  scratch.commit();
+  EXPECT_EQ(f.state.commitment(), oc);
+  EXPECT_EQ(f.state.commitment(), f.state.full_rehash_commitment());
+}
+
+TEST(LedgerStateOverlay, NestedOverlayCommitmentValidOverUnmaterializedBase) {
+  // The historical API computed a state root only on an overlay whose base
+  // was the materialized LedgerState; commitment() must work at any depth.
+  Fixture f;
+  auto outer = LedgerStateOverlay::writer(f.state);
+  ASSERT_TRUE(
+      outer.apply(make_transfer(f.alice, 0, f.bob.address(), 100, 5, f.rng),
+                  *f.contracts, 0)
+          .ok());
+  auto inner = LedgerStateOverlay::nested(outer);
+  ASSERT_TRUE(
+      inner.apply(make_transfer(f.bob, 0, f.alice.address(), 30, 2, f.rng),
+                  *f.contracts, 0)
+          .ok());
+  inner.store_put("reg", "k", Bytes{1});
+  inner.append_audit(
+      StoredAuditRecord{f.bob.address(), {"pose", "render", 3, "none"}, 0});
+  const auto nested_c = inner.commitment();
+  inner.commit();
+  EXPECT_EQ(outer.commitment(), nested_c);
+  outer.commit();
+  EXPECT_EQ(f.state.commitment(), nested_c);
+  EXPECT_EQ(f.state.full_rehash_commitment(), nested_c);
+}
+
+TEST(LedgerStateOverlay, OverlayTombstoneErasesBaseStoreKey) {
+  Fixture f;
+  f.state.store_put("reg", "k", Bytes{1});
+  auto scratch = LedgerStateOverlay::writer(f.state);
+  scratch.store_erase("reg", "k");
+  const auto oc = scratch.commitment();
+  scratch.commit();
+  EXPECT_EQ(f.state.store_get("reg", "k"), nullptr);
+  EXPECT_EQ(f.state.commitment(), oc);
+  EXPECT_EQ(f.state.commitment(), f.state.full_rehash_commitment());
+}
+
+TEST(LedgerState, DifferentialCommitmentMatchesFullRehashOracle) {
+  // >= 10k randomized mixed operations (credits, debits, nonce bumps, store
+  // writes/erases, audit appends) staged through writer overlays that are
+  // committed or discarded at every "block boundary"; the incrementally
+  // maintained commitment must equal the from-scratch oracle throughout.
+  Rng rng(2024);
+  LedgerState state;
+  const auto addr = [&rng] { return crypto::Address{rng.next_below(48) + 1}; };
+  const auto blob = [&rng] {
+    Bytes b;
+    const std::uint64_t len = rng.next_below(6);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      b.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+    }
+    return b;
+  };
+  const std::array<std::string, 3> contracts{"nft", "dao", "reg"};
+  std::size_t ops = 0;
+  int block = 0;
+  while (ops < 10000) {
+    auto scratch = LedgerStateOverlay::writer(state);
+    const std::uint64_t block_ops = 1 + rng.next_below(150);
+    for (std::uint64_t i = 0; i < block_ops; ++i, ++ops) {
+      switch (rng.next_below(6)) {
+        case 0:
+          scratch.credit(addr(), rng.next_below(1000));
+          break;
+        case 1:
+          (void)scratch.debit(addr(), rng.next_below(500));  // may fail: fine
+          break;
+        case 2:
+          // Includes nonce -> 0 on accounts without a balance entry, which
+          // must drop the account leaf entirely.
+          scratch.set_nonce(addr(), rng.next_below(3));
+          break;
+        case 3:
+          scratch.store_put(contracts[rng.next_below(3)],
+                            "k" + std::to_string(rng.next_below(20)), blob());
+          break;
+        case 4:
+          scratch.store_erase(contracts[rng.next_below(3)],
+                              "k" + std::to_string(rng.next_below(20)));
+          break;
+        default:
+          scratch.append_audit(StoredAuditRecord{
+              addr(), {"gaze", "ads", rng.next_below(10), "none"},
+              static_cast<Tick>(block)});
+          break;
+      }
+    }
+    const auto oc = scratch.commitment();
+    if (rng.chance(0.7)) {
+      scratch.commit();
+      ASSERT_EQ(state.commitment(), oc) << "block " << block;
+    }
+    // Whether committed or discarded, the incremental sections must agree
+    // with the from-scratch oracle at the boundary.
+    ASSERT_EQ(state.commitment(), state.full_rehash_commitment())
+        << "block " << block;
+    ++block;
+  }
+}
+
+// ---------------------------------------------------------- mempool TTL/cap
+
+TEST(Mempool, SweepExpiredDropsOnlyStaleEntries) {
+  Fixture f;
+  Mempool pool(MempoolConfig{.ttl = 10, .max_txs = 100});
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 1, f.rng), f.state, 0)
+          .ok());
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.bob, 0, f.alice.address(), 1, 1, f.rng), f.state, 8)
+          .ok());
+  EXPECT_EQ(pool.sweep_expired(10), 0u);  // age 10 == ttl: not yet expired
+  EXPECT_EQ(pool.sweep_expired(11), 1u);  // alice's (age 11) goes, bob's stays
+  EXPECT_EQ(pool.size(), 1u);
+  const auto picked = pool.select(10, f.state);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0].sender(), f.bob.address());
+  EXPECT_EQ(pool.sweep_expired(19), 1u);
+  EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(pool.stats().expired, 2u);
+}
+
+TEST(Mempool, ZeroTtlDisablesExpiry) {
+  Fixture f;
+  Mempool pool(MempoolConfig{.ttl = 0, .max_txs = 100});
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 1, f.rng), f.state, 0)
+          .ok());
+  EXPECT_EQ(pool.sweep_expired(1000000), 0u);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Mempool, NonceGappedTxExpiresInsteadOfPendingForever) {
+  // Nonce 2 arrives but nonce 1 never does: the successor is unrunnable and
+  // must eventually age out, even while fresh traffic keeps flowing.
+  Fixture f;
+  Mempool pool(MempoolConfig{.ttl = 10, .max_txs = 100});
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 1, f.rng), f.state, 0)
+          .ok());
+  ASSERT_TRUE(pool
+                  .add(make_transfer(f.alice, 2, f.bob.address(), 1, 100, f.rng),
+                       f.state, 0)
+                  .ok());
+  // The runnable nonce-0 tx commits; the gapped one stays behind.
+  auto picked = pool.select(10, f.state);
+  ASSERT_EQ(picked.size(), 1u);
+  ASSERT_TRUE(f.state.apply(picked[0], *f.contracts, 0).ok());
+  pool.remove_included(picked);
+  pool.prune(f.state);
+  EXPECT_EQ(pool.size(), 1u);  // prune keeps it: nonce 2 is still future
+  // Fresh traffic at tick 20 is untouched; the orphan (admitted at 0) ages out.
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.bob, 0, f.alice.address(), 1, 1, f.rng), f.state, 20)
+          .ok());
+  EXPECT_EQ(pool.sweep_expired(20), 1u);
+  picked = pool.select(10, f.state);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0].sender(), f.bob.address());
+}
+
+TEST(Mempool, AtCapacityEvictsLowestFeeOrRejects) {
+  Fixture f;
+  crypto::Wallet carol{f.rng}, dave{f.rng};
+  f.state.credit(carol.address(), 500);
+  f.state.credit(dave.address(), 500);
+  Mempool pool(MempoolConfig{.ttl = 0, .max_txs = 3});
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 5, f.rng), f.state, 0)
+          .ok());
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.bob, 0, f.alice.address(), 1, 10, f.rng), f.state, 0)
+          .ok());
+  ASSERT_TRUE(
+      pool.add(make_transfer(carol, 0, f.bob.address(), 1, 15, f.rng), f.state, 0)
+          .ok());
+  // Full, fee 20 > floor fee 5: alice's tx is displaced.
+  ASSERT_TRUE(
+      pool.add(make_transfer(dave, 0, f.bob.address(), 1, 20, f.rng), f.state, 0)
+          .ok());
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.stats().evicted_low_fee, 1u);
+  const auto picked = pool.select(10, f.state);
+  for (const auto& tx : picked) EXPECT_NE(tx.sender(), f.alice.address());
+  // Full, fee 10 == new floor: rejected, pool unchanged.
+  const auto cheap = make_transfer(f.alice, 0, f.bob.address(), 2, 10, f.rng);
+  EXPECT_EQ(pool.add(cheap, f.state, 0).error().code, "mempool.full");
+  EXPECT_EQ(pool.stats().rejected_full, 1u);
+  EXPECT_EQ(pool.size(), 3u);
+  // Replace-by-fee still works at capacity (pool does not grow).
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.bob, 0, f.alice.address(), 1, 12, f.rng), f.state, 0)
+          .ok());
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.stats().replaced, 1u);
 }
 
 }  // namespace

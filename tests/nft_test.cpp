@@ -91,9 +91,9 @@ TEST(NftContract, BuyRequiresFundsAndIsAtomic) {
   f.state.credit(broke.address(), 5);
   ASSERT_TRUE(f.call(f.creator, "mint", NftContract::encode_mint("x", 1000)).ok());
   ASSERT_TRUE(f.call(f.creator, "list", NftContract::encode_list(0, 100)).ok());
-  const auto root = f.state.state_root();
+  const auto root = f.state.commitment().root;
   EXPECT_FALSE(f.call(broke, "buy", NftContract::encode_token(0)).ok());
-  EXPECT_EQ(f.state.state_root(), root);  // nothing moved
+  EXPECT_EQ(f.state.commitment().root, root);  // nothing moved
 }
 
 TEST(NftContract, SelfPurchaseAndListedTransferRejected) {
