@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Build and test both configurations: the normal RelWithDebInfo build and the
-# ASan+UBSan build, then emit ledger benchmark medians to BENCH_ledger.json.
-# Run from the repository root. Exits non-zero on the first failing build,
-# test, or missing gate.
+# Build and test three configurations: the normal RelWithDebInfo build, the
+# ASan+UBSan build, and a ThreadSanitizer build that runs the suites
+# exercising the parallel block-validation engine. Also emits ledger
+# benchmark medians to BENCH_ledger.json. Run from the repository root.
+# Exits non-zero on the first failing build, test, or missing gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,7 +34,7 @@ fi
 
 echo "== bench: ledger microbenchmarks -> BENCH_ledger.json (median of 3) =="
 MV_BENCH_NO_TABLE=1 ./build/bench/bench_ledger \
-  --benchmark_filter='BM_BlockAssembleValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove' \
+  --benchmark_filter='BM_BlockAssembleValidate|BM_ParallelBlockValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove' \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   --benchmark_out=BENCH_ledger.json \
@@ -45,5 +46,20 @@ cmake --build build-asan -j "${jobs}"
 
 echo "== ctest: asan-ubsan =="
 ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+
+echo "== configure + build: tsan =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMV_TSAN=ON
+cmake --build build-tsan -j "${jobs}" --target \
+  common_test parallel_test ledger_test net_test scenario_test
+
+echo "== tsan: suites touching the parallel validation engine =="
+# halt_on_error turns the first data race into a non-zero exit instead of a
+# warning that scrolls past; the suites below cover the thread pool, the
+# parallel apply/merge paths, consensus replicas in parallel mode, and the
+# end-to-end scenarios.
+for t in common_test parallel_test ledger_test net_test scenario_test; do
+  echo "-- tsan: ${t}"
+  TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/${t}"
+done
 
 echo "All checks passed."

@@ -1,0 +1,55 @@
+#include "common/thread_pool.h"
+
+namespace mv {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || (fn_ != nullptr && next_ < tasks_); });
+    if (stop_) return;
+    const std::size_t idx = next_++;
+    const auto* fn = fn_;
+    lock.unlock();
+    (*fn)(idx);
+    lock.lock();
+    if (++completed_ == tasks_) {
+      fn_ = nullptr;
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel(std::size_t tasks,
+                          const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> batch(caller_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  tasks_ = tasks;
+  next_ = 0;
+  completed_ = 0;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return completed_ == tasks_; });
+}
+
+}  // namespace mv

@@ -1,0 +1,61 @@
+// A small fixed-size worker pool for data-parallel fan-out.
+//
+// One pool is meant to live as long as its owning subsystem (the ledger keeps
+// one per chain for parallel block validation) and be fed batches via
+// parallel(): the calling thread blocks until every task of the batch has
+// run. Task index dispatch and completion are guarded by a single mutex, so
+// the pool itself introduces no data races to sanitize around — the
+// interesting TSan surface is the tasks' own shared-state discipline.
+//
+// Determinism contract: the pool makes no ordering promises between tasks of
+// a batch. Callers that need a deterministic result must make task outputs
+// commutative (write to disjoint slots) and do any order-sensitive folding on
+// the calling thread after parallel() returns; the parallel block-validation
+// engine (ledger/parallel.h) is the reference user.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mv {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. 0 is allowed: parallel() then runs every task
+  /// inline on the calling thread (useful for forcing serial execution in
+  /// tests without changing call sites).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const { return threads_.size(); }
+
+  /// Run fn(0) .. fn(tasks-1) on the pool and block until all have finished.
+  /// Tasks may run in any order and concurrently; fn must not throw. Safe to
+  /// call from multiple threads (batches are serialized, not interleaved).
+  void parallel(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex caller_mu_;  ///< serializes whole batches across callers
+
+  std::mutex mu_;  ///< guards all fields below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t tasks_ = 0;
+  std::size_t next_ = 0;
+  std::size_t completed_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mv

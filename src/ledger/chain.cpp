@@ -13,6 +13,9 @@ Blockchain::Blockchain(ChainConfig config,
   if (config_.validators.empty()) {
     throw std::invalid_argument("Blockchain: empty validator set");
   }
+  if (config_.validation.threads > 1) {
+    pool_ = std::make_shared<ThreadPool>(config_.validation.threads);
+  }
   ByteWriter w;
   w.str("genesis");
   w.raw(state_.commitment().root);
@@ -38,10 +41,21 @@ Block Blockchain::assemble(const crypto::Wallet& proposer,
   block.header.proposer_pub = proposer.public_key();
 
   auto scratch = LedgerStateOverlay::reader(state_);
-  for (const auto& tx : candidates) {
-    if (block.txs.size() >= config_.max_txs_per_block) break;
-    if (scratch.apply(tx, *contracts_, block.header.height).ok()) {
-      block.txs.push_back(tx);
+  if (candidates.size() <= config_.max_txs_per_block) {
+    const auto outcome =
+        apply_block(scratch, candidates, *contracts_, block.header.height,
+                    config_.validation, pool_.get(), ApplyMode::kSkipFailures);
+    vstats_.record(outcome);
+    for (const std::size_t i : outcome.applied) block.txs.push_back(candidates[i]);
+  } else {
+    // Over-full candidate lists keep the historical serial loop: the block
+    // cap cuts off mid-list, and "first max_txs successes" is inherently
+    // order-sequential.
+    for (const auto& tx : candidates) {
+      if (block.txs.size() >= config_.max_txs_per_block) break;
+      if (scratch.apply(tx, *contracts_, block.header.height).ok()) {
+        block.txs.push_back(tx);
+      }
     }
   }
   block.header.tx_root = Block::compute_tx_root(block.txs);
@@ -72,11 +86,14 @@ Status Blockchain::check(const Block& block, LedgerStateOverlay& scratch) const 
   if (h.tx_root != Block::compute_tx_root(block.txs)) {
     return Status::fail("block.bad_tx_root", "Merkle root mismatch");
   }
-  for (std::size_t i = 0; i < block.txs.size(); ++i) {
-    if (auto s = scratch.apply(block.txs[i], *contracts_, h.height); !s.ok()) {
-      return Status::fail("block.bad_tx",
-                          "tx " + std::to_string(i) + ": " + s.error().to_string());
-    }
+  const auto outcome =
+      apply_block(scratch, block.txs, *contracts_, h.height, config_.validation,
+                  pool_.get(), ApplyMode::kAllOrNothing);
+  vstats_.record(outcome);
+  if (!outcome.status.ok()) {
+    return Status::fail("block.bad_tx",
+                        "tx " + std::to_string(outcome.failed_index) + ": " +
+                            outcome.status.error().to_string());
   }
   if (scratch.commitment().root != h.state_root) {
     return Status::fail("block.bad_state_root", "post-state mismatch");

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ledger/block.h"
+#include "ledger/parallel.h"
 #include "ledger/state.h"
 
 namespace mv::ledger {
@@ -17,6 +18,9 @@ namespace mv::ledger {
 struct ChainConfig {
   std::vector<crypto::PublicKey> validators;  ///< round-robin proposer order
   std::size_t max_txs_per_block = 256;
+  /// Parallel block application (ledger/parallel.h). threads == 1 keeps the
+  /// historical single-overlay path; > 1 spawns a per-chain worker pool.
+  ValidationConfig validation;
 };
 
 class Blockchain {
@@ -59,6 +63,11 @@ class Blockchain {
                                          const crypto::Digest& tx_digest,
                                          const crypto::MerkleProof& proof) const;
 
+  /// Counters over block applications (assemble/validate/append). Updated
+  /// from const validation paths; not meaningful if one chain is driven from
+  /// several threads at once (replicas are single-threaded by design).
+  [[nodiscard]] const ValidationStats& validation_stats() const { return vstats_; }
+
   /// Serialize every committed block (bootstrap/archive format).
   [[nodiscard]] Bytes export_blocks() const;
   /// Replay an exported stream from this chain's current height, fully
@@ -76,6 +85,8 @@ class Blockchain {
   LedgerState state_;
   crypto::Digest genesis_hash_;
   std::vector<Block> blocks_;
+  std::shared_ptr<ThreadPool> pool_;  ///< null when validation.threads <= 1
+  mutable ValidationStats vstats_;
 };
 
 }  // namespace mv::ledger

@@ -56,13 +56,15 @@ struct VoteMsg {
 ValidatorCommittee::ValidatorCommittee(
     net::Network& network, std::size_t n,
     std::shared_ptr<const ContractRegistry> contracts,
-    const LedgerState& genesis, std::size_t max_txs_per_block, Rng& rng)
+    const LedgerState& genesis, std::size_t max_txs_per_block, Rng& rng,
+    ValidationConfig validation)
     : network_(network) {
   // Wallets first: every replica needs the full proposer order.
   std::vector<crypto::Wallet> wallets;
   wallets.reserve(n);
   ChainConfig config;
   config.max_txs_per_block = max_txs_per_block;
+  config.validation = validation;
   for (std::size_t i = 0; i < n; ++i) {
     wallets.emplace_back(rng);
     config.validators.push_back(wallets.back().public_key());

@@ -38,11 +38,13 @@ struct ConsensusStats {
 class ValidatorCommittee {
  public:
   /// Creates `n` validators with fresh wallets, replicas of the same genesis,
-  /// and nodes on `network`.
+  /// and nodes on `network`. `validation` configures parallel block
+  /// application on every replica (ledger/parallel.h); the default keeps the
+  /// serial path.
   ValidatorCommittee(net::Network& network, std::size_t n,
                      std::shared_ptr<const ContractRegistry> contracts,
                      const LedgerState& genesis, std::size_t max_txs_per_block,
-                     Rng& rng);
+                     Rng& rng, ValidationConfig validation = {});
 
   /// Client entry point: deliver a transaction to every validator's mempool
   /// (models the RPC edge; gossip of txs is exercised separately).

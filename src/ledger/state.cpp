@@ -95,10 +95,11 @@ Status LedgerView::debit(crypto::Address a, std::uint64_t amount) {
 }
 
 Status LedgerView::apply(const Transaction& tx,
-                         const ContractRegistry& contracts, Tick height) {
+                         const ContractRegistry& contracts, Tick height,
+                         bool signature_preverified) {
   // apply() is atomic: any failure leaves the view exactly as it was, so
   // block assembly can trial-apply candidates in sequence and skip failures.
-  if (!tx.signature_valid()) {
+  if (!signature_preverified && !tx.signature_valid()) {
     return Status::fail("tx.bad_signature", "signature does not verify");
   }
   const crypto::Address sender = tx.sender();

@@ -134,8 +134,12 @@ class LedgerView {
   /// Checks: signature, nonce equality, fee affordability, kind-specific body.
   /// Atomic: any failure leaves the view exactly as it was (contract calls
   /// run in a nested overlay that is committed only on success).
+  /// `signature_preverified` skips the in-line signature check; pass true
+  /// only when signature_valid() was already observed true for `tx` (the
+  /// parallel block engine verifies signatures in a concurrent pre-pass).
   [[nodiscard]] Status apply(const Transaction& tx,
-                             const ContractRegistry& contracts, Tick height);
+                             const ContractRegistry& contracts, Tick height,
+                             bool signature_preverified = false);
 };
 
 class LedgerState final : public LedgerView {

@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace mv {
 namespace {
@@ -382,6 +383,36 @@ TEST_P(RngUniformityTest, ChiSquareWithinBound) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformityTest,
                          ::testing::Values(1, 2, 3, 42, 1000, 0xdeadbeef));
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  std::vector<int> hits(1000, 0);
+  pool.parallel(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 50; ++batch) {
+    std::vector<std::size_t> out(7, 0);
+    pool.parallel(out.size(), [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+  pool.parallel(0, [](std::size_t) { FAIL() << "no tasks, no calls"; });
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  std::vector<int> hits(16, 0);
+  pool.parallel(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
 
 }  // namespace
 }  // namespace mv

@@ -922,5 +922,96 @@ TEST(Mempool, AtCapacityEvictsLowestFeeOrRejects) {
   EXPECT_EQ(pool.stats().replaced, 1u);
 }
 
+TEST(Mempool, ReplaceByFeeAtExactCapacityNeverEvictsOthers) {
+  // A same-sender+nonce replacement at exact capacity must take the
+  // replacement path — substituting in place — not the eviction path, even
+  // though its fee also beats the pool floor. Nobody else's tx is displaced.
+  Fixture f;
+  crypto::Wallet carol{f.rng}, dave{f.rng};
+  f.state.credit(carol.address(), 500);
+  f.state.credit(dave.address(), 500);
+  Mempool pool(MempoolConfig{.ttl = 0, .max_txs = 4});
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 2, f.rng), f.state, 0)
+          .ok());
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.bob, 0, f.alice.address(), 1, 5, f.rng), f.state, 0)
+          .ok());
+  ASSERT_TRUE(
+      pool.add(make_transfer(carol, 0, f.bob.address(), 1, 7, f.rng), f.state, 0)
+          .ok());
+  ASSERT_TRUE(
+      pool.add(make_transfer(dave, 0, f.bob.address(), 1, 9, f.rng), f.state, 0)
+          .ok());
+  ASSERT_EQ(pool.size(), 4u);
+  // Alice re-prices her pending nonce-0 tx (fee 2 -> 20, above the floor).
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 20, f.rng), f.state, 0)
+          .ok());
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_EQ(pool.stats().replaced, 1u);
+  EXPECT_EQ(pool.stats().evicted_low_fee, 0u);
+  EXPECT_EQ(pool.stats().rejected_full, 0u);
+  // An equal-fee re-replacement is underpriced — and does NOT count as a
+  // capacity rejection either.
+  const auto equal =
+      make_transfer(f.alice, 0, f.bob.address(), 2, 20, f.rng);
+  EXPECT_EQ(pool.add(equal, f.state, 0).error().code, "mempool.underpriced");
+  EXPECT_EQ(pool.stats().rejected_full, 0u);
+  EXPECT_EQ(pool.stats().replaced, 1u);
+  EXPECT_EQ(pool.size(), 4u);
+  // Everyone's original transactions (with alice's re-priced) are selectable.
+  EXPECT_EQ(pool.select(10, f.state).size(), 4u);
+}
+
+TEST(Mempool, SweepExpiredFreesCapacityBeforeEviction) {
+  // TTL expiry and at-cap eviction interact: a sweep opens slots so a low-fee
+  // newcomer is admitted without displacing anyone; once the pool refills,
+  // eviction picks the lowest-fee survivor, not an already-expired entry.
+  Fixture f;
+  crypto::Wallet carol{f.rng}, dave{f.rng};
+  f.state.credit(carol.address(), 500);
+  f.state.credit(dave.address(), 500);
+  Mempool pool(MempoolConfig{.ttl = 10, .max_txs = 3});
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 1, f.rng), f.state, 0)
+          .ok());
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.bob, 0, f.alice.address(), 1, 9, f.rng), f.state, 0)
+          .ok());
+  ASSERT_TRUE(
+      pool.add(make_transfer(carol, 0, f.bob.address(), 1, 8, f.rng), f.state, 2)
+          .ok());
+  ASSERT_EQ(pool.size(), 3u);
+  // Tick 12: the two tick-0 admissions (fees 1 and 9) age out; carol's
+  // tick-2 tx survives. Expiry is by age, not fee.
+  EXPECT_EQ(pool.sweep_expired(12), 2u);
+  EXPECT_EQ(pool.stats().expired, 2u);
+  EXPECT_EQ(pool.size(), 1u);
+  // A fee-2 newcomer — far below carol's fee 8 — is admitted into the freed
+  // capacity without evicting anyone.
+  ASSERT_TRUE(
+      pool.add(make_transfer(dave, 0, f.bob.address(), 1, 2, f.rng), f.state, 12)
+          .ok());
+  EXPECT_EQ(pool.stats().evicted_low_fee, 0u);
+  // Refill to cap, then force an eviction: the victim is dave's fee-2 tx.
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 6, f.rng), f.state, 12)
+          .ok());
+  ASSERT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.stats().evicted_low_fee, 0u);
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.bob, 0, f.alice.address(), 1, 7, f.rng), f.state, 12)
+          .ok());
+  EXPECT_EQ(pool.stats().evicted_low_fee, 1u);
+  EXPECT_EQ(pool.size(), 3u);
+  const auto picked = pool.select(10, f.state);
+  for (const auto& tx : picked) EXPECT_NE(tx.sender(), dave.address());
+  // A newcomer that does not strictly out-pay the new floor (6) is refused.
+  const auto cheap = make_transfer(dave, 0, f.bob.address(), 2, 6, f.rng);
+  EXPECT_EQ(pool.add(cheap, f.state, 12).error().code, "mempool.full");
+  EXPECT_EQ(pool.stats().rejected_full, 1u);
+}
+
 }  // namespace
 }  // namespace mv::ledger
