@@ -280,6 +280,45 @@ void BM_MempoolSelectRemove(benchmark::State& state) {
 }
 BENCHMARK(BM_MempoolSelectRemove)->Arg(1024)->Arg(16384)->Unit(benchmark::kMicrosecond);
 
+// Account proof round trip at a `range(0)`-account tip: full node builds the
+// proof (prove_account), light client checks it against the header's state
+// root. Both sides must stay logarithmic in the account count.
+void BM_AccountProofRoundTrip(benchmark::State& state) {
+  const auto accounts = static_cast<std::size_t>(state.range(0));
+  Rng rng(31337);
+  LedgerState genesis;
+  std::vector<std::uint64_t> addrs;
+  addrs.reserve(accounts);
+  for (std::size_t i = 0; i < accounts; ++i) {
+    const std::uint64_t a = 0x100000 + i;
+    genesis.credit(crypto::Address{a}, 1 + i % 997);
+    addrs.push_back(a);
+  }
+  crypto::Wallet validator(rng);
+  ChainConfig config;
+  config.validators = {validator.public_key()};
+  Blockchain chain(config, std::make_shared<ContractRegistry>(), genesis);
+  if (!chain.append(chain.assemble(validator, {}, 0, rng)).ok()) {
+    state.SkipWithError("genesis block append failed");
+    return;
+  }
+  const crypto::Digest state_root = chain.blocks()[0].header.state_root;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto ap = chain.prove_account(crypto::Address{addrs[i++ % accounts]}, 0);
+    if (!ap.ok() || !verify_account_proof(ap.value(), state_root).ok()) {
+      state.SkipWithError("account proof did not verify");
+      return;
+    }
+    benchmark::DoNotOptimize(ap);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AccountProofRoundTrip)
+    ->Arg(1000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_MerkleProof256(benchmark::State& state) {
   std::vector<crypto::Digest> leaves;
   for (int i = 0; i < 256; ++i) {

@@ -1,6 +1,7 @@
 #include "crypto/merkle_map.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <span>
 
@@ -18,6 +19,8 @@ unsigned nibble(std::uint64_t key, int depth) {
 struct MerkleMap::Node {
   bool leaf = true;
   std::uint64_t key = 0;  ///< leaf only
+  Digest value{};         ///< leaf only: value digest (leaf-hash preimage,
+                          ///< kept so proofs can expose colliding leaves)
   /// Leaf: exact leaf_hash (always fresh). Inner: cached subtree digest,
   /// valid when !dirty. Mutable so a const tree can flush its cache.
   mutable Digest hash{};
@@ -32,9 +35,10 @@ namespace {
 using Node = MerkleMap::Node;
 using NodePtr = std::unique_ptr<Node>;
 
-NodePtr make_leaf(std::uint64_t key, const Digest& leaf_hash) {
+NodePtr make_leaf(std::uint64_t key, const Digest& value, const Digest& leaf_hash) {
   auto n = std::make_unique<Node>();
   n->key = key;
+  n->value = value;
   n->hash = leaf_hash;
   return n;
 }
@@ -53,6 +57,7 @@ NodePtr clone(const Node* n) {
   auto c = std::make_unique<Node>();
   c->leaf = n->leaf;
   c->key = n->key;
+  c->value = n->value;
   c->hash = n->hash;
   c->dirty = n->dirty;
   c->count = n->count;
@@ -201,23 +206,25 @@ NodePtr split(NodePtr a, NodePtr b, int depth) {
 }
 
 /// Returns true when a new key was added (vs updated in place).
-bool insert(NodePtr& slot, int depth, std::uint64_t key, const Digest& leaf) {
+bool insert(NodePtr& slot, int depth, std::uint64_t key, const Digest& value,
+            const Digest& leaf) {
   Node* n = slot.get();
   if (n->leaf) {
     if (n->key == key) {
+      n->value = value;
       n->hash = leaf;
       return false;
     }
-    slot = split(std::move(slot), make_leaf(key, leaf), depth);
+    slot = split(std::move(slot), make_leaf(key, value, leaf), depth);
     return true;
   }
   n->dirty = true;
   NodePtr& kid = (*n->kids)[nibble(key, depth)];
   bool added = true;
   if (!kid) {
-    kid = make_leaf(key, leaf);
+    kid = make_leaf(key, value, leaf);
   } else {
-    added = insert(kid, depth + 1, key, leaf);
+    added = insert(kid, depth + 1, key, value, leaf);
   }
   if (added) ++n->count;
   return added;
@@ -267,11 +274,11 @@ Digest MerkleMap::leaf_hash(std::uint64_t key, const Digest& value) {
 void MerkleMap::put(std::uint64_t key, const Digest& value) {
   const Digest lh = leaf_hash(key, value);
   if (!root_) {
-    root_ = make_leaf(key, lh);
+    root_ = make_leaf(key, value, lh);
     size_ = 1;
     return;
   }
-  if (insert(root_, 0, key, lh)) ++size_;
+  if (insert(root_, 0, key, value, lh)) ++size_;
 }
 
 void MerkleMap::erase(std::uint64_t key) {
@@ -291,6 +298,206 @@ Digest MerkleMap::root() const {
   if (!root_) return Digest{};
   ensure(root_.get());
   return root_->hash;
+}
+
+MerkleMapProof MerkleMap::prove(std::uint64_t key) const {
+  (void)root();  // flush cached hashes so every node digest is canonical
+  MerkleMapProof proof;
+  const Node* n = root_.get();
+  int depth = 0;
+  // Descend while the subtree holds >= 2 keys: each such level is an inner
+  // node in the canonical commitment and contributes one proof step.
+  while (n != nullptr && !n->leaf && n->count >= 2) {
+    MerkleMapProofStep step;
+    const unsigned nib = nibble(key, depth);
+    const Node* next = nullptr;
+    for (unsigned i = 0; i < 16; ++i) {
+      const Node* kid = (*n->kids)[i].get();
+      if (kid == nullptr) continue;
+      step.bitmap |= static_cast<std::uint16_t>(1u << i);
+      if (i == nib) {
+        next = kid;
+      } else {
+        step.siblings.push_back(kid->hash);
+      }
+    }
+    proof.steps.push_back(std::move(step));
+    if (next == nullptr) return proof;  // absent slot: non-membership
+    n = next;
+    ++depth;
+  }
+  // A count-1 subtree commits as its single leaf regardless of how many
+  // physical inner nodes wrap it (erase leaves such chains behind).
+  while (n != nullptr && !n->leaf) {
+    const Node* single = nullptr;
+    for (unsigned i = 0; i < 16; ++i) {
+      if (const Node* kid = (*n->kids)[i].get(); kid != nullptr) single = kid;
+    }
+    n = single;
+  }
+  if (n == nullptr || n->key == key) return proof;  // empty map / membership
+  proof.has_terminal_leaf = true;  // non-membership: path ends at another key
+  proof.terminal_key = n->key;
+  proof.terminal_value = n->value;
+  return proof;
+}
+
+namespace {
+
+/// Recompute one inner-node digest from a proof step, substituting `ours`
+/// (when given) for the child at `our_nib`. Must mirror inner_hash() byte
+/// for byte.
+Digest fold_step(const MerkleMapProofStep& step,
+                 std::optional<unsigned> our_nib, const Digest& ours) {
+  HashWriter w;
+  w.u8(0x01);
+  w.u8(static_cast<std::uint8_t>(step.bitmap));
+  w.u8(static_cast<std::uint8_t>(step.bitmap >> 8));
+  std::size_t s = 0;
+  for (unsigned i = 0; i < 16; ++i) {
+    if (((step.bitmap >> i) & 1u) == 0) continue;
+    if (our_nib.has_value() && i == *our_nib) {
+      w.raw(ours);
+    } else {
+      w.raw(step.siblings[s++]);
+    }
+  }
+  return w.digest();
+}
+
+}  // namespace
+
+bool MerkleMap::verify(const Digest& root, std::uint64_t key,
+                       const std::optional<Digest>& value,
+                       const MerkleMapProof& proof) {
+  const std::size_t depths = proof.steps.size();
+  if (depths > 16) return false;
+  Digest cur{};
+  std::size_t deepest = depths;  // steps [0, deepest) are folded around `cur`
+  if (value.has_value()) {
+    // Membership: the chain starts at the key's own leaf.
+    if (proof.has_terminal_leaf) return false;
+    cur = leaf_hash(key, *value);
+  } else if (proof.has_terminal_leaf) {
+    // Non-membership, colliding leaf: the subtree on the key's path is the
+    // single leaf of a *different* key sharing the traversed prefix.
+    if (proof.terminal_key == key) return false;
+    for (std::size_t d = 0; d < depths; ++d) {
+      if (nibble(proof.terminal_key, static_cast<int>(d)) !=
+          nibble(key, static_cast<int>(d))) {
+        return false;
+      }
+    }
+    cur = leaf_hash(proof.terminal_key, proof.terminal_value);
+  } else if (depths == 0) {
+    // Non-membership, empty map: the all-zero digest commits to "no keys".
+    return root == Digest{};
+  } else {
+    // Non-membership, absent slot: the deepest step has no child at the
+    // key's nibble; its digest is rebuilt from all its children.
+    const MerkleMapProofStep& last = proof.steps[depths - 1];
+    const unsigned nib = nibble(key, static_cast<int>(depths - 1));
+    if ((last.bitmap >> nib) & 1u) return false;
+    if (last.bitmap == 0) return false;
+    if (last.siblings.size() !=
+        static_cast<std::size_t>(std::popcount(last.bitmap))) {
+      return false;
+    }
+    cur = fold_step(last, std::nullopt, Digest{});
+    deepest = depths - 1;
+  }
+  for (std::size_t i = deepest; i-- > 0;) {
+    const MerkleMapProofStep& step = proof.steps[i];
+    const unsigned nib = nibble(key, static_cast<int>(i));
+    if (((step.bitmap >> nib) & 1u) == 0) return false;
+    if (step.siblings.size() + 1 !=
+        static_cast<std::size_t>(std::popcount(step.bitmap))) {
+      return false;
+    }
+    cur = fold_step(step, nib, cur);
+  }
+  return cur == root;
+}
+
+Bytes MerkleMapProof::encode() const {
+  ByteWriter w;
+  w.u8(0x01);  // format version
+  w.u8(has_terminal_leaf ? 0x01 : 0x00);
+  w.u8(static_cast<std::uint8_t>(steps.size()));
+  for (const MerkleMapProofStep& step : steps) {
+    w.u8(static_cast<std::uint8_t>(step.bitmap));
+    w.u8(static_cast<std::uint8_t>(step.bitmap >> 8));
+    w.u8(static_cast<std::uint8_t>(step.siblings.size()));
+    for (const Digest& d : step.siblings) w.raw(d);
+  }
+  if (has_terminal_leaf) {
+    w.u64(terminal_key);
+    w.raw(terminal_value);
+  }
+  return w.take();
+}
+
+Result<MerkleMapProof> MerkleMapProof::decode(const Bytes& bytes) {
+  ByteReader r(bytes);
+  const auto version = r.u8();
+  if (!version.ok()) return version.error();
+  if (version.value() != 0x01) {
+    return make_error("proof.bad_version", "unknown proof format version");
+  }
+  const auto flags = r.u8();
+  if (!flags.ok()) return flags.error();
+  if ((flags.value() & ~0x01u) != 0) {
+    return make_error("proof.bad_flags", "reserved flag bits set");
+  }
+  const auto step_count = r.u8();
+  if (!step_count.ok()) return step_count.error();
+  if (step_count.value() > 16) {
+    return make_error("proof.bad_depth", "more steps than key nibbles");
+  }
+  MerkleMapProof proof;
+  proof.steps.reserve(step_count.value());
+  for (unsigned i = 0; i < step_count.value(); ++i) {
+    MerkleMapProofStep step;
+    const auto lo = r.u8();
+    if (!lo.ok()) return lo.error();
+    const auto hi = r.u8();
+    if (!hi.ok()) return hi.error();
+    step.bitmap = static_cast<std::uint16_t>(lo.value() |
+                                             (unsigned{hi.value()} << 8));
+    const auto sibling_count = r.u8();
+    if (!sibling_count.ok()) return sibling_count.error();
+    const unsigned present = static_cast<unsigned>(std::popcount(step.bitmap));
+    // An honest step carries either every present child (terminating
+    // absent-slot step) or all but the one on the path.
+    if (sibling_count.value() > present ||
+        sibling_count.value() + 1 < present) {
+      return make_error("proof.bad_sibling_count",
+                        "sibling count inconsistent with bitmap");
+    }
+    step.siblings.reserve(sibling_count.value());
+    for (unsigned s = 0; s < sibling_count.value(); ++s) {
+      auto raw = r.raw(32);
+      if (!raw.ok()) return raw.error();
+      Digest d;
+      std::copy(raw.value().begin(), raw.value().end(), d.begin());
+      step.siblings.push_back(d);
+    }
+    proof.steps.push_back(std::move(step));
+  }
+  if ((flags.value() & 0x01u) != 0) {
+    proof.has_terminal_leaf = true;
+    const auto key = r.u64();
+    if (!key.ok()) return key.error();
+    proof.terminal_key = key.value();
+    auto raw = r.raw(32);
+    if (!raw.ok()) return raw.error();
+    std::copy(raw.value().begin(), raw.value().end(),
+              proof.terminal_value.begin());
+  }
+  if (!r.exhausted()) {
+    return make_error("proof.trailing_bytes", "proof has trailing bytes");
+  }
+  return proof;
 }
 
 Digest MerkleMap::root_with(const Delta& delta) const {

@@ -13,6 +13,13 @@
 // instead of O(n). root_with() computes the root of "this map plus a delta"
 // without mutating the map at all — the ledger state overlay uses it to
 // commit to a block's post-state in O(touched · log n).
+//
+// prove(key) produces a compact inclusion proof — the present-children
+// bitmap and sibling digests of every inner node on the key's nibble path —
+// or a non-membership proof for an absent key (the path terminated by either
+// an empty child slot or the single colliding leaf). The static verify()
+// replays the path against a bare 32-byte root with no tree in hand; the
+// byte layout is specified in DESIGN.md §"Account proofs & light client".
 #pragma once
 
 #include <array>
@@ -26,6 +33,43 @@
 #include "crypto/sha256.h"
 
 namespace mv::crypto {
+
+/// One inner node on a key's lookup path, root-first at consecutive depths.
+/// `siblings` holds the digests of the present children in index order,
+/// excluding the child the path descends into (when that child is present).
+struct MerkleMapProofStep {
+  std::uint16_t bitmap = 0;      ///< present-children bitmap
+  std::vector<Digest> siblings;  ///< present child digests, index order
+
+  [[nodiscard]] bool operator==(const MerkleMapProofStep&) const = default;
+};
+
+/// Inclusion / non-membership proof against a MerkleMap root.
+///
+/// Shapes (all verified by MerkleMap::verify against the claimed value):
+///  - membership: `steps` only — the deepest step's missing child slot is the
+///    key's leaf (an empty `steps` means the whole map is that one leaf);
+///  - non-membership, absent slot: the deepest step's bitmap has no bit at
+///    the key's nibble and `siblings` carries every present child;
+///  - non-membership, colliding leaf: the path ends at the single leaf of a
+///    different key (`terminal_key`/`terminal_value` reproduce its leaf
+///    hash; the key prefix must match the lookup path);
+///  - non-membership, empty map: no steps, no terminal — root is all-zero.
+struct MerkleMapProof {
+  std::vector<MerkleMapProofStep> steps;  ///< root-first, depths 0..n-1
+  bool has_terminal_leaf = false;
+  std::uint64_t terminal_key = 0;  ///< key of the colliding leaf
+  Digest terminal_value{};         ///< its value digest (leaf-hash preimage)
+
+  [[nodiscard]] bool operator==(const MerkleMapProof&) const = default;
+
+  /// Canonical wire format (DESIGN.md). decode() is strict: it rejects
+  /// unknown versions/flags, out-of-range counts, sibling counts that the
+  /// bitmap cannot support, and trailing bytes — so that no byte of an
+  /// encoded proof is semantically inert.
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Result<MerkleMapProof> decode(const Bytes& bytes);
+};
 
 class MerkleMap {
  public:
@@ -56,6 +100,17 @@ class MerkleMap {
 
   /// Number of keys after applying `delta` (erases of absent keys ignored).
   [[nodiscard]] std::size_t size_with(const Delta& delta) const;
+
+  /// Inclusion proof for a present key, non-membership proof otherwise.
+  /// O(log n); flushes dirty hash caches like root().
+  [[nodiscard]] MerkleMapProof prove(std::uint64_t key) const;
+
+  /// Verify `proof` against a bare root, with no tree in hand.
+  /// `value` engaged: proves `key -> value` is in the committed map.
+  /// `value` nullopt: proves `key` is absent from the committed map.
+  [[nodiscard]] static bool verify(const Digest& root, std::uint64_t key,
+                                   const std::optional<Digest>& value,
+                                   const MerkleMapProof& proof);
 
   /// Leaf commitment; exposed so oracles can reproduce the format.
   [[nodiscard]] static Digest leaf_hash(std::uint64_t key, const Digest& value);

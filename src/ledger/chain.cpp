@@ -126,6 +126,31 @@ Result<crypto::MerkleProof> Blockchain::prove_tx(std::int64_t block_height,
   return block.tx_tree().prove(tx_index);
 }
 
+Result<AccountProof> Blockchain::prove_account(crypto::Address addr,
+                                               std::int64_t block_height) const {
+  if (block_height < 0 || block_height >= height()) {
+    return make_error("chain.bad_height", "no such block");
+  }
+  if (block_height != height() - 1) {
+    return make_error("chain.stale_height",
+                      "only the tip state is materialized; requested " +
+                          std::to_string(block_height) + ", tip is " +
+                          std::to_string(height() - 1));
+  }
+  AccountProof ap;
+  ap.address = addr;
+  ap.height = block_height;
+  const auto bal = state_.find_balance(addr);
+  const std::uint64_t nonce = state_.nonce(addr);
+  ap.statement.has_balance = bal.has_value();
+  ap.statement.balance = bal.value_or(0);
+  ap.statement.nonce = nonce;
+  ap.statement.exists = bal.has_value() || nonce != 0;
+  ap.commitment = state_.commitment();
+  ap.proof = state_.prove_account(addr);
+  return ap;
+}
+
 Bytes Blockchain::export_blocks() const {
   ByteWriter w;
   w.u32(static_cast<std::uint32_t>(blocks_.size()));

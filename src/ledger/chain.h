@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ledger/block.h"
+#include "ledger/light_client.h"
 #include "ledger/parallel.h"
 #include "ledger/state.h"
 
@@ -62,6 +63,19 @@ class Blockchain {
   [[nodiscard]] bool verify_tx_inclusion(std::int64_t block_height,
                                          const crypto::Digest& tx_digest,
                                          const crypto::MerkleProof& proof) const;
+
+  /// Account proof (balance/nonce leaf + Merkle path to the accounts root)
+  /// anchored at block `block_height`'s state commitment. Only the tip
+  /// (height() - 1) can be served: historical account tries are not
+  /// materialized ("chain.stale_height"; the ROADMAP snapshot-sync item
+  /// lifts this). The result verifies against the tip header's state_root
+  /// with verify_account_proof / LightClient::verify_account.
+  [[nodiscard]] Result<AccountProof> prove_account(crypto::Address addr,
+                                                   std::int64_t block_height) const;
+
+  /// Hash-chain anchor for block 0 (derived from the genesis state root);
+  /// light clients seed their header chain with this.
+  [[nodiscard]] crypto::Digest genesis_hash() const { return genesis_hash_; }
 
   /// Counters over block applications (assemble/validate/append). Updated
   /// from const validation paths; not meaningful if one chain is driven from

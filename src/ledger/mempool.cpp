@@ -50,15 +50,26 @@ Status Mempool::add(Transaction tx, const LedgerState& state, Tick now) {
     // Full: the newcomer must strictly out-pay the cheapest pending entry,
     // which it displaces. (Evicting before inserting keeps the queue
     // reference below valid — the victim may be the newcomer's own sender.)
-    const auto cheapest = by_fee_.begin();
-    if (cheapest->first.first >= tx.fee) {
-      ++stats_.rejected_full;
-      return Status::fail("mempool.full",
-                          "pool at capacity and fee does not beat the floor");
+    // A stale fee record (defensive: the indexes are maintained together,
+    // but a dangling locator must not turn into erase(end())) is discarded
+    // and the next-cheapest entry tried.
+    while (true) {
+      const auto cheapest = by_fee_.begin();
+      if (cheapest == by_fee_.end()) break;
+      if (cheapest->first.first >= tx.fee) {
+        ++stats_.rejected_full;
+        return Status::fail("mempool.full",
+                            "pool at capacity and fee does not beat the floor");
+      }
+      const Locator victim = cheapest->second;
+      if (!erase_located(victim)) {
+        by_fee_.erase(cheapest);
+        ++stats_.repaired;
+        continue;
+      }
+      ++stats_.evicted_low_fee;
+      break;
     }
-    const Locator victim = cheapest->second;
-    erase_entry(victim.sender, by_sender_[victim.sender].find(victim.nonce));
-    ++stats_.evicted_low_fee;
   }
   auto& queue = by_sender_[sender.value];
   const auto [it, inserted] =
@@ -75,13 +86,53 @@ std::size_t Mempool::sweep_expired(Tick now) {
   while (!by_admission_.empty()) {
     const auto oldest = by_admission_.begin();
     const Tick admitted = oldest->first.first;
-    if (now <= admitted || now - admitted <= config_.ttl) break;
+    if (admitted > now) {
+      // The clock regressed past the oldest stamp — and by_admission_ is
+      // ordered, so *every* entry is future-stamped. The historical code
+      // broke here, which left such entries unexpirable forever; re-stamp
+      // them all to `now` so the TTL applies from the regressed clock.
+      restamp_future_entries(now);
+      break;
+    }
+    if (now - admitted <= config_.ttl) break;
     const Locator loc = oldest->second;
-    erase_entry(loc.sender, by_sender_[loc.sender].find(loc.nonce));
+    if (!erase_located(loc)) {
+      // Stale admission record: the entry it names is gone. Discard the
+      // record instead of erasing through an end() iterator.
+      by_admission_.erase(oldest);
+      ++stats_.repaired;
+      continue;
+    }
     ++dropped;
   }
   stats_.expired += dropped;
   return dropped;
+}
+
+void Mempool::restamp_future_entries(Tick now) {
+  std::vector<std::pair<Tick, std::uint64_t>> stale_keys;
+  std::vector<std::pair<std::uint64_t, Locator>> restamped;  // seq, locator
+  for (auto it = by_admission_.rbegin();
+       it != by_admission_.rend() && it->first.first > now; ++it) {
+    stale_keys.push_back(it->first);
+    const Locator loc = it->second;
+    const auto sit = by_sender_.find(loc.sender);
+    if (sit == by_sender_.end()) {
+      ++stats_.repaired;
+      continue;
+    }
+    const auto eit = sit->second.find(loc.nonce);
+    if (eit == sit->second.end()) {
+      ++stats_.repaired;
+      continue;
+    }
+    eit->second.admitted = now;
+    restamped.emplace_back(eit->second.seq, loc);
+  }
+  for (const auto& key : stale_keys) by_admission_.erase(key);
+  for (const auto& [seq, loc] : restamped) {
+    by_admission_.emplace(std::pair{now, seq}, loc);
+  }
 }
 
 std::vector<Transaction> Mempool::select(std::size_t max_txs,
@@ -131,14 +182,57 @@ void Mempool::erase_entry(std::uint64_t sender, SenderQueue::iterator it) {
   if (sit->second.empty()) by_sender_.erase(sit);
 }
 
+bool Mempool::erase_located(const Locator& loc) {
+  const auto sit = by_sender_.find(loc.sender);
+  if (sit == by_sender_.end()) return false;
+  const auto it = sit->second.find(loc.nonce);
+  if (it == sit->second.end()) return false;
+  erase_entry(loc.sender, it);
+  return true;
+}
+
 void Mempool::remove_included(const std::vector<Transaction>& txs) {
   for (const auto& tx : txs) {
     const auto dit = by_digest_.find(dedupe_key(tx));
     if (dit == by_digest_.end()) continue;
-    const Locator loc = dit->second;
-    auto& queue = by_sender_[loc.sender];
-    erase_entry(loc.sender, queue.find(loc.nonce));
+    if (!erase_located(dit->second)) {
+      // Stale digest record; erase_entry would have removed it with the
+      // entry, so drop it here instead.
+      by_digest_.erase(dit);
+      ++stats_.repaired;
+    }
   }
+}
+
+bool Mempool::self_check() const {
+  std::size_t total = 0;
+  for (const auto& [sender, queue] : by_sender_) {
+    if (queue.empty()) return false;  // empty queues are erased eagerly
+    total += queue.size();
+  }
+  if (by_digest_.size() != total || by_fee_.size() != total ||
+      by_admission_.size() != total) {
+    return false;
+  }
+  const auto resolve = [this](const Locator& loc) -> const Entry* {
+    const auto sit = by_sender_.find(loc.sender);
+    if (sit == by_sender_.end()) return nullptr;
+    const auto it = sit->second.find(loc.nonce);
+    return it == sit->second.end() ? nullptr : &it->second;
+  };
+  for (const auto& [dk, loc] : by_digest_) {
+    const Entry* e = resolve(loc);
+    if (e == nullptr || e->dedupe != dk) return false;
+  }
+  for (const auto& [key, loc] : by_fee_) {
+    const Entry* e = resolve(loc);
+    if (e == nullptr || e->tx.fee != key.first || e->seq != key.second) return false;
+  }
+  for (const auto& [key, loc] : by_admission_) {
+    const Entry* e = resolve(loc);
+    if (e == nullptr || e->admitted != key.first || e->seq != key.second) return false;
+  }
+  return true;
 }
 
 void Mempool::prune(const LedgerState& state) {

@@ -46,6 +46,7 @@ struct MempoolStats {
   std::uint64_t expired = 0;           ///< dropped by TTL sweep
   std::uint64_t evicted_low_fee = 0;   ///< displaced by a better-paying tx
   std::uint64_t rejected_full = 0;     ///< refused: pool full, fee too low
+  std::uint64_t repaired = 0;          ///< dangling index records discarded
 };
 
 class Mempool {
@@ -62,7 +63,9 @@ class Mempool {
                            Tick now = 0);
 
   /// Drop entries admitted more than `ttl` ticks before `now`. Returns the
-  /// number dropped. O(expired · log n); no-op when ttl == 0.
+  /// number dropped. O(expired · log n); no-op when ttl == 0. Entries stamped
+  /// in the future (a replica clock that regressed) are re-stamped to `now`
+  /// so they expire normally instead of pending forever.
   std::size_t sweep_expired(Tick now);
 
   /// Select up to `max_txs` transactions for a block, highest fee first but
@@ -76,6 +79,11 @@ class Mempool {
 
   /// Drop transactions whose nonce has been consumed (stale after commits).
   void prune(const LedgerState& state);
+
+  /// Invariant audit: every index record resolves to a live entry whose key
+  /// fields match, all four indexes agree on the entry count, and no sender
+  /// queue is empty. O(n log n); meant for tests and debug sweeps.
+  [[nodiscard]] bool self_check() const;
 
   [[nodiscard]] std::size_t size() const { return by_digest_.size(); }
   [[nodiscard]] bool empty() const { return by_digest_.empty(); }
@@ -101,6 +109,14 @@ class Mempool {
   /// Erase one entry and every index record pointing at it; drops the
   /// sender's queue when it empties.
   void erase_entry(std::uint64_t sender, SenderQueue::iterator it);
+  /// Resolve a locator defensively (find(), never operator[]) and erase the
+  /// entry it names. Returns false — touching nothing — when the locator is
+  /// stale (no such sender, or no such nonce in its queue); callers then
+  /// discard the dangling index record instead of erasing through end().
+  bool erase_located(const Locator& loc);
+  /// Clock-regression repair: re-stamp every future-stamped entry
+  /// (admitted > now) to `now` and re-key by_admission_ accordingly.
+  void restamp_future_entries(Tick now);
 
   MempoolConfig config_;
   MempoolStats stats_;

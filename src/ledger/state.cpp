@@ -1,6 +1,8 @@
 #include "ledger/state.h"
 
-#include <cassert>
+#include <cstdlib>
+
+#include "common/logging.h"
 
 namespace mv::ledger {
 
@@ -17,18 +19,6 @@ crypto::Digest chain_audit(const crypto::Digest& h, const StoredAuditRecord& rec
   crypto::HashWriter w;
   w.raw(h);
   hash_audit_record(w, rec);
-  return w.digest();
-}
-
-/// Account leaf payload. The key (address) is mixed in by MerkleMap's leaf
-/// hash; the payload commits to balance presence, balance, and nonce. An
-/// account leaf exists iff it has a balance entry or a nonzero nonce.
-crypto::Digest account_leaf(bool has_balance, std::uint64_t balance,
-                            std::uint64_t nonce) {
-  crypto::HashWriter w;
-  w.u8(has_balance ? 1 : 0);
-  w.u64(balance);
-  w.u64(nonce);
   return w.digest();
 }
 
@@ -62,8 +52,21 @@ void merge_maps(const BaseMap& base, const DeltaMap& delta, Emit emit) {
   }
 }
 
-/// Combine the root from the section digests (the commitment layout spec in
-/// DESIGN.md §"State commitment" documents this byte order).
+}  // namespace
+
+// The key (address) is mixed in by MerkleMap's leaf hash; the payload
+// commits to balance presence, balance, and nonce.
+crypto::Digest account_leaf_digest(bool has_balance, std::uint64_t balance,
+                                   std::uint64_t nonce) {
+  crypto::HashWriter w;
+  w.u8(has_balance ? 1 : 0);
+  w.u64(balance);
+  w.u64(nonce);
+  return w.digest();
+}
+
+// Combine the root from the section digests (the commitment layout spec in
+// DESIGN.md §"State commitment" documents this byte order).
 crypto::Digest combine_commitment_root(const StateCommitment& c) {
   crypto::HashWriter w;
   w.str("mv.state.v2");
@@ -75,8 +78,6 @@ crypto::Digest combine_commitment_root(const StateCommitment& c) {
   w.u64(c.burned_fees);
   return w.digest();
 }
-
-}  // namespace
 
 // ------------------------------------------------------------- LedgerView
 
@@ -182,7 +183,7 @@ void LedgerState::refresh_account_leaf(crypto::Address a) {
   const auto bal = find_balance(a);
   const std::uint64_t n = nonce(a);
   if (bal.has_value() || n != 0) {
-    accounts_.put(a.value, account_leaf(bal.has_value(), bal.value_or(0), n));
+    accounts_.put(a.value, account_leaf_digest(bal.has_value(), bal.value_or(0), n));
   } else {
     accounts_.erase(a.value);
   }
@@ -279,7 +280,7 @@ StateCommitment LedgerState::commitment_with(const CommitmentDelta& delta) const
                  }
                  const std::uint64_t n = dnon != nullptr ? *dnon : nonce(addr);
                  if (has_bal || n != 0) {
-                   acc[addr.value] = account_leaf(has_bal, bal, n);
+                   acc[addr.value] = account_leaf_digest(has_bal, bal, n);
                  } else {
                    acc[addr.value] = std::nullopt;
                  }
@@ -352,7 +353,7 @@ StateCommitment LedgerState::full_rehash_commitment() const {
                if (has_bal || nonce_value != 0) {
                  leaves.emplace_back(
                      addr.value,
-                     account_leaf(has_bal, has_bal ? *bal : 0, nonce_value));
+                     account_leaf_digest(has_bal, has_bal ? *bal : 0, nonce_value));
                }
              });
   c.account_count = leaves.size();
@@ -477,8 +478,15 @@ StateCommitment LedgerStateOverlay::commitment_with(
 }
 
 void LedgerStateOverlay::commit() {
-  assert(writable_ != nullptr && "commit() on a read-only overlay");
-  if (writable_ == nullptr) return;
+  // Committing a reader() overlay would silently discard the whole delta, so
+  // it is a hard failure in every build type — an assert compiles out in
+  // release and turns the bug into state loss.
+  if (writable_ == nullptr) {
+    MV_LOG_ERROR << "LedgerStateOverlay::commit() on a read-only overlay ("
+                 << touched() << " touched entries would be dropped)";
+    std::clog.flush();  // abort() skips stream teardown; surface the message
+    std::abort();
+  }
   for (const auto& [addr, value] : balances_) writable_->set_balance(addr, value);
   for (const auto& [addr, value] : nonces_) writable_->set_nonce(addr, value);
   for (auto& rec : audit_appended_) writable_->append_audit(std::move(rec));

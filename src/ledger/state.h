@@ -61,6 +61,19 @@ struct StateCommitment {
   [[nodiscard]] bool operator==(const StateCommitment&) const = default;
 };
 
+/// Recombine a commitment's section digests into its root (the
+/// "mv.state.v2" layout, DESIGN.md §"State commitment"). Light clients use
+/// this to check a served section breakdown against a header's state_root.
+[[nodiscard]] crypto::Digest combine_commitment_root(const StateCommitment& c);
+
+/// Digest of one account leaf as committed in the accounts MerkleMap:
+/// sha256(u8(has_balance) || u64(balance) || u64(nonce)). A leaf exists iff
+/// the account has a balance entry or a nonzero nonce. Exposed so account
+/// proofs can be verified without a LedgerState.
+[[nodiscard]] crypto::Digest account_leaf_digest(bool has_balance,
+                                                 std::uint64_t balance,
+                                                 std::uint64_t nonce);
+
 /// A view delta flattened for commitment computation: the overlay stack folds
 /// itself into one of these and hands it to the materialized base. Internal
 /// plumbing for commitment_with(); use LedgerView::commitment() instead.
@@ -182,6 +195,13 @@ class LedgerState final : public LedgerView {
   void add_burned_fees(std::uint64_t amount) override { burned_fees_ += amount; }
   [[nodiscard]] std::size_t account_count() const { return balances_.size(); }
 
+  /// Merkle inclusion proof for `a` against the current accounts_root (a
+  /// non-membership proof when the account has no leaf). Pair with
+  /// commitment() for the section digests a verifier recombines.
+  [[nodiscard]] crypto::MerkleMapProof prove_account(crypto::Address a) const {
+    return accounts_.prove(a.value);
+  }
+
  private:
   /// Re-derive the Merkle leaf for `a` from balances_/nonces_ (absent when
   /// the account has neither a balance entry nor a nonzero nonce).
@@ -218,7 +238,8 @@ class LedgerState final : public LedgerView {
 class LedgerStateOverlay final : public LedgerView {
  public:
   /// Read-only base: trial application without the right to commit
-  /// (block validation on a const chain). commit() is a checked no-op.
+  /// (block validation on a const chain). commit() is a hard failure
+  /// (logged abort) in every build type — it would discard the delta.
   [[nodiscard]] static LedgerStateOverlay reader(const LedgerView& base) {
     return LedgerStateOverlay(&base, nullptr);
   }

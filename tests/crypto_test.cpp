@@ -384,6 +384,184 @@ TEST(MerkleMap, RootWithMatchesMaterializedApplication) {
   }
 }
 
+// --------------------------------------------------------- MerkleMapProof
+
+namespace {
+/// Verify after an encode/decode round-trip, the way a remote verifier sees
+/// the proof.
+bool wire_verify(const Digest& root, std::uint64_t key,
+                 const std::optional<Digest>& value, const MerkleMapProof& p) {
+  const auto decoded = MerkleMapProof::decode(p.encode());
+  if (!decoded.ok()) return false;
+  if (!(decoded.value() == p)) return false;
+  return MerkleMap::verify(root, key, value, decoded.value());
+}
+}  // namespace
+
+TEST(MerkleMapProof, EmptyMapProvesNonMembership) {
+  MerkleMap m;
+  const MerkleMapProof p = m.prove(123);
+  EXPECT_TRUE(p.steps.empty());
+  EXPECT_FALSE(p.has_terminal_leaf);
+  EXPECT_TRUE(wire_verify(m.root(), 123, std::nullopt, p));
+  // The same proof cannot claim membership, nor verify a nonzero root.
+  EXPECT_FALSE(MerkleMap::verify(m.root(), 123, value_digest(1), p));
+  EXPECT_FALSE(MerkleMap::verify(value_digest(9), 123, std::nullopt, p));
+}
+
+TEST(MerkleMapProof, SingleKeyMembershipAndCollision) {
+  MerkleMap m;
+  m.put(42, value_digest(7));
+  const MerkleMapProof member = m.prove(42);
+  EXPECT_TRUE(member.steps.empty());
+  EXPECT_TRUE(wire_verify(m.root(), 42, value_digest(7), member));
+  EXPECT_FALSE(MerkleMap::verify(m.root(), 42, value_digest(8), member));
+  // Any other key's non-membership proof is the colliding leaf itself.
+  const MerkleMapProof absent = m.prove(43);
+  EXPECT_TRUE(absent.has_terminal_leaf);
+  EXPECT_EQ(absent.terminal_key, 42u);
+  EXPECT_TRUE(wire_verify(m.root(), 43, std::nullopt, absent));
+  EXPECT_FALSE(MerkleMap::verify(m.root(), 42, std::nullopt, absent));
+}
+
+TEST(MerkleMapProof, MembershipRoundTripClusteredKeys) {
+  // Clustered prefixes force deep paths (shared high nibbles); the sprinkle
+  // of random keys keeps the root fan-out realistic.
+  Rng rng(1234);
+  MerkleMap m;
+  std::map<std::uint64_t, Digest> model;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const std::uint64_t key = 0xABCDEF0000000000ull | i;
+    m.put(key, value_digest(i));
+    model[key] = value_digest(i);
+  }
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    m.put(key, value_digest(key));
+    model[key] = value_digest(key);
+  }
+  const Digest root = m.root();
+  for (const auto& [key, value] : model) {
+    const MerkleMapProof p = m.prove(key);
+    EXPECT_FALSE(p.has_terminal_leaf);
+    ASSERT_TRUE(wire_verify(root, key, value, p)) << "key " << key;
+    // The right proof for the wrong claim must not verify.
+    EXPECT_FALSE(MerkleMap::verify(root, key, value_digest(~key), p));
+    EXPECT_FALSE(MerkleMap::verify(root, key, std::nullopt, p));
+    EXPECT_FALSE(MerkleMap::verify(root, key + 1, value, p));
+    EXPECT_FALSE(MerkleMap::verify(value_digest(0), key, value, p));
+  }
+}
+
+TEST(MerkleMapProof, NonMembershipAfterErase) {
+  // Erase leaves physical count-1 inner chains behind; proofs must still
+  // collapse them to the canonical shape.
+  MerkleMap m;
+  for (std::uint64_t i = 0; i < 32; ++i) m.put(0xF00D00ull << 8 | i, value_digest(i));
+  for (std::uint64_t i = 1; i < 32; i += 2) m.erase(0xF00D00ull << 8 | i);
+  const Digest root = m.root();
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const std::uint64_t key = 0xF00D00ull << 8 | i;
+    const MerkleMapProof p = m.prove(key);
+    if (i % 2 == 0) {
+      ASSERT_TRUE(wire_verify(root, key, value_digest(i), p)) << i;
+    } else {
+      ASSERT_TRUE(wire_verify(root, key, std::nullopt, p)) << i;
+      EXPECT_FALSE(MerkleMap::verify(root, key, value_digest(i), p));
+    }
+  }
+}
+
+TEST(MerkleMapProof, DecodeIsStrict) {
+  MerkleMap m;
+  for (std::uint64_t i = 0; i < 20; ++i) m.put(i * 1000003, value_digest(i));
+  const Bytes wire = m.prove(5 * 1000003).encode();
+  ASSERT_TRUE(MerkleMapProof::decode(wire).ok());
+  {
+    Bytes bad = wire;
+    bad[0] = 0x02;  // unknown version
+    EXPECT_EQ(MerkleMapProof::decode(bad).error().code, "proof.bad_version");
+  }
+  {
+    Bytes bad = wire;
+    bad[1] |= 0x80;  // reserved flag bit
+    EXPECT_EQ(MerkleMapProof::decode(bad).error().code, "proof.bad_flags");
+  }
+  {
+    Bytes bad = wire;
+    bad[2] = 17;  // deeper than the key has nibbles
+    EXPECT_EQ(MerkleMapProof::decode(bad).error().code, "proof.bad_depth");
+  }
+  {
+    Bytes bad = wire;
+    bad.push_back(0x00);  // trailing garbage
+    EXPECT_EQ(MerkleMapProof::decode(bad).error().code, "proof.trailing_bytes");
+  }
+  {
+    Bytes bad = wire;
+    bad.pop_back();  // truncated
+    EXPECT_FALSE(MerkleMapProof::decode(bad).ok());
+  }
+  EXPECT_FALSE(MerkleMapProof::decode({}).ok());
+}
+
+TEST(MerkleMapProof, ProofFuzz10kKeys) {
+  // check.sh gate: every present key proves, every absent key
+  // non-membership-proves, and no single-byte mutation of an encoded proof
+  // survives decode + verify. 10k keys exercise every proof shape.
+  Rng rng(0xF00DF00D);
+  MerkleMap m;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    // Half clustered (deep paths, absent-slot and colliding-leaf proofs),
+    // half uniform (shallow spread).
+    const std::uint64_t key = rng.chance(0.5)
+                                  ? (0xDEAD000000000000ull | rng.next_below(1 << 20))
+                                  : rng.next_u64();
+    if (m.contains(key)) continue;
+    m.put(key, value_digest(key));
+    keys.push_back(key);
+  }
+  const Digest root = m.root();
+  for (const std::uint64_t key : keys) {
+    ASSERT_TRUE(MerkleMap::verify(root, key, value_digest(key), m.prove(key)))
+        << "membership failed for key " << key;
+  }
+  std::size_t absent_checked = 0;
+  while (absent_checked < 10000) {
+    const std::uint64_t key = rng.chance(0.5)
+                                  ? (0xDEAD000000000000ull | rng.next_below(1 << 20))
+                                  : rng.next_u64();
+    if (m.contains(key)) continue;
+    const MerkleMapProof p = m.prove(key);
+    ASSERT_TRUE(MerkleMap::verify(root, key, std::nullopt, p))
+        << "non-membership failed for key " << key;
+    ASSERT_FALSE(MerkleMap::verify(root, key, value_digest(key), p));
+    ++absent_checked;
+  }
+  // Mutation sweep over a sample of proofs: flip every byte position in
+  // turn; the mutant must fail decode or fail verify — no byte is inert.
+  for (int sample = 0; sample < 24; ++sample) {
+    const std::uint64_t key = keys[rng.next_below(keys.size())];
+    const bool member = sample % 2 == 0;
+    const std::uint64_t probe = member ? key : key + 1;
+    const std::optional<Digest> claim =
+        member ? std::optional<Digest>(value_digest(key)) : std::nullopt;
+    if (!member && m.contains(probe)) continue;
+    const Bytes wire = m.prove(probe).encode();
+    for (std::size_t pos = 0; pos < wire.size(); ++pos) {
+      Bytes mutated = wire;
+      mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+      const auto decoded = MerkleMapProof::decode(mutated);
+      if (!decoded.ok()) continue;  // rejected at the wire: good
+      ASSERT_FALSE(MerkleMap::verify(root, probe, claim, decoded.value()))
+          << "mutation at byte " << pos << " of " << wire.size()
+          << " survived verification (key " << probe << ")";
+    }
+  }
+}
+
 // ---------------------------------------------------------------- SetHash
 
 TEST(SetHash, OrderIndependentAndRemovable) {

@@ -3,6 +3,9 @@
 // simulated network, and the on-chain audit registry.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "ledger/audit.h"
 #include "ledger/chain.h"
 #include "ledger/consensus.h"
@@ -1011,6 +1014,430 @@ TEST(Mempool, SweepExpiredFreesCapacityBeforeEviction) {
   const auto cheap = make_transfer(dave, 0, f.bob.address(), 2, 6, f.rng);
   EXPECT_EQ(pool.add(cheap, f.state, 12).error().code, "mempool.full");
   EXPECT_EQ(pool.stats().rejected_full, 1u);
+}
+
+// -------------------------------------------- account proofs / light client
+
+TEST(AccountProof, LightClientEndToEnd) {
+  ChainFixture f;
+  Blockchain chain = f.make_chain();
+  ASSERT_TRUE(chain
+                  .append(chain.assemble(
+                      f.v0, {make_transfer(f.alice, 0, f.bob.address(), 10, 1, f.rng)},
+                      0, f.rng))
+                  .ok());
+  ASSERT_TRUE(chain
+                  .append(chain.assemble(
+                      f.v1, {make_transfer(f.bob, 0, f.alice.address(), 5, 1, f.rng)},
+                      1, f.rng))
+                  .ok());
+
+  // The light client sees only headers — never the LedgerState.
+  LightClient lc(LightClientConfig{{f.v0.public_key(), f.v1.public_key()},
+                                   chain.genesis_hash()});
+  for (const Block& b : chain.blocks()) {
+    ASSERT_TRUE(lc.accept_header(b.header).ok());
+  }
+  EXPECT_EQ(lc.height(), 2);
+  EXPECT_EQ(lc.tip_hash(), chain.tip_hash());
+
+  auto ap = chain.prove_account(f.bob.address(), 1);
+  ASSERT_TRUE(ap.ok());
+  // Ship it over the wire, as a full node would.
+  auto decoded = AccountProof::decode(ap.value().encode());
+  ASSERT_TRUE(decoded.ok());
+  auto st = lc.verify_account(decoded.value());
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st.value().exists);
+  EXPECT_EQ(st.value().balance, chain.state().balance(f.bob.address()));
+  EXPECT_EQ(st.value().nonce, 1u);
+
+  // Non-membership: an address that never appeared.
+  auto absent = chain.prove_account(crypto::Address{0x123456}, 1);
+  ASSERT_TRUE(absent.ok());
+  auto ast = lc.verify_account(absent.value());
+  ASSERT_TRUE(ast.ok());
+  EXPECT_FALSE(ast.value().exists);
+
+  // Only the tip can be served; out-of-range heights are distinct errors.
+  EXPECT_EQ(chain.prove_account(f.bob.address(), 0).error().code,
+            "chain.stale_height");
+  EXPECT_EQ(chain.prove_account(f.bob.address(), 7).error().code,
+            "chain.bad_height");
+}
+
+TEST(AccountProof, TamperedProofsAreRejected) {
+  ChainFixture f;
+  Blockchain chain = f.make_chain();
+  ASSERT_TRUE(chain.append(chain.assemble(f.v0, {}, 0, f.rng)).ok());
+  LightClient lc(LightClientConfig{{f.v0.public_key(), f.v1.public_key()},
+                                   chain.genesis_hash()});
+  ASSERT_TRUE(lc.accept_header(chain.blocks()[0].header).ok());
+  const auto honest = chain.prove_account(f.alice.address(), 0);
+  ASSERT_TRUE(honest.ok());
+  ASSERT_TRUE(lc.verify_account(honest.value()).ok());
+
+  AccountProof lie = honest.value();
+  lie.statement.balance += 1;
+  EXPECT_EQ(lc.verify_account(lie).error().code, "proof.bad_path");
+
+  lie = honest.value();
+  lie.statement = AccountStatement{};  // deny an existing account
+  EXPECT_EQ(lc.verify_account(lie).error().code, "proof.bad_path");
+
+  lie = honest.value();
+  lie.commitment.burned_fees += 1;  // sections no longer match the header
+  EXPECT_EQ(lc.verify_account(lie).error().code, "proof.bad_commitment");
+
+  lie = honest.value();
+  lie.height = 3;  // no such header accepted
+  EXPECT_EQ(lc.verify_account(lie).error().code, "light.unknown_height");
+
+  lie = honest.value();
+  lie.address = f.bob.address();  // someone else's proof
+  EXPECT_EQ(lc.verify_account(lie).error().code, "proof.bad_path");
+
+  // Internally inconsistent statements never reach the Merkle check.
+  lie = honest.value();
+  lie.statement.exists = false;
+  lie.statement.has_balance = true;
+  EXPECT_EQ(lc.verify_account(lie).error().code, "proof.bad_statement");
+}
+
+TEST(LightClient, RejectsBadHeaders) {
+  ChainFixture f;
+  Blockchain chain = f.make_chain();
+  ASSERT_TRUE(chain.append(chain.assemble(f.v0, {}, 0, f.rng)).ok());
+  ASSERT_TRUE(chain.append(chain.assemble(f.v1, {}, 1, f.rng)).ok());
+  const BlockHeader h0 = chain.blocks()[0].header;
+  const BlockHeader h1 = chain.blocks()[1].header;
+  const LightClientConfig config{{f.v0.public_key(), f.v1.public_key()},
+                                 chain.genesis_hash()};
+  {
+    LightClient lc(config);  // out-of-order height
+    EXPECT_EQ(lc.accept_header(h1).error().code, "light.bad_height");
+  }
+  {
+    LightClient lc(config);  // broken linkage
+    BlockHeader bad = h0;
+    bad.prev_hash[0] ^= 1;
+    EXPECT_EQ(lc.accept_header(bad).error().code, "light.bad_parent");
+  }
+  {
+    // Validator order swapped: h0 was proposed by v0, but this client
+    // expects v1 at height 0.
+    LightClient lc(LightClientConfig{{f.v1.public_key(), f.v0.public_key()},
+                                     chain.genesis_hash()});
+    EXPECT_EQ(lc.accept_header(h0).error().code, "light.wrong_proposer");
+  }
+  {
+    LightClient lc(config);  // forged state root breaks the signature
+    BlockHeader bad = h0;
+    bad.state_root[0] ^= 1;
+    EXPECT_EQ(lc.accept_header(bad).error().code, "light.bad_proposer_sig");
+  }
+  {
+    LightClient lc(config);  // and the honest sequence is accepted
+    ASSERT_TRUE(lc.accept_header(h0).ok());
+    ASSERT_TRUE(lc.accept_header(h1).ok());
+    EXPECT_EQ(lc.accept_header(h0).error().code, "light.bad_height");  // replay
+  }
+}
+
+TEST(AccountProof, HundredThousandAccountChainTip) {
+  // Acceptance property: at a 100k-account chain tip, every present key
+  // proves, sampled absent keys non-membership-prove, and mutated
+  // proofs/values/roots all fail.
+  Rng rng(20260805);
+  LedgerState genesis;
+  std::vector<std::uint64_t> addrs;
+  addrs.reserve(100000);
+  while (addrs.size() < 100000) {
+    const std::uint64_t a = rng.chance(0.5)
+                                ? (0xACC0000000000000ull | rng.next_below(1u << 21))
+                                : rng.next_u64();
+    if (a == 0) continue;
+    const crypto::Address addr{a};
+    if (genesis.find_balance(addr).has_value()) continue;
+    genesis.credit(addr, 1 + rng.next_below(1000));
+    addrs.push_back(a);
+  }
+  crypto::Wallet validator(rng);
+  ChainConfig config;
+  config.validators = {validator.public_key()};
+  Blockchain chain(config, std::make_shared<ContractRegistry>(), genesis);
+  ASSERT_TRUE(chain.append(chain.assemble(validator, {}, 0, rng)).ok());
+  const crypto::Digest state_root = chain.blocks()[0].header.state_root;
+  LightClient lc(
+      LightClientConfig{{validator.public_key()}, chain.genesis_hash()});
+  ASSERT_TRUE(lc.accept_header(chain.blocks()[0].header).ok());
+
+  for (const std::uint64_t a : addrs) {
+    const auto ap = chain.prove_account(crypto::Address{a}, 0);
+    ASSERT_TRUE(ap.ok());
+    ASSERT_TRUE(ap.value().statement.exists);
+    ASSERT_TRUE(verify_account_proof(ap.value(), state_root).ok())
+        << "account " << a;
+  }
+  std::size_t absent = 0;
+  while (absent < 10000) {
+    const std::uint64_t a = rng.chance(0.5)
+                                ? (0xACC0000000000000ull | rng.next_below(1u << 21))
+                                : rng.next_u64();
+    if (a == 0 || chain.state().find_balance(crypto::Address{a}).has_value()) {
+      continue;
+    }
+    const auto ap = chain.prove_account(crypto::Address{a}, 0);
+    ASSERT_TRUE(ap.ok());
+    ASSERT_FALSE(ap.value().statement.exists);
+    ASSERT_TRUE(verify_account_proof(ap.value(), state_root).ok())
+        << "absent " << a;
+    ++absent;
+  }
+  // Mutations: value, root, and proof bytes, over a sample of accounts.
+  for (int sample = 0; sample < 64; ++sample) {
+    const std::uint64_t a = addrs[rng.next_below(addrs.size())];
+    const auto ap = chain.prove_account(crypto::Address{a}, 0);
+    ASSERT_TRUE(ap.ok());
+
+    AccountProof wrong_value = ap.value();
+    wrong_value.statement.balance ^= 1;
+    EXPECT_FALSE(verify_account_proof(wrong_value, state_root).ok());
+
+    crypto::Digest wrong_root = state_root;
+    wrong_root[rng.next_below(wrong_root.size())] ^= 0x40;
+    EXPECT_FALSE(verify_account_proof(ap.value(), wrong_root).ok());
+
+    // Mutated wire bytes go through the light client: a height mutation is
+    // caught by the header lookup, everything else by the crypto.
+    Bytes wire = ap.value().encode();
+    wire[rng.next_below(wire.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+    const auto mutated = AccountProof::decode(wire);
+    if (mutated.ok()) {
+      EXPECT_FALSE(lc.verify_account(mutated.value()).ok());
+    }
+  }
+}
+
+// ----------------------------------------------------- overlay commit modes
+
+TEST(LedgerStateOverlayDeathTest, CommitOnReaderAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Fixture f;
+  auto overlay = LedgerStateOverlay::reader(f.state);
+  overlay.credit(f.alice.address(), 1);
+  // Release builds used to compile the assert out and silently drop the
+  // delta; the failure must be hard in every build type.
+  EXPECT_DEATH(overlay.commit(), "read-only overlay");
+}
+
+TEST(LedgerStateOverlay, CommitOnWriterFoldsDelta) {
+  Fixture f;
+  auto overlay = LedgerStateOverlay::writer(f.state);
+  overlay.credit(f.alice.address(), 10);
+  overlay.set_nonce(f.bob.address(), 3);
+  overlay.add_burned_fees(7);
+  overlay.commit();
+  EXPECT_EQ(f.state.balance(f.alice.address()), 1010u);
+  EXPECT_EQ(f.state.nonce(f.bob.address()), 3u);
+  EXPECT_EQ(f.state.burned_fees(), 7u);
+  // After the fold the overlay is empty: committing again is a no-op.
+  overlay.commit();
+  EXPECT_EQ(f.state.balance(f.alice.address()), 1010u);
+}
+
+// ------------------------------------------- overlay store-prefix vs oracle
+
+namespace {
+using StoreModel = std::map<std::string, Bytes>;
+
+/// Flattened oracle: keys of `model` carrying `prefix`, sorted (std::map).
+std::vector<std::string> oracle_keys(const StoreModel& model,
+                                     const std::string& prefix) {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : model) {
+    if (key.compare(0, prefix.size(), prefix) == 0) out.push_back(key);
+  }
+  return out;
+}
+
+std::string random_store_key(Rng& rng) {
+  const std::size_t len = 1 + rng.next_below(4);
+  std::string key;
+  for (std::size_t i = 0; i < len; ++i) {
+    key.push_back(static_cast<char>('a' + rng.next_below(3)));
+  }
+  return key;
+}
+}  // namespace
+
+TEST(LedgerStateOverlay, StoreKeysWithPrefixMatchesFlattenedOracle) {
+  // Randomized differential test of the overlay's sorted base/delta merge:
+  // tombstones over base keys, re-insert after erase, and a nested overlay,
+  // all on a 3-letter alphabet so collisions are constant.
+  Rng rng(424242);
+  const std::string contract = "shop";
+  const std::vector<std::string> prefixes = {"",   "a",  "ab", "abc",
+                                             "b",  "bc", "c",  "cc"};
+  for (int round = 0; round < 25; ++round) {
+    LedgerState base;
+    StoreModel base_model;
+    for (int i = 0; i < 20; ++i) {
+      const std::string key = random_store_key(rng);
+      base.store_put(contract, key, Bytes{static_cast<std::uint8_t>(i)});
+      base_model[key] = Bytes{static_cast<std::uint8_t>(i)};
+    }
+    auto o1 = LedgerStateOverlay::writer(base);
+    StoreModel o1_model = base_model;
+    for (int i = 0; i < 30; ++i) {
+      const std::string key = random_store_key(rng);
+      if (rng.chance(0.45)) {  // tombstone (often shadowing a base key)
+        o1.store_erase(contract, key);
+        o1_model.erase(key);
+      } else {  // insert (often a re-insert over an earlier tombstone)
+        o1.store_put(contract, key, Bytes{static_cast<std::uint8_t>(i)});
+        o1_model[key] = Bytes{static_cast<std::uint8_t>(i)};
+      }
+    }
+    auto o2 = LedgerStateOverlay::nested(o1);
+    StoreModel o2_model = o1_model;
+    for (int i = 0; i < 30; ++i) {
+      const std::string key = random_store_key(rng);
+      if (rng.chance(0.45)) {
+        o2.store_erase(contract, key);
+        o2_model.erase(key);
+      } else {
+        o2.store_put(contract, key, Bytes{static_cast<std::uint8_t>(100 + i)});
+        o2_model[key] = Bytes{static_cast<std::uint8_t>(100 + i)};
+      }
+    }
+    for (const std::string& prefix : prefixes) {
+      ASSERT_EQ(base.store_keys_with_prefix(contract, prefix),
+                oracle_keys(base_model, prefix))
+          << "base, round " << round << ", prefix '" << prefix << "'";
+      ASSERT_EQ(o1.store_keys_with_prefix(contract, prefix),
+                oracle_keys(o1_model, prefix))
+          << "o1, round " << round << ", prefix '" << prefix << "'";
+      ASSERT_EQ(o2.store_keys_with_prefix(contract, prefix),
+                oracle_keys(o2_model, prefix))
+          << "o2 (nested), round " << round << ", prefix '" << prefix << "'";
+    }
+    // Commit the stack down to the base; the flattened views must agree.
+    o2.commit();
+    for (const std::string& prefix : prefixes) {
+      ASSERT_EQ(o1.store_keys_with_prefix(contract, prefix),
+                oracle_keys(o2_model, prefix))
+          << "o1 after o2.commit, round " << round;
+    }
+    o1.commit();
+    for (const std::string& prefix : prefixes) {
+      ASSERT_EQ(base.store_keys_with_prefix(contract, prefix),
+                oracle_keys(o2_model, prefix))
+          << "base after commits, round " << round;
+    }
+  }
+}
+
+// ----------------------------------------------- mempool expiry edge cases
+
+TEST(Mempool, SweepRecoversFromClockRegression) {
+  // A replica restarting mid-tick can hand sweep_expired a `now` before the
+  // admission stamps. The historical sweep broke on `now <= admitted`, which
+  // left future-stamped entries unexpirable forever; they are now re-stamped
+  // to the regressed clock and age out normally.
+  Fixture f;
+  Mempool pool(MempoolConfig{.ttl = 10, .max_txs = 100});
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 1, f.rng), f.state, 1000)
+          .ok());
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.bob, 0, f.alice.address(), 1, 1, f.rng), f.state, 1005)
+          .ok());
+  EXPECT_EQ(pool.sweep_expired(5), 0u);  // regression: re-stamp, nothing drops
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_TRUE(pool.self_check());
+  EXPECT_EQ(pool.sweep_expired(15), 0u);  // age 10 == ttl: still pending
+  EXPECT_EQ(pool.sweep_expired(16), 2u);  // age 11 > ttl: both expire
+  EXPECT_TRUE(pool.empty());
+  EXPECT_TRUE(pool.self_check());
+  EXPECT_EQ(pool.stats().expired, 2u);
+}
+
+TEST(Mempool, SweepMixedPastAndFutureStamps) {
+  // Only the oldest stamp drives the loop: a future-stamped entry behind a
+  // past one is untouched until it becomes the oldest, then re-stamped.
+  Fixture f;
+  Mempool pool(MempoolConfig{.ttl = 10, .max_txs = 100});
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 1, f.rng), f.state, 3)
+          .ok());
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.bob, 0, f.alice.address(), 1, 1, f.rng), f.state, 1000)
+          .ok());
+  EXPECT_EQ(pool.sweep_expired(5), 0u);  // oldest (3) is fresh; nothing happens
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.sweep_expired(14), 1u);  // age 11: the tick-3 entry expires,
+  EXPECT_EQ(pool.size(), 1u);             // and the future one re-stamps to 14
+  EXPECT_TRUE(pool.self_check());
+  EXPECT_EQ(pool.sweep_expired(25), 1u);  // 25 - 14 = 11 > ttl
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(Mempool, SweepTickBoundaryValues) {
+  Fixture f;
+  Mempool pool(MempoolConfig{.ttl = 10, .max_txs = 100});
+  ASSERT_TRUE(
+      pool.add(make_transfer(f.alice, 0, f.bob.address(), 1, 1, f.rng), f.state, 0)
+          .ok());
+  EXPECT_EQ(pool.sweep_expired(0), 0u);  // age 0 at now == admitted
+  // A far-future sweep must not overflow Tick arithmetic.
+  EXPECT_EQ(pool.sweep_expired(std::numeric_limits<Tick>::max()), 1u);
+  // An entry stamped at the Tick ceiling re-stamps on the first sane sweep.
+  ASSERT_TRUE(pool
+                  .add(make_transfer(f.bob, 0, f.alice.address(), 1, 1, f.rng),
+                       f.state, std::numeric_limits<Tick>::max())
+                  .ok());
+  EXPECT_EQ(pool.sweep_expired(100), 0u);  // re-stamped to 100
+  EXPECT_TRUE(pool.self_check());
+  EXPECT_EQ(pool.sweep_expired(111), 1u);  // and expires 11 ticks later
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(Mempool, RandomizedChurnKeepsIndexesConsistent) {
+  // Churn every public mutation — admission, replace-by-fee, at-cap
+  // eviction, expiry sweeps (including clock regressions), inclusion
+  // removal, pruning — and audit all four indexes after each batch.
+  Fixture f;
+  Rng rng(777);
+  std::vector<crypto::Wallet> wallets;
+  for (int i = 0; i < 6; ++i) wallets.emplace_back(rng);
+  Mempool pool(MempoolConfig{.ttl = 30, .max_txs = 24});
+  std::vector<std::uint64_t> next_nonce(wallets.size(), 0);
+  Tick now = 0;
+  for (int round = 0; round < 60; ++round) {
+    for (int op = 0; op < 8; ++op) {
+      const std::size_t w = rng.next_below(wallets.size());
+      const bool replay = rng.chance(0.2) && next_nonce[w] > 0;
+      const std::uint64_t nonce =
+          replay ? rng.next_below(next_nonce[w]) : next_nonce[w];
+      const auto tx = make_transfer(wallets[w], nonce, f.bob.address(), 1,
+                                    1 + rng.next_below(9), f.rng);
+      if (pool.add(tx, f.state, now).ok() && !replay) ++next_nonce[w];
+    }
+    if (rng.chance(0.3)) {
+      // Advance, or regress the clock to re-exercise the re-stamp path.
+      now = rng.chance(0.25) ? std::max<Tick>(0, now - 40)
+                             : now + static_cast<Tick>(rng.next_below(20));
+      (void)pool.sweep_expired(now);
+    }
+    if (rng.chance(0.25)) {
+      pool.remove_included(pool.select(4, f.state));
+    }
+    if (rng.chance(0.1)) pool.prune(f.state);
+    ASSERT_TRUE(pool.self_check()) << "round " << round;
+  }
+  EXPECT_EQ(pool.stats().repaired, 0u);  // indexes never actually dangled
 }
 
 }  // namespace
