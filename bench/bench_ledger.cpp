@@ -8,9 +8,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <memory>
 
 #include "ledger/audit.h"
 #include "ledger/consensus.h"
+#include "ledger/snapshot.h"
 
 namespace {
 
@@ -318,6 +321,185 @@ BENCHMARK(BM_AccountProofRoundTrip)
     ->Arg(1000)
     ->Arg(100000)
     ->Unit(benchmark::kMicrosecond);
+
+// ---- snapshot sync: O(state) catch-up vs O(history) replay ----
+
+// A committed source chain, built once per (accounts, history) combination
+// and cached across benchmark registrations: constructing a 100k-account,
+// 1000-block history dominates the wall clock otherwise.
+struct CatchUpFixture {
+  ChainConfig config;
+  std::shared_ptr<ContractRegistry> contracts =
+      std::make_shared<ContractRegistry>();
+  LedgerState genesis;
+  std::unique_ptr<Blockchain> source;
+};
+
+CatchUpFixture& catchup_fixture(std::size_t accounts, std::size_t history) {
+  static std::map<std::pair<std::size_t, std::size_t>,
+                  std::unique_ptr<CatchUpFixture>>
+      cache;
+  auto& slot = cache[{accounts, history}];
+  if (slot != nullptr) return *slot;
+
+  auto f = std::make_unique<CatchUpFixture>();
+  Rng rng(71);
+  crypto::Wallet validator(rng);
+  f->config.validators = {validator.public_key()};
+  f->config.max_txs_per_block = 64;
+  // Retain enough history to export the snapshot the suffix bench needs.
+  f->config.state_retention = history / 10 + 1;
+  for (std::size_t i = 0; i < accounts; ++i) {
+    f->genesis.credit(crypto::Address{0x100000 + i}, 1 + i % 97);
+  }
+  constexpr std::size_t kSenders = 32;
+  std::vector<crypto::Wallet> senders;
+  senders.reserve(kSenders);
+  for (std::size_t i = 0; i < kSenders; ++i) {
+    senders.emplace_back(rng);
+    f->genesis.credit(senders.back().address(), 100'000'000);
+  }
+  f->source = std::make_unique<Blockchain>(f->config, f->contracts, f->genesis);
+  std::vector<std::uint64_t> nonces(kSenders, 0);
+  for (std::size_t h = 0; h < history; ++h) {
+    std::vector<Transaction> txs;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const std::size_t s = (h * 4 + j) % kSenders;
+      txs.push_back(make_transfer(senders[s], nonces[s]++,
+                                  crypto::Address{0x100000 + (h + j) % accounts},
+                                  1, 1, rng));
+    }
+    if (!f->source->append(f->source->assemble(validator, txs,
+                                               static_cast<Tick>(h), rng))
+             .ok()) {
+      std::abort();  // fixture invariant, not a measured failure
+    }
+  }
+  slot = std::move(f);
+  return *slot;
+}
+
+// Baseline: a fresh replica catches up by replaying the full block history.
+// O(history · txs) signature checks and applies.
+void BM_CatchUpFullReplay(benchmark::State& state) {
+  const auto accounts = static_cast<std::size_t>(state.range(0));
+  const auto history = static_cast<std::size_t>(state.range(1));
+  CatchUpFixture& f = catchup_fixture(accounts, history);
+  for (auto _ : state) {
+    Blockchain replica(f.config, f.contracts, f.genesis);
+    const auto n = replica.import_blocks(f.source->export_blocks());
+    if (!n.ok() || replica.tip_hash() != f.source->tip_hash()) {
+      state.SkipWithError("full replay did not converge");
+      return;
+    }
+    benchmark::DoNotOptimize(replica.state().commitment());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(history));
+}
+BENCHMARK(BM_CatchUpFullReplay)
+    ->ArgsProduct({{1000, 100000}, {100, 1000}})
+    ->Unit(benchmark::kMillisecond);
+
+// Snapshot sync: the source exports a verified snapshot at tip − history/10,
+// the replica installs it and replays only the suffix. O(state) for the
+// snapshot plus O(suffix · txs) for the tail — the tentpole claim is the
+// gap to BM_CatchUpFullReplay at deep histories.
+void BM_CatchUpSnapshotSuffix(benchmark::State& state) {
+  const auto accounts = static_cast<std::size_t>(state.range(0));
+  const auto history = static_cast<std::size_t>(state.range(1));
+  CatchUpFixture& f = catchup_fixture(accounts, history);
+  const std::int64_t suffix = static_cast<std::int64_t>(history) / 10;
+  const std::int64_t snap_height = f.source->height() - 1 - suffix;
+  for (auto _ : state) {
+    const auto snap = f.source->export_snapshot(snap_height);
+    if (!snap.ok()) {
+      state.SkipWithError("snapshot export failed");
+      return;
+    }
+    Blockchain replica(f.config, f.contracts, f.genesis);
+    if (!replica
+             .init_from_snapshot(snap.value().manifest, snap.value().chunks,
+                                 f.source->block_at(snap_height)->header)
+             .ok()) {
+      state.SkipWithError("snapshot install failed");
+      return;
+    }
+    const auto n =
+        replica.import_blocks(f.source->export_blocks_from(replica.height()));
+    if (!n.ok() || replica.tip_hash() != f.source->tip_hash()) {
+      state.SkipWithError("suffix replay did not converge");
+      return;
+    }
+    benchmark::DoNotOptimize(replica.state().commitment());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(history));
+}
+BENCHMARK(BM_CatchUpSnapshotSuffix)
+    ->ArgsProduct({{1000, 100000}, {100, 1000}})
+    ->Unit(benchmark::kMillisecond);
+
+// Snapshot codec round trip in isolation: encode + chunk + digest a
+// `range(0)`-account state, then verify + reassemble + decode it.
+void BM_SnapshotExportImport(benchmark::State& state) {
+  const auto accounts = static_cast<std::size_t>(state.range(0));
+  LedgerState ledger_state;
+  for (std::size_t i = 0; i < accounts; ++i) {
+    ledger_state.credit(crypto::Address{0x100000 + i}, 1 + i % 97);
+  }
+  benchmark::DoNotOptimize(ledger_state.commitment());  // warm the tree
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const Snapshot snap = build_snapshot(ledger_state, 0);
+    auto decoded = assemble_snapshot(snap.manifest, snap.chunks);
+    if (!decoded.ok()) {
+      state.SkipWithError("snapshot round trip failed");
+      return;
+    }
+    bytes += snap.manifest.total_bytes;
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SnapshotExportImport)
+    ->Arg(1000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// Steady-state block validation with the verified-signature cache off
+// (range(0) == 0) vs on (1). With the cache, every signature in a re-validated
+// block is a digest-keyed hit, so the per-block cost drops to the apply path.
+void BM_BlockValidateSigCache(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  constexpr std::size_t kTxs = 256;
+  Rng rng(17);
+  auto contracts = std::make_shared<ContractRegistry>();
+  crypto::Wallet validator(rng);
+  LedgerState genesis;
+  std::vector<crypto::Wallet> senders;
+  senders.reserve(kTxs);
+  std::vector<Transaction> candidates;
+  candidates.reserve(kTxs);
+  for (std::size_t i = 0; i < kTxs; ++i) {
+    senders.emplace_back(rng);
+    genesis.credit(senders.back().address(), 1'000'000);
+    candidates.push_back(
+        make_transfer(senders.back(), 0, crypto::Address{7}, 1, 1, rng));
+  }
+  ChainConfig config;
+  config.validators = {validator.public_key()};
+  config.max_txs_per_block = kTxs;
+  if (cached) config.validation.sig_cache = std::make_shared<crypto::DigestLruSet>();
+  Blockchain chain(config, contracts, genesis);
+  const Block block = chain.assemble(validator, candidates, 0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.validate(block));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTxs));
+}
+BENCHMARK(BM_BlockValidateSigCache)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_MerkleProof256(benchmark::State& state) {
   std::vector<crypto::Digest> leaves;

@@ -46,9 +46,24 @@ if echo "${fuzz_out}" | grep -qi 'skipped'; then
   exit 1
 fi
 
+echo "== gate: snapshot differential + mutation fuzz must run (not be skipped) =="
+# The snapshot codec's safety net: decode must reproduce the commitment
+# byte-identically (differential vs full_rehash_commitment) and no
+# single-byte mutation of a manifest or chunk may survive the trust chain.
+snap_out="$(ctest --test-dir build -R 'Snapshot(Codec|ManifestCodec|Assembly)' --no-tests=error --output-on-failure 2>&1)" || {
+  echo "${snap_out}"
+  echo "FAIL: snapshot codec/mutation tests did not run or did not pass"
+  exit 1
+}
+if echo "${snap_out}" | grep -qi 'skipped'; then
+  echo "${snap_out}"
+  echo "FAIL: snapshot codec/mutation tests were skipped"
+  exit 1
+fi
+
 echo "== bench: ledger microbenchmarks -> BENCH_ledger.json (median of 3) =="
 MV_BENCH_NO_TABLE=1 ./build/bench/bench_ledger \
-  --benchmark_filter='BM_BlockAssembleValidate|BM_ParallelBlockValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove|BM_AccountProofRoundTrip' \
+  --benchmark_filter='BM_BlockAssembleValidate|BM_ParallelBlockValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove|BM_AccountProofRoundTrip|BM_CatchUp|BM_SnapshotExportImport|BM_BlockValidateSigCache' \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   --benchmark_out=BENCH_ledger.json \
@@ -64,14 +79,14 @@ ctest --test-dir build-asan --output-on-failure -j "${jobs}"
 echo "== configure + build: tsan =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMV_TSAN=ON
 cmake --build build-tsan -j "${jobs}" --target \
-  common_test crypto_test parallel_test ledger_test net_test scenario_test
+  common_test crypto_test parallel_test ledger_test snapshot_test net_test scenario_test
 
 echo "== tsan: suites touching the parallel validation engine =="
 # halt_on_error turns the first data race into a non-zero exit instead of a
 # warning that scrolls past; the suites below cover the thread pool, the
 # parallel apply/merge paths, consensus replicas in parallel mode, the
 # end-to-end scenarios, and the proof/light-client suites touched this PR.
-for t in common_test crypto_test parallel_test ledger_test net_test scenario_test; do
+for t in common_test crypto_test parallel_test ledger_test snapshot_test net_test scenario_test; do
   echo "-- tsan: ${t}"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/${t}"
 done

@@ -1,5 +1,6 @@
 #include "ledger/chain.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mv::ledger {
@@ -20,10 +21,16 @@ Blockchain::Blockchain(ChainConfig config,
   w.str("genesis");
   w.raw(state_.commitment().root);
   genesis_hash_ = crypto::sha256(w.data());
+  base_hash_ = genesis_hash_;
 }
 
 crypto::Digest Blockchain::tip_hash() const {
-  return blocks_.empty() ? genesis_hash_ : blocks_.back().header.hash();
+  return blocks_.empty() ? base_hash_ : blocks_.back().header.hash();
+}
+
+const Block* Blockchain::block_at(std::int64_t height) const {
+  if (height < base_height_ || height >= this->height()) return nullptr;
+  return &blocks_[static_cast<std::size_t>(height - base_height_)];
 }
 
 const crypto::PublicKey& Blockchain::expected_proposer(std::int64_t height) const {
@@ -109,9 +116,52 @@ Status Blockchain::validate(const Block& block) const {
 Status Blockchain::append(const Block& block) {
   auto scratch = LedgerStateOverlay::writer(state_);
   if (auto s = check(block, scratch); !s.ok()) return s;
+  // The inverse delta must be read off the pre-commit base; it feeds the
+  // retention ring that serves historical proofs and snapshot export.
+  StateUndo undo;
+  if (config_.state_retention > 0) undo = scratch.capture_undo(state_);
   scratch.commit();
   blocks_.push_back(block);
+  if (config_.state_retention > 0) {
+    retained_.push_back(Retained{std::move(undo), state_.commitment()});
+    if (retained_.size() > config_.state_retention) retained_.pop_front();
+  }
   return {};
+}
+
+bool Blockchain::retains(std::int64_t height) const {
+  const std::int64_t tip = this->height() - 1;
+  if (height > tip) return false;
+  if (height == tip) return true;  // the tip state is state_ itself
+  // Rolling back to `height` consumes the undos of blocks (height, tip].
+  return tip - height <= static_cast<std::int64_t>(retained_.size());
+}
+
+const StateCommitment* Blockchain::commitment_at(std::int64_t height) const {
+  const std::int64_t tip = this->height() - 1;
+  const std::int64_t back = tip - height;  // slots behind the ring's back()
+  if (height > tip || back >= static_cast<std::int64_t>(retained_.size())) {
+    return nullptr;
+  }
+  return &retained_[retained_.size() - 1 - static_cast<std::size_t>(back)].commitment;
+}
+
+Result<LedgerState> Blockchain::state_at(std::int64_t height) const {
+  const std::int64_t tip = this->height() - 1;
+  LedgerState state = state_;
+  for (std::int64_t h = tip; h > height; --h) {
+    const std::size_t slot =
+        retained_.size() - 1 - static_cast<std::size_t>(tip - h);
+    state.apply_undo(retained_[slot].undo);
+  }
+  // Sanity anchor: a retained commitment for `height` must be reproduced
+  // exactly (absent only at the very edge of the window).
+  if (const StateCommitment* expected = commitment_at(height);
+      expected != nullptr && state.commitment() != *expected) {
+    return make_error("chain.retention_corrupt",
+                      "rolled-back state does not match retained commitment");
+  }
+  return state;
 }
 
 Result<crypto::MerkleProof> Blockchain::prove_tx(std::int64_t block_height,
@@ -119,42 +169,120 @@ Result<crypto::MerkleProof> Blockchain::prove_tx(std::int64_t block_height,
   if (block_height < 0 || block_height >= height()) {
     return make_error("chain.bad_height", "no such block");
   }
-  const Block& block = blocks_[static_cast<std::size_t>(block_height)];
-  if (tx_index >= block.txs.size()) {
+  const Block* block = block_at(block_height);
+  if (block == nullptr) {
+    return make_error("chain.pruned_height",
+                      "block below the snapshot base is not held");
+  }
+  if (tx_index >= block->txs.size()) {
     return make_error("chain.bad_tx_index", "no such transaction");
   }
-  return block.tx_tree().prove(tx_index);
+  return block->tx_tree().prove(tx_index);
 }
+
+namespace {
+/// Fill an AccountProof from any state that holds `addr`'s section.
+AccountProof make_account_proof(const LedgerState& state, crypto::Address addr,
+                                std::int64_t block_height) {
+  AccountProof ap;
+  ap.address = addr;
+  ap.height = block_height;
+  const auto bal = state.find_balance(addr);
+  const std::uint64_t nonce = state.nonce(addr);
+  ap.statement.has_balance = bal.has_value();
+  ap.statement.balance = bal.value_or(0);
+  ap.statement.nonce = nonce;
+  ap.statement.exists = bal.has_value() || nonce != 0;
+  ap.commitment = state.commitment();
+  ap.proof = state.prove_account(addr);
+  return ap;
+}
+}  // namespace
 
 Result<AccountProof> Blockchain::prove_account(crypto::Address addr,
                                                std::int64_t block_height) const {
   if (block_height < 0 || block_height >= height()) {
     return make_error("chain.bad_height", "no such block");
   }
-  if (block_height != height() - 1) {
+  if (!retains(block_height)) {
     return make_error("chain.stale_height",
-                      "only the tip state is materialized; requested " +
-                          std::to_string(block_height) + ", tip is " +
-                          std::to_string(height() - 1));
+                      "height " + std::to_string(block_height) +
+                          " is beyond the retention window (tip " +
+                          std::to_string(height() - 1) + ", retention " +
+                          std::to_string(config_.state_retention) + ")");
   }
-  AccountProof ap;
-  ap.address = addr;
-  ap.height = block_height;
-  const auto bal = state_.find_balance(addr);
-  const std::uint64_t nonce = state_.nonce(addr);
-  ap.statement.has_balance = bal.has_value();
-  ap.statement.balance = bal.value_or(0);
-  ap.statement.nonce = nonce;
-  ap.statement.exists = bal.has_value() || nonce != 0;
-  ap.commitment = state_.commitment();
-  ap.proof = state_.prove_account(addr);
-  return ap;
+  if (block_height == height() - 1) {
+    return make_account_proof(state_, addr, block_height);
+  }
+  auto state = state_at(block_height);
+  if (!state.ok()) return state.error();
+  return make_account_proof(state.value(), addr, block_height);
 }
 
-Bytes Blockchain::export_blocks() const {
+Result<Snapshot> Blockchain::export_snapshot(std::int64_t height,
+                                             std::size_t chunk_size) const {
+  if (height < 0 || height >= this->height()) {
+    return make_error("chain.bad_height", "no such block");
+  }
+  if (!retains(height)) {
+    return make_error("chain.stale_height",
+                      "height " + std::to_string(height) +
+                          " is beyond the retention window");
+  }
+  if (height == this->height() - 1) {
+    return build_snapshot(state_, height, chunk_size);
+  }
+  auto state = state_at(height);
+  if (!state.ok()) return state.error();
+  return build_snapshot(state.value(), height, chunk_size);
+}
+
+Status Blockchain::init_from_snapshot(const SnapshotManifest& manifest,
+                                      const std::vector<Bytes>& chunks,
+                                      const BlockHeader& anchor) {
+  if (height() != 0) {
+    return Status::fail("chain.not_fresh",
+                        "snapshot install requires a chain with no blocks");
+  }
+  // Defense in depth: the caller is expected to have walked the header chain
+  // (LightClient), but the anchor is cheap to re-check against this chain's
+  // own validator schedule before any state is installed.
+  if (anchor.height != manifest.height || anchor.height < 0) {
+    return Status::fail("chain.bad_anchor",
+                        "anchor header height does not match the manifest");
+  }
+  if (anchor.proposer_pub != expected_proposer(anchor.height)) {
+    return Status::fail("chain.bad_anchor", "anchor proposer not in schedule");
+  }
+  if (!crypto::verify(anchor.proposer_pub, anchor.signing_bytes(),
+                      anchor.proposer_sig)) {
+    return Status::fail("chain.bad_anchor", "anchor header signature invalid");
+  }
+  if (anchor.state_root != manifest.commitment.root) {
+    return Status::fail("chain.bad_anchor",
+                        "anchor state_root does not match the manifest");
+  }
+  auto state = assemble_snapshot(manifest, chunks);
+  if (!state.ok()) {
+    return Status::fail(state.error().code, state.error().message);
+  }
+  state_ = std::move(state).value();
+  base_height_ = anchor.height + 1;
+  base_hash_ = anchor.hash();
+  retained_.clear();
+  return {};
+}
+
+Bytes Blockchain::export_blocks() const { return export_blocks_from(base_height_); }
+
+Bytes Blockchain::export_blocks_from(std::int64_t from_height) const {
+  const std::int64_t start = std::clamp(from_height, base_height_, height());
+  const auto begin = static_cast<std::size_t>(start - base_height_);
   ByteWriter w;
-  w.u32(static_cast<std::uint32_t>(blocks_.size()));
-  for (const auto& block : blocks_) w.bytes(block.encode());
+  w.u32(static_cast<std::uint32_t>(blocks_.size() - begin));
+  for (std::size_t i = begin; i < blocks_.size(); ++i) {
+    w.bytes(blocks_[i].encode());
+  }
   return w.take();
 }
 
@@ -188,9 +316,9 @@ Result<std::size_t> Blockchain::import_blocks(const Bytes& data) {
 bool Blockchain::verify_tx_inclusion(std::int64_t block_height,
                                      const crypto::Digest& tx_digest,
                                      const crypto::MerkleProof& proof) const {
-  if (block_height < 0 || block_height >= height()) return false;
-  const auto& header = blocks_[static_cast<std::size_t>(block_height)].header;
-  return crypto::MerkleTree::verify(tx_digest, proof, header.tx_root);
+  const Block* block = block_at(block_height);
+  if (block == nullptr) return false;
+  return crypto::MerkleTree::verify(tx_digest, proof, block->header.tx_root);
 }
 
 }  // namespace mv::ledger

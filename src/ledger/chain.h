@@ -6,12 +6,14 @@
 // accepted everywhere.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <vector>
 
 #include "ledger/block.h"
 #include "ledger/light_client.h"
 #include "ledger/parallel.h"
+#include "ledger/snapshot.h"
 #include "ledger/state.h"
 
 namespace mv::ledger {
@@ -22,6 +24,12 @@ struct ChainConfig {
   /// Parallel block application (ledger/parallel.h). threads == 1 keeps the
   /// historical single-overlay path; > 1 spawns a per-chain worker pool.
   ValidationConfig validation;
+  /// How many recent heights behind the tip stay reconstructible (a ring of
+  /// per-block undo deltas + commitments): prove_account and export_snapshot
+  /// serve heights in [tip - state_retention, tip]. Capture costs O(touched)
+  /// per committed block; 0 disables retention (tip-only, the historical
+  /// behaviour).
+  std::size_t state_retention = 8;
 };
 
 class Blockchain {
@@ -33,11 +41,19 @@ class Blockchain {
   [[nodiscard]] const ChainConfig& config() const { return config_; }
   [[nodiscard]] const ContractRegistry& contracts() const { return *contracts_; }
 
-  /// Number of committed blocks; the next block has this height.
+  /// Next block height. Equals the number of committed blocks on a chain
+  /// grown from genesis; on a snapshot-initialized chain it starts at
+  /// base_height() (heights below it are not held).
   [[nodiscard]] std::int64_t height() const {
-    return static_cast<std::int64_t>(blocks_.size());
+    return base_height_ + static_cast<std::int64_t>(blocks_.size());
   }
+  /// First block height this chain holds (> 0 after init_from_snapshot).
+  [[nodiscard]] std::int64_t base_height() const { return base_height_; }
+  /// Blocks held, ascending from base_height(). Prefer block_at() — it
+  /// resolves by height regardless of the base offset.
   [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  /// Block at `height`, or nullptr when out of range / below base_height().
+  [[nodiscard]] const Block* block_at(std::int64_t height) const;
   [[nodiscard]] crypto::Digest tip_hash() const;
 
   /// Expected proposer public key for a given height (round-robin PoA).
@@ -65,13 +81,34 @@ class Blockchain {
                                          const crypto::MerkleProof& proof) const;
 
   /// Account proof (balance/nonce leaf + Merkle path to the accounts root)
-  /// anchored at block `block_height`'s state commitment. Only the tip
-  /// (height() - 1) can be served: historical account tries are not
-  /// materialized ("chain.stale_height"; the ROADMAP snapshot-sync item
-  /// lifts this). The result verifies against the tip header's state_root
-  /// with verify_account_proof / LightClient::verify_account.
+  /// anchored at block `block_height`'s state commitment. Serves the tip and
+  /// every height the retention ring covers (config.state_retention heights
+  /// behind it); "chain.stale_height" fires only beyond that window. The
+  /// result verifies against that header's state_root with
+  /// verify_account_proof / LightClient::verify_account.
   [[nodiscard]] Result<AccountProof> prove_account(crypto::Address addr,
                                                    std::int64_t block_height) const;
+
+  /// Post-state commitment of block `height`, when the retention ring still
+  /// covers it (the tip always is). nullptr otherwise.
+  [[nodiscard]] const StateCommitment* commitment_at(std::int64_t height) const;
+
+  /// Build a verified snapshot of the state as of block `height` (the tip or
+  /// any height the retention ring covers; "chain.stale_height" beyond).
+  /// O(state) — historical heights additionally roll back through the ring.
+  [[nodiscard]] Result<Snapshot> export_snapshot(
+      std::int64_t height, std::size_t chunk_size = kSnapshotChunkSize) const;
+
+  /// Install a verified snapshot into a fresh chain (no committed blocks).
+  /// `anchor` must be the committed header at manifest.height: it is
+  /// re-checked here (proposer schedule + signature + state_root binding) on
+  /// top of whatever header-chain verification the caller already did, the
+  /// chunks are verified and decoded (assemble_snapshot), and the chain
+  /// resumes at base_height() == anchor.height + 1 with anchor.hash() as the
+  /// parent for the next block. Catch-up then replays only the suffix.
+  [[nodiscard]] Status init_from_snapshot(const SnapshotManifest& manifest,
+                                          const std::vector<Bytes>& chunks,
+                                          const BlockHeader& anchor);
 
   /// Hash-chain anchor for block 0 (derived from the genesis state root);
   /// light clients seed their header chain with this.
@@ -84,6 +121,10 @@ class Blockchain {
 
   /// Serialize every committed block (bootstrap/archive format).
   [[nodiscard]] Bytes export_blocks() const;
+  /// Serialize the suffix starting at `from_height` (snapshot catch-up
+  /// serves this instead of the full archive). Heights below base_height()
+  /// are not held; the stream starts at max(from_height, base_height()).
+  [[nodiscard]] Bytes export_blocks_from(std::int64_t from_height) const;
   /// Replay an exported stream from this chain's current height, fully
   /// re-validating each block. Stops at the first invalid block (the valid
   /// prefix stays committed). Returns the number of blocks appended.
@@ -94,11 +135,29 @@ class Blockchain {
   /// the current state). On success the overlay holds the block's delta.
   [[nodiscard]] Status check(const Block& block, LedgerStateOverlay& scratch) const;
 
+  /// One retention-ring slot: how to revert the block at its height, plus
+  /// the post-block commitment (reconstruction sanity anchor).
+  struct Retained {
+    StateUndo undo;
+    StateCommitment commitment;
+  };
+  /// True when the retention ring covers block `height`'s post-state.
+  [[nodiscard]] bool retains(std::int64_t height) const;
+  /// Reconstruct the post-state of block `height` by rolling the tip state
+  /// back through the ring (O(state) copy + O(touched) per rolled-back
+  /// block). `height` must be retained and strictly below the tip.
+  [[nodiscard]] Result<LedgerState> state_at(std::int64_t height) const;
+
   ChainConfig config_;
   std::shared_ptr<const ContractRegistry> contracts_;
   LedgerState state_;
   crypto::Digest genesis_hash_;
   std::vector<Block> blocks_;
+  std::int64_t base_height_ = 0;  ///< height of blocks_[0] (snapshot offset)
+  crypto::Digest base_hash_;      ///< parent hash when blocks_ is empty
+  /// Undo ring, oldest first; back() reverts the tip block. Capped at
+  /// config.state_retention.
+  std::deque<Retained> retained_;
   std::shared_ptr<ThreadPool> pool_;  ///< null when validation.threads <= 1
   mutable ValidationStats vstats_;
 };

@@ -71,10 +71,18 @@ ValidatorCommittee::ValidatorCommittee(
   }
   validators_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
+    // One verified-signature memo per replica, shared between its mempool
+    // and its chain: a tx verified at admission is vouched for at assembly
+    // and commit (crypto/digest_lru.h).
+    auto sig_cache = std::make_shared<crypto::DigestLruSet>();
+    ChainConfig chain_config = config;
+    chain_config.validation.sig_cache = sig_cache;
+    MempoolConfig mempool_config;
+    mempool_config.sig_cache = std::move(sig_cache);
     validators_.push_back(Validator{
         std::move(wallets[i]),
-        Blockchain(config, contracts, genesis),
-        Mempool{},
+        Blockchain(std::move(chain_config), contracts, genesis),
+        Mempool{mempool_config},
         NodeId::invalid(),
         rng.fork(),
         std::nullopt,
@@ -180,10 +188,9 @@ void ValidatorCommittee::handle_propose(Validator& v, const net::Message& msg) {
 
 void ValidatorCommittee::serve_blocks(Validator& v, NodeId to,
                                       std::int64_t from_height) {
-  for (std::int64_t h = std::max<std::int64_t>(0, from_height);
+  for (std::int64_t h = std::max(v.chain.base_height(), from_height);
        h < v.chain.height(); ++h) {
-    network_.send(v.node, to, "sync_resp",
-                  v.chain.blocks()[static_cast<std::size_t>(h)].encode());
+    network_.send(v.node, to, "sync_resp", v.chain.block_at(h)->encode());
   }
 }
 

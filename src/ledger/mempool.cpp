@@ -10,6 +10,7 @@ std::uint64_t dedupe_key(const Transaction& tx) {
 }
 }  // namespace
 
+
 void Mempool::index_entry(const Entry& entry, const Locator& loc) {
   by_digest_.emplace(entry.dedupe, loc);
   by_fee_.emplace(std::pair{entry.tx.fee, entry.seq}, loc);
@@ -17,10 +18,19 @@ void Mempool::index_entry(const Entry& entry, const Locator& loc) {
 }
 
 Status Mempool::add(Transaction tx, const LedgerState& state, Tick now) {
-  if (!tx.signature_valid()) {
+  // One digest serves both the dedupe key and the sig-cache key. A cache hit
+  // skips verification (the digest covers the signature bytes); a verified
+  // miss is remembered so block validation will not re-verify this tx.
+  const crypto::Digest digest = tx.digest();
+  if (config_.sig_cache != nullptr &&
+      config_.sig_cache->contains_and_touch(digest)) {
+    // vouched for
+  } else if (!tx.signature_valid()) {
     return Status::fail("mempool.bad_signature", "rejected at admission");
+  } else if (config_.sig_cache != nullptr) {
+    config_.sig_cache->insert(digest);
   }
-  const std::uint64_t dk = dedupe_key(tx);
+  const std::uint64_t dk = crypto::digest_prefix64(digest);
   if (by_digest_.contains(dk)) {
     return Status::fail("mempool.duplicate", "transaction already pending");
   }

@@ -22,9 +22,11 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "crypto/digest_lru.h"
 #include "ledger/state.h"
 #include "ledger/transaction.h"
 
@@ -37,6 +39,11 @@ struct MempoolConfig {
   /// Pool size cap; admission beyond it evicts the lowest-fee entry (or
   /// rejects the newcomer when it does not strictly out-pay it).
   std::size_t max_txs = 65536;
+  /// Verified-signature memo shared with the replica's chain
+  /// (ValidationConfig::sig_cache): a tx verified at admission is not
+  /// re-verified when the block carrying it is assembled or validated.
+  /// null = verify at every admission.
+  std::shared_ptr<crypto::DigestLruSet> sig_cache;
 };
 
 /// Monotonic counters for pool churn (diagnostics / tests).

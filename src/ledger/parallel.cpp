@@ -221,6 +221,42 @@ BlockApplyOutcome serial_apply(LedgerStateOverlay& scratch,
   return out;
 }
 
+/// Resolve every transaction's signature through the verified-digest cache:
+/// hits are vouched for, misses are verified (fanned out on `pool` when one
+/// is available) and the valid ones remembered. Cache lookups and inserts
+/// stay on the calling thread — only the pure verifications run on the pool.
+/// An invalid signature leaves its sig_ok slot 0; apply() then re-verifies
+/// and produces the authoritative error.
+void consult_sig_cache(crypto::DigestLruSet& cache,
+                       const std::vector<Transaction>& txs,
+                       std::vector<unsigned char>& sig_ok, ThreadPool* pool,
+                       std::size_t& hits, std::size_t& misses) {
+  std::vector<crypto::Digest> digests(txs.size());
+  std::vector<std::size_t> miss_idx;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    digests[i] = txs[i].digest();
+    if (cache.contains_and_touch(digests[i])) {
+      sig_ok[i] = 1;
+      ++hits;
+    } else {
+      miss_idx.push_back(i);
+    }
+  }
+  misses = miss_idx.size();
+  const auto verify = [&](std::size_t j) {
+    const std::size_t i = miss_idx[j];
+    sig_ok[i] = txs[i].signature_valid() ? 1 : 0;
+  };
+  if (pool != nullptr) {
+    pool->parallel(miss_idx.size(), verify);
+  } else {
+    for (std::size_t j = 0; j < miss_idx.size(); ++j) verify(j);
+  }
+  for (const std::size_t i : miss_idx) {
+    if (sig_ok[i] != 0) cache.insert(digests[i]);
+  }
+}
+
 }  // namespace
 
 std::vector<ConflictKey> conflict_keys(const Transaction& tx) {
@@ -274,20 +310,40 @@ BlockApplyOutcome apply_block(LedgerStateOverlay& scratch,
                               ApplyMode mode) {
   if (pool == nullptr || config.threads <= 1 ||
       txs.size() < std::max<std::size_t>(config.min_parallel_txs, 2)) {
-    return serial_apply(scratch, txs, contracts, height, mode, nullptr);
+    if (config.sig_cache == nullptr) {
+      return serial_apply(scratch, txs, contracts, height, mode, nullptr);
+    }
+    std::vector<unsigned char> sig_ok(txs.size(), 0);
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    consult_sig_cache(*config.sig_cache, txs, sig_ok, pool, hits, misses);
+    auto out = serial_apply(scratch, txs, contracts, height, mode, &sig_ok);
+    out.sig_hits = hits;
+    out.sig_misses = misses;
+    return out;
   }
 
   // Signature verification is pure and per-tx: always worth fanning out,
-  // and the results stay valid for the serial fallback.
+  // and the results stay valid for the serial fallback. The cache (when
+  // configured) narrows the fan-out to the unverified remainder.
   std::vector<unsigned char> sig_ok(txs.size(), 0);
-  pool->parallel(txs.size(), [&](std::size_t i) {
-    sig_ok[i] = txs[i].signature_valid() ? 1 : 0;
-  });
+  std::size_t sig_hits = 0;
+  std::size_t sig_misses = 0;
+  if (config.sig_cache != nullptr) {
+    consult_sig_cache(*config.sig_cache, txs, sig_ok, pool, sig_hits,
+                      sig_misses);
+  } else {
+    pool->parallel(txs.size(), [&](std::size_t i) {
+      sig_ok[i] = txs[i].signature_valid() ? 1 : 0;
+    });
+  }
 
   const auto groups = partition_conflicts(txs);
   if (groups.size() <= 1) {
     auto out = serial_apply(scratch, txs, contracts, height, mode, &sig_ok);
     out.groups = groups.size();
+    out.sig_hits = sig_hits;
+    out.sig_misses = sig_misses;
     return out;
   }
 
@@ -345,6 +401,8 @@ BlockApplyOutcome apply_block(LedgerStateOverlay& scratch,
     auto out = serial_apply(scratch, txs, contracts, height, mode, &sig_ok);
     out.groups = groups.size();
     out.serial_fallback = true;
+    out.sig_hits = sig_hits;
+    out.sig_misses = sig_misses;
     return out;
   }
 
@@ -354,6 +412,8 @@ BlockApplyOutcome apply_block(LedgerStateOverlay& scratch,
   BlockApplyOutcome out;
   out.groups = groups.size();
   out.parallel = true;
+  out.sig_hits = sig_hits;
+  out.sig_misses = sig_misses;
   std::vector<std::pair<std::size_t, StoredAuditRecord>> audits;
   for (auto& run : runs) {
     run.view.overlay().commit();

@@ -19,9 +19,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "crypto/digest_lru.h"
 #include "ledger/state.h"
 #include "ledger/transaction.h"
 
@@ -36,6 +38,13 @@ struct ValidationConfig {
   /// Results are independent of it by construction; the determinism tests
   /// sweep it to prove that. 0 = canonical order.
   std::uint64_t schedule_seed = 0;
+  /// Verified-signature memo (crypto/digest_lru.h). When set, apply_block
+  /// consults it before verifying each transaction's signature and remembers
+  /// fresh verifications, so a tx checked at mempool admission is not
+  /// re-verified at assembly and again at commit. Share one instance per
+  /// replica (with its mempool); tampering changes the digest, so a hit is as
+  /// strong as re-verifying. null = verify every time.
+  std::shared_ptr<crypto::DigestLruSet> sig_cache;
 };
 
 /// One element of a transaction's static conflict footprint.
@@ -79,6 +88,10 @@ struct BlockApplyOutcome {
   std::size_t groups = 1;        ///< conflict groups in the partition
   bool parallel = false;         ///< multi-group path ran to completion
   bool serial_fallback = false;  ///< group run discarded, block re-applied serially
+  // Both zero when no sig_cache is configured (cacheless verification is
+  // not counted).
+  std::size_t sig_hits = 0;    ///< signatures vouched for by the sig cache
+  std::size_t sig_misses = 0;  ///< cache misses verified afresh
 };
 
 /// Monotonic counters over apply_block() outcomes (diagnostics / tests).
@@ -87,12 +100,16 @@ struct ValidationStats {
   std::uint64_t parallel_applies = 0;  ///< completed via the parallel path
   std::uint64_t serial_fallbacks = 0;  ///< conflicts/failures forcing re-runs
   std::uint64_t conflict_groups = 0;   ///< summed partition sizes
+  std::uint64_t sig_cache_hits = 0;    ///< signature checks skipped via cache
+  std::uint64_t sig_cache_misses = 0;  ///< signature checks actually performed
 
   void record(const BlockApplyOutcome& outcome) {
     ++applies;
     if (outcome.parallel) ++parallel_applies;
     if (outcome.serial_fallback) ++serial_fallbacks;
     conflict_groups += outcome.groups;
+    sig_cache_hits += outcome.sig_hits;
+    sig_cache_misses += outcome.sig_misses;
   }
 };
 

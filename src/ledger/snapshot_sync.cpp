@@ -1,0 +1,97 @@
+#include "ledger/snapshot_sync.h"
+
+namespace mv::ledger {
+
+net::SnapshotServer::Source make_snapshot_source(const Blockchain& chain,
+                                                 std::size_t chunk_size) {
+  net::SnapshotServer::Source source;
+  source.manifest = [&chain, chunk_size](std::int64_t height) -> Bytes {
+    auto snap = chain.export_snapshot(height, chunk_size);
+    if (!snap.ok()) return {};
+    return snap.value().manifest.encode();
+  };
+  source.chunk = [&chain, chunk_size](std::int64_t height,
+                                      std::uint32_t index) -> Bytes {
+    // Re-exporting per chunk keeps the server stateless; a serving replica
+    // that cares can wrap this in a cache keyed by height.
+    auto snap = chain.export_snapshot(height, chunk_size);
+    if (!snap.ok() || index >= snap.value().chunks.size()) return {};
+    return std::move(snap.value().chunks[index]);
+  };
+  source.blocks = [&chain](std::int64_t from_height) -> Bytes {
+    return chain.export_blocks_from(from_height);
+  };
+  return source;
+}
+
+SnapshotCatchup::SnapshotCatchup(net::Network& network, Blockchain& chain,
+                                 const LightClient& light_client,
+                                 net::SnapshotTransferConfig config)
+    : chain_(chain),
+      light_client_(light_client),
+      client_(network, config, make_hooks()) {}
+
+Status SnapshotCatchup::start(NodeId peer, std::int64_t height) {
+  if (light_client_.header_at(height) == nullptr) {
+    return Status::fail("snapshot.unknown_header",
+                        "light client has no verified header at this height");
+  }
+  manifest_.reset();
+  return client_.start(peer, height);
+}
+
+net::SnapshotClient::Hooks SnapshotCatchup::make_hooks() {
+  net::SnapshotClient::Hooks hooks;
+  hooks.accept_manifest =
+      [this](std::int64_t height,
+             const Bytes& bytes) -> Result<std::vector<crypto::Digest>> {
+    auto manifest = SnapshotManifest::decode(bytes);
+    if (!manifest.ok()) return std::move(manifest).error();
+    if (manifest.value().height != height) {
+      return make_error("snapshot.bad_manifest",
+                        "manifest height does not match the request");
+    }
+    const BlockHeader* header = light_client_.header_at(height);
+    if (header == nullptr) {
+      return make_error("snapshot.unknown_header",
+                        "light client lost the anchoring header");
+    }
+    // The one binding that makes every later check meaningful: the served
+    // commitment must recombine to the verified header's state root.
+    if (manifest.value().commitment.root != header->state_root) {
+      return make_error("snapshot.untrusted_manifest",
+                        "manifest commitment does not match the verified "
+                        "header's state root");
+    }
+    manifest_ = std::move(manifest).value();
+    return manifest_->chunk_digests;
+  };
+  hooks.chunk_digest = [](std::uint32_t index,
+                          const Bytes& chunk) -> crypto::Digest {
+    return snapshot_chunk_digest(index, chunk);
+  };
+  hooks.install =
+      [this](std::vector<Bytes> chunks) -> Result<std::int64_t> {
+    if (!manifest_.has_value()) {
+      return make_error("snapshot.no_manifest", "install without a manifest");
+    }
+    const BlockHeader* anchor = light_client_.header_at(manifest_->height);
+    if (anchor == nullptr) {
+      return make_error("snapshot.unknown_header",
+                        "light client lost the anchoring header");
+    }
+    if (Status s = chain_.init_from_snapshot(*manifest_, chunks, *anchor);
+        !s.ok()) {
+      return std::move(s).error();
+    }
+    return chain_.height();
+  };
+  hooks.replay = [this](const Bytes& blocks) -> Status {
+    auto applied = chain_.import_blocks(blocks);
+    if (!applied.ok()) return applied.error();
+    return {};
+  };
+  return hooks;
+}
+
+}  // namespace mv::ledger

@@ -1,0 +1,72 @@
+// Ledger glue for chunked snapshot transfer (net/snapshot_transfer.h).
+//
+// The transport layer is payload-agnostic; this module supplies the ledger
+// semantics on both ends:
+//
+//   server — make_snapshot_source() adapts a Blockchain into the callbacks a
+//            net::SnapshotServer serves from: manifests and chunks for any
+//            height the retention ring covers, plus the block suffix.
+//   client — SnapshotCatchup drives a net::SnapshotClient whose hooks bind
+//            every served byte to a LightClient-verified header: the manifest
+//            commitment root must equal header.state_root, each chunk must
+//            match the manifest's digest, and the installed state must
+//            reproduce the commitment byte-identically
+//            (Blockchain::init_from_snapshot). The suffix is then replayed
+//            through full block validation (import_blocks).
+//
+// Trust chain details in DESIGN.md §9.
+#pragma once
+
+#include "ledger/chain.h"
+#include "ledger/light_client.h"
+#include "net/snapshot_transfer.h"
+
+namespace mv::ledger {
+
+/// Serve snapshots and block suffixes from `chain`. The reference must
+/// outlive the returned Source. Heights outside the retention window answer
+/// with an empty payload (the transport's "unavailable" refusal).
+[[nodiscard]] net::SnapshotServer::Source make_snapshot_source(
+    const Blockchain& chain,
+    std::size_t chunk_size = kSnapshotChunkSize);
+
+/// A fresh replica's catch-up driver: fetch manifest + chunks for a header
+/// the light client has verified, install via Blockchain::init_from_snapshot,
+/// then replay only the block suffix. All references must outlive this.
+class SnapshotCatchup {
+ public:
+  SnapshotCatchup(net::Network& network, Blockchain& chain,
+                  const LightClient& light_client,
+                  net::SnapshotTransferConfig config = {});
+
+  /// Handlers run at delivery time; call once the replica's NodeId is known.
+  void bind(NodeId self) { client_.bind(self); }
+
+  /// Begin syncing the snapshot at `height` from `peer`. The light client
+  /// must already hold the header at `height` (it anchors every check).
+  [[nodiscard]] Status start(NodeId peer, std::int64_t height);
+
+  /// Dispatch one delivered message; true when the topic was ours.
+  bool handle(const net::Message& msg) { return client_.handle(msg); }
+  /// Timeout scan; call once per simulation step.
+  void tick() { client_.tick(); }
+
+  [[nodiscard]] bool done() const { return client_.done(); }
+  [[nodiscard]] bool failed() const { return client_.failed(); }
+  [[nodiscard]] const std::optional<Error>& failure() const {
+    return client_.failure();
+  }
+  [[nodiscard]] std::size_t chunks_received() const {
+    return client_.chunks_received();
+  }
+
+ private:
+  [[nodiscard]] net::SnapshotClient::Hooks make_hooks();
+
+  Blockchain& chain_;
+  const LightClient& light_client_;
+  std::optional<SnapshotManifest> manifest_;  ///< accepted for the active sync
+  net::SnapshotClient client_;
+};
+
+}  // namespace mv::ledger

@@ -245,6 +245,43 @@ void LedgerState::store_erase(const std::string& contract,
   }
 }
 
+void LedgerState::materialize_store(const std::string& contract) {
+  contracts_[contract];
+  store_digests_[contract];
+}
+
+void LedgerState::apply_undo(const StateUndo& undo) {
+  for (const auto& [contract, su] : undo.stores) {
+    for (const auto& [key, prior] : su.entries) {
+      if (prior.has_value()) {
+        store_put(contract, key, *prior);
+      } else {
+        store_erase(contract, key);
+      }
+    }
+    if (!su.existed) {
+      // The block materialized this store; un-create it. All its entries
+      // were prior-absent, so the erases above already emptied it.
+      contracts_.erase(contract);
+      store_digests_.erase(contract);
+    }
+  }
+  for (const auto& [addr, prior] : undo.balances) {
+    if (prior.has_value()) {
+      set_balance(addr, *prior);
+    } else {
+      balances_.erase(addr);
+      refresh_account_leaf(addr);
+    }
+  }
+  for (const auto& [addr, prior] : undo.nonces) set_nonce(addr, prior);
+  // The audit chain hash cannot be un-chained; restore the captured digest
+  // and truncate the log back to its pre-block length.
+  audit_log_.resize(undo.audit_count);
+  audit_digest_ = undo.audit_digest;
+  burned_fees_ -= undo.burned_delta;
+}
+
 std::vector<std::string> LedgerState::store_keys_with_prefix(
     const std::string& contract, const std::string& prefix) const {
   std::vector<std::string> out;
@@ -505,6 +542,33 @@ void LedgerStateOverlay::commit() {
   audit_appended_.clear();
   stores_.clear();
   burned_delta_ = 0;
+}
+
+StateUndo LedgerStateOverlay::capture_undo(const LedgerState& base) const {
+  StateUndo undo;
+  for (const auto& [addr, value] : balances_) {
+    (void)value;
+    undo.balances.emplace(addr, base.find_balance(addr));
+  }
+  for (const auto& [addr, value] : nonces_) {
+    (void)value;
+    undo.nonces.emplace(addr, base.nonce(addr));
+  }
+  for (const auto& [contract, delta] : stores_) {
+    StateUndo::StoreUndo su;
+    su.existed = base.find_store(contract) != nullptr;
+    for (const auto& [key, value] : delta) {
+      (void)value;
+      const Bytes* prior = base.store_get(contract, key);
+      su.entries.emplace(key, prior != nullptr ? std::optional<Bytes>(*prior)
+                                               : std::nullopt);
+    }
+    undo.stores.emplace(contract, std::move(su));
+  }
+  undo.audit_count = base.audit_log().size();
+  undo.audit_digest = base.audit_digest();
+  undo.burned_delta = burned_delta_;
+  return undo;
 }
 
 std::size_t LedgerStateOverlay::touched() const {

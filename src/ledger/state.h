@@ -74,6 +74,29 @@ struct StateCommitment {
                                                  std::uint64_t balance,
                                                  std::uint64_t nonce);
 
+/// Inverse of one committed block's delta, captured *before* the commit
+/// (LedgerStateOverlay::capture_undo). Blockchain keeps a bounded ring of
+/// these so recent historical states can be reconstructed for snapshot
+/// export and stale-height account proofs — O(touched) to capture, O(sum of
+/// touched) to roll back, instead of a full per-height state copy.
+struct StateUndo {
+  /// Prior balance entries for every balance the block wrote
+  /// (nullopt = the account had no balance entry).
+  std::map<crypto::Address, std::optional<std::uint64_t>> balances;
+  /// Prior nonces for every nonce the block wrote (0 and "absent" are
+  /// commitment-equivalent, so a plain value suffices).
+  std::map<crypto::Address, std::uint64_t> nonces;
+  struct StoreUndo {
+    bool existed = true;  ///< store was materialized before the block
+    /// Prior values for every key the block wrote (nullopt = absent).
+    std::map<std::string, std::optional<Bytes>> entries;
+  };
+  std::map<std::string, StoreUndo> stores;
+  std::size_t audit_count = 0;        ///< audit log length before the block
+  crypto::Digest audit_digest{};      ///< running chain hash before the block
+  std::uint64_t burned_delta = 0;     ///< fees the block burned
+};
+
 /// A view delta flattened for commitment computation: the overlay stack folds
 /// itself into one of these and hands it to the materialized base. Internal
 /// plumbing for commitment_with(); use LedgerView::commitment() instead.
@@ -177,6 +200,10 @@ class LedgerState final : public LedgerView {
   void store_put(const std::string& contract, const std::string& key,
                  Bytes value) override;
   void store_erase(const std::string& contract, const std::string& key) override;
+  /// Create `contract`'s (empty) store if missing, mirroring store_erase's
+  /// side effect. The snapshot decoder uses this to rebuild empty stores,
+  /// which the stores commitment covers (contract count + name).
+  void materialize_store(const std::string& contract);
   [[nodiscard]] std::vector<std::string> store_keys_with_prefix(
       const std::string& contract, const std::string& prefix) const override;
 
@@ -194,6 +221,24 @@ class LedgerState final : public LedgerView {
   [[nodiscard]] std::uint64_t burned_fees() const override { return burned_fees_; }
   void add_burned_fees(std::uint64_t amount) override { burned_fees_ += amount; }
   [[nodiscard]] std::size_t account_count() const { return balances_.size(); }
+
+  // ---- raw section access (snapshot export / undo capture) ----
+  [[nodiscard]] const std::map<crypto::Address, std::uint64_t>& balances() const {
+    return balances_;
+  }
+  [[nodiscard]] const std::map<crypto::Address, std::uint64_t>& nonces() const {
+    return nonces_;
+  }
+  [[nodiscard]] const std::map<std::string, ContractStore>& stores() const {
+    return contracts_;
+  }
+  /// Running audit chain hash (the commitment's audit section, cached).
+  [[nodiscard]] const crypto::Digest& audit_digest() const { return audit_digest_; }
+
+  /// Roll back one committed block's delta (see StateUndo). The undo must
+  /// have been captured against exactly this state's pre-block version and
+  /// undos must be applied newest-first; anything else corrupts the state.
+  void apply_undo(const StateUndo& undo);
 
   /// Merkle inclusion proof for `a` against the current accounts_root (a
   /// non-membership proof when the account has no leaf). Pair with
@@ -278,6 +323,12 @@ class LedgerStateOverlay final : public LedgerView {
 
   /// Fold the delta into the (writable) base. O(touched entries).
   void commit();
+
+  /// Capture the inverse of this overlay's delta against `base`, which must
+  /// be the materialized state this overlay was constructed over. Call
+  /// *before* commit(); applying the result to the post-commit state
+  /// restores `base` exactly (LedgerState::apply_undo). O(touched).
+  [[nodiscard]] StateUndo capture_undo(const LedgerState& base) const;
 
   /// Number of accounts/keys recorded in the delta (diagnostics).
   [[nodiscard]] std::size_t touched() const;

@@ -55,6 +55,13 @@ struct NetworkStats {
   /// Relays withheld by a protocol's backpressure (e.g. Gossip's in-flight
   /// high-water mark) — never entered the queue, distinct from link `dropped`.
   std::uint64_t backpressure_dropped = 0;
+  // Snapshot-transfer protocol counters (net/snapshot_transfer.h).
+  std::uint64_t snapshot_chunks_served = 0;    ///< chunk responses sent
+  std::uint64_t snapshot_chunks_verified = 0;  ///< arrived with a good digest
+  std::uint64_t snapshot_chunks_rejected = 0;  ///< corrupted/refused on arrival
+  std::uint64_t snapshot_retries = 0;          ///< re-requests (timeout/reject)
+  std::uint64_t snapshot_syncs_completed = 0;
+  std::uint64_t snapshot_syncs_failed = 0;
 };
 
 class Network {
@@ -103,6 +110,14 @@ class Network {
   /// Record `n` protocol-level backpressure drops (see NetworkStats).
   void note_backpressure_drop(std::uint64_t n) {
     stats_.backpressure_dropped += n;
+  }
+  // Snapshot-transfer protocol events (net/snapshot_transfer.h).
+  void note_snapshot_chunk_served() { ++stats_.snapshot_chunks_served; }
+  void note_snapshot_chunk_verified() { ++stats_.snapshot_chunks_verified; }
+  void note_snapshot_chunk_rejected() { ++stats_.snapshot_chunks_rejected; }
+  void note_snapshot_retry() { ++stats_.snapshot_retries; }
+  void note_snapshot_sync(bool completed) {
+    ++(completed ? stats_.snapshot_syncs_completed : stats_.snapshot_syncs_failed);
   }
   [[nodiscard]] SimClock& clock() { return clock_; }
 

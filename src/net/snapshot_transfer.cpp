@@ -1,0 +1,331 @@
+#include "net/snapshot_transfer.h"
+
+#include <algorithm>
+
+namespace mv::net {
+
+namespace {
+
+// Responses echo the request's height (and chunk index) so a client can
+// discard replies from an abandoned or restarted sync. Malformed messages
+// are silently ignored: the transport retries, and the payloads that matter
+// are authenticated one layer up (manifest digests, chunk digests).
+
+Bytes encode_height_req(std::int64_t height) {
+  ByteWriter w;
+  w.i64(height);
+  return w.take();
+}
+
+std::optional<std::int64_t> decode_height_req(const Bytes& payload) {
+  ByteReader r(payload);
+  const auto height = r.i64();
+  if (!height.ok() || !r.exhausted()) return std::nullopt;
+  return height.value();
+}
+
+struct ChunkReq {
+  std::int64_t height = 0;
+  std::uint32_t index = 0;
+};
+
+Bytes encode_chunk_req(const ChunkReq& req) {
+  ByteWriter w;
+  w.i64(req.height);
+  w.u32(req.index);
+  return w.take();
+}
+
+std::optional<ChunkReq> decode_chunk_req(const Bytes& payload) {
+  ByteReader r(payload);
+  const auto height = r.i64();
+  const auto index = r.u32();
+  if (!height.ok() || !index.ok() || !r.exhausted()) return std::nullopt;
+  return ChunkReq{height.value(), index.value()};
+}
+
+struct Resp {
+  std::int64_t height = 0;
+  std::uint32_t index = 0;  ///< chunk responses only
+  bool ok = false;
+  Bytes data;
+};
+
+Bytes encode_resp(const Resp& resp, bool with_index) {
+  ByteWriter w;
+  w.i64(resp.height);
+  if (with_index) w.u32(resp.index);
+  w.u8(resp.ok ? 1 : 0);
+  w.bytes(resp.data);
+  return w.take();
+}
+
+std::optional<Resp> decode_resp(const Bytes& payload, bool with_index) {
+  ByteReader r(payload);
+  Resp resp;
+  const auto height = r.i64();
+  if (!height.ok()) return std::nullopt;
+  resp.height = height.value();
+  if (with_index) {
+    const auto index = r.u32();
+    if (!index.ok()) return std::nullopt;
+    resp.index = index.value();
+  }
+  const auto ok = r.u8();
+  if (!ok.ok() || ok.value() > 1) return std::nullopt;
+  resp.ok = ok.value() == 1;
+  auto data = r.bytes();
+  if (!data.ok() || !r.exhausted()) return std::nullopt;
+  resp.data = std::move(data).value();
+  return resp;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- SnapshotServer
+
+bool SnapshotServer::handle(const Message& msg) {
+  if (msg.topic == kSnapshotManifestReq) {
+    const auto height = decode_height_req(msg.payload());
+    if (!height.has_value()) return true;
+    Resp resp;
+    resp.height = *height;
+    resp.data = source_.manifest ? source_.manifest(*height) : Bytes{};
+    resp.ok = !resp.data.empty();
+    (void)network_.send(self_, msg.from, kSnapshotManifestResp,
+                        encode_resp(resp, /*with_index=*/false));
+    return true;
+  }
+  if (msg.topic == kSnapshotChunkReq) {
+    const auto req = decode_chunk_req(msg.payload());
+    if (!req.has_value()) return true;
+    Resp resp;
+    resp.height = req->height;
+    resp.index = req->index;
+    resp.data = source_.chunk ? source_.chunk(req->height, req->index) : Bytes{};
+    resp.ok = !resp.data.empty();
+    if (resp.ok && chunk_fault_) chunk_fault_(req->index, resp.data);
+    if (resp.ok) network_.note_snapshot_chunk_served();
+    (void)network_.send(self_, msg.from, kSnapshotChunkResp,
+                        encode_resp(resp, /*with_index=*/true));
+    return true;
+  }
+  if (msg.topic == kSnapshotBlocksReq) {
+    const auto from_height = decode_height_req(msg.payload());
+    if (!from_height.has_value()) return true;
+    Resp resp;
+    resp.height = *from_height;
+    resp.data = source_.blocks ? source_.blocks(*from_height) : Bytes{};
+    // An empty archive is still a valid answer (the peer is already caught
+    // up); only a missing callback refuses.
+    resp.ok = static_cast<bool>(source_.blocks);
+    (void)network_.send(self_, msg.from, kSnapshotBlocksResp,
+                        encode_resp(resp, /*with_index=*/false));
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------- SnapshotClient
+
+Status SnapshotClient::start(NodeId peer, std::int64_t height) {
+  if (phase_ != Phase::kIdle && phase_ != Phase::kDone &&
+      phase_ != Phase::kFailed) {
+    return Status::fail("snapshot.busy", "a sync is already running");
+  }
+  peer_ = peer;
+  height_ = height;
+  phase_ = Phase::kManifest;
+  failure_.reset();
+  expected_.clear();
+  chunks_.clear();
+  inflight_.clear();
+  have_.clear();
+  received_ = 0;
+  next_unrequested_ = 0;
+  single_ = Inflight{};
+  send_manifest_req();
+  return {};
+}
+
+void SnapshotClient::fail(std::string code, std::string message) {
+  phase_ = Phase::kFailed;
+  failure_ = Error{std::move(code), std::move(message)};
+  network_.note_snapshot_sync(false);
+}
+
+void SnapshotClient::send_manifest_req() {
+  single_.sent_at = network_.clock().now();
+  (void)network_.send(self_, peer_, kSnapshotManifestReq,
+                      encode_height_req(height_));
+}
+
+void SnapshotClient::send_blocks_req() {
+  single_.sent_at = network_.clock().now();
+  (void)network_.send(self_, peer_, kSnapshotBlocksReq,
+                      encode_height_req(replay_from_));
+}
+
+void SnapshotClient::request_chunk(std::uint32_t index) {
+  auto& slot = inflight_[index];
+  if (!slot.has_value()) slot = Inflight{};
+  slot->sent_at = network_.clock().now();
+  (void)network_.send(self_, peer_, kSnapshotChunkReq,
+                      encode_chunk_req(ChunkReq{height_, index}));
+}
+
+void SnapshotClient::retry(Inflight& slot, const std::function<void()>& resend) {
+  if (slot.retries >= config_.max_retries) {
+    fail("snapshot.timeout", "retry budget exhausted");
+    return;
+  }
+  ++slot.retries;
+  network_.note_snapshot_retry();
+  resend();
+}
+
+void SnapshotClient::fill_window() {
+  std::size_t in_flight = 0;
+  for (const auto& slot : inflight_) {
+    if (slot.has_value()) ++in_flight;
+  }
+  while (in_flight < config_.window && next_unrequested_ < have_.size()) {
+    const std::uint32_t index = next_unrequested_++;
+    if (have_[index]) continue;
+    request_chunk(index);
+    ++in_flight;
+  }
+}
+
+void SnapshotClient::on_manifest(const Message& msg) {
+  if (phase_ != Phase::kManifest || msg.from != peer_) return;
+  const auto resp = decode_resp(msg.payload(), /*with_index=*/false);
+  if (!resp.has_value() || resp->height != height_) return;
+  if (!resp->ok) {
+    fail("snapshot.unavailable", "peer does not serve this height");
+    return;
+  }
+  auto digests = hooks_.accept_manifest(height_, resp->data);
+  if (!digests.ok()) {
+    fail(digests.error().code, digests.error().message);
+    return;
+  }
+  expected_ = std::move(digests).value();
+  if (expected_.empty()) {
+    fail("snapshot.bad_manifest", "manifest commits to zero chunks");
+    return;
+  }
+  chunks_.assign(expected_.size(), Bytes{});
+  inflight_.assign(expected_.size(), std::nullopt);
+  have_.assign(expected_.size(), false);
+  received_ = 0;
+  next_unrequested_ = 0;
+  phase_ = Phase::kChunks;
+  fill_window();
+}
+
+void SnapshotClient::on_chunk(const Message& msg) {
+  if (phase_ != Phase::kChunks || msg.from != peer_) return;
+  const auto resp = decode_resp(msg.payload(), /*with_index=*/true);
+  if (!resp.has_value() || resp->height != height_ ||
+      resp->index >= have_.size()) {
+    return;
+  }
+  const std::uint32_t index = resp->index;
+  if (have_[index]) return;  // duplicate after a retried request
+  auto& slot = inflight_[index];
+  if (!slot.has_value()) return;  // stale reply from an abandoned sync
+  if (!resp->ok) {
+    fail("snapshot.unavailable", "peer refused chunk " + std::to_string(index));
+    return;
+  }
+  if (hooks_.chunk_digest(index, resp->data) != expected_[index]) {
+    // Corrupted in flight (or a lying peer): never installed, re-requested
+    // like a loss.
+    network_.note_snapshot_chunk_rejected();
+    retry(*slot, [this, index] { request_chunk(index); });
+    return;
+  }
+  network_.note_snapshot_chunk_verified();
+  chunks_[index] = std::move(resp->data);
+  have_[index] = true;
+  slot.reset();
+  ++received_;
+  if (received_ < have_.size()) {
+    fill_window();
+    return;
+  }
+  // All chunks verified: install, then fetch the block suffix.
+  auto replay_from = hooks_.install(std::move(chunks_));
+  chunks_.clear();
+  if (!replay_from.ok()) {
+    fail(replay_from.error().code, replay_from.error().message);
+    return;
+  }
+  replay_from_ = replay_from.value();
+  phase_ = Phase::kBlocks;
+  single_ = Inflight{};
+  send_blocks_req();
+}
+
+void SnapshotClient::on_blocks(const Message& msg) {
+  if (phase_ != Phase::kBlocks || msg.from != peer_) return;
+  const auto resp = decode_resp(msg.payload(), /*with_index=*/false);
+  if (!resp.has_value() || resp->height != replay_from_) return;
+  if (!resp->ok) {
+    fail("snapshot.unavailable", "peer does not serve the block suffix");
+    return;
+  }
+  if (Status s = hooks_.replay(resp->data); !s.ok()) {
+    fail(s.error().code, s.error().message);
+    return;
+  }
+  phase_ = Phase::kDone;
+  network_.note_snapshot_sync(true);
+}
+
+bool SnapshotClient::handle(const Message& msg) {
+  if (msg.topic == kSnapshotManifestResp) {
+    on_manifest(msg);
+    return true;
+  }
+  if (msg.topic == kSnapshotChunkResp) {
+    on_chunk(msg);
+    return true;
+  }
+  if (msg.topic == kSnapshotBlocksResp) {
+    on_blocks(msg);
+    return true;
+  }
+  return false;
+}
+
+void SnapshotClient::tick() {
+  const Tick now = network_.clock().now();
+  const auto timed_out = [&](const Inflight& slot) {
+    const Tick deadline =
+        slot.sent_at + config_.request_timeout +
+        static_cast<Tick>(slot.retries) * config_.backoff;
+    return now > deadline;
+  };
+  switch (phase_) {
+    case Phase::kManifest:
+      if (timed_out(single_)) retry(single_, [this] { send_manifest_req(); });
+      break;
+    case Phase::kChunks:
+      for (std::uint32_t i = 0; i < inflight_.size(); ++i) {
+        auto& slot = inflight_[i];
+        if (!slot.has_value() || !timed_out(*slot)) continue;
+        retry(*slot, [this, i] { request_chunk(i); });
+        if (phase_ == Phase::kFailed) return;
+      }
+      break;
+    case Phase::kBlocks:
+      if (timed_out(single_)) retry(single_, [this] { send_blocks_req(); });
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace mv::net

@@ -1,0 +1,157 @@
+// Chunked snapshot transfer over the simulated network.
+//
+// A fresh replica catches up by fetching a state snapshot instead of
+// replaying history (ledger/snapshot.h). This module is the transport:
+// request/response for a manifest, its chunks, and the block suffix, with
+// per-chunk verification on arrival, out-of-order assembly, and re-request
+// of dropped or corrupted chunks under capped retries with linear backoff.
+//
+// The transport is payload-agnostic: what a manifest means, how a chunk is
+// digested, and how the assembled bytes are installed are supplied as hooks
+// by the ledger-side glue (ledger/snapshot_sync.h), so this layer stays free
+// of ledger types. Lost requests and lost responses look identical to the
+// client — a quiet in-flight slot — and are retried the same way. Protocol
+// events are surfaced in NetworkStats (snapshot_* counters).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "net/network.h"
+
+namespace mv::net {
+
+// Wire topics. Requests carry the snapshot height so a server can serve
+// several retained snapshots; responses echo it so stale replies are ignored.
+inline constexpr const char* kSnapshotManifestReq = "snap.manifest_req";
+inline constexpr const char* kSnapshotManifestResp = "snap.manifest_resp";
+inline constexpr const char* kSnapshotChunkReq = "snap.chunk_req";
+inline constexpr const char* kSnapshotChunkResp = "snap.chunk_resp";
+inline constexpr const char* kSnapshotBlocksReq = "snap.blocks_req";
+inline constexpr const char* kSnapshotBlocksResp = "snap.blocks_resp";
+
+struct SnapshotTransferConfig {
+  std::size_t window = 8;      ///< chunk requests kept in flight
+  Tick request_timeout = 16;   ///< ticks before a quiet request is re-sent
+  std::size_t max_retries = 6; ///< per request; exhausted => sync fails
+  Tick backoff = 8;            ///< extra timeout per accumulated retry
+};
+
+/// Serves manifests, chunks, and block suffixes from local callbacks. An
+/// empty Bytes from a callback means "unavailable" and is answered with a
+/// refusal the client treats as fatal for that sync.
+class SnapshotServer {
+ public:
+  struct Source {
+    std::function<Bytes(std::int64_t height)> manifest;
+    std::function<Bytes(std::int64_t height, std::uint32_t index)> chunk;
+    std::function<Bytes(std::int64_t from_height)> blocks;
+  };
+
+  SnapshotServer(Network& network, Source source)
+      : network_(network), source_(std::move(source)) {}
+
+  void bind(NodeId self) { self_ = self; }
+
+  /// Dispatch one delivered message; true when the topic was ours.
+  bool handle(const Message& msg);
+
+  /// Test-only fault injection: mutate outgoing chunk bytes (after the
+  /// digest in the manifest was computed), simulating in-flight corruption.
+  void set_chunk_fault(std::function<void(std::uint32_t index, Bytes&)> fault) {
+    chunk_fault_ = std::move(fault);
+  }
+
+ private:
+  Network& network_;
+  Source source_;
+  NodeId self_;
+  std::function<void(std::uint32_t, Bytes&)> chunk_fault_;
+};
+
+/// Client state machine: manifest -> chunks (windowed, out-of-order) ->
+/// install -> block suffix -> done. Drive with handle() on every delivered
+/// message and tick() once per simulation step (timeout scanning).
+class SnapshotClient {
+ public:
+  enum class Phase { kIdle, kManifest, kChunks, kBlocks, kDone, kFailed };
+
+  struct Hooks {
+    /// Authenticate a served manifest (decode, bind to a trusted header) and
+    /// return the expected per-chunk digests. An error fails the sync.
+    std::function<Result<std::vector<crypto::Digest>>(std::int64_t height,
+                                                      const Bytes& manifest)>
+        accept_manifest;
+    /// Digest of one chunk as the manifest commits to it.
+    std::function<crypto::Digest(std::uint32_t index, const Bytes& chunk)>
+        chunk_digest;
+    /// All chunks verified: install the snapshot. Returns the height block
+    /// replay should resume from, or an error to fail the sync.
+    std::function<Result<std::int64_t>(std::vector<Bytes> chunks)> install;
+    /// Apply the served block suffix. ok() completes the sync.
+    std::function<Status(const Bytes& blocks)> replay;
+  };
+
+  SnapshotClient(Network& network, SnapshotTransferConfig config, Hooks hooks)
+      : network_(network), config_(config), hooks_(std::move(hooks)) {}
+
+  void bind(NodeId self) { self_ = self; }
+
+  /// Begin fetching the snapshot at `height` from `peer`. Fails if a sync is
+  /// already running.
+  [[nodiscard]] Status start(NodeId peer, std::int64_t height);
+
+  /// Dispatch one delivered message; true when the topic was ours.
+  bool handle(const Message& msg);
+
+  /// Scan in-flight requests for timeouts; re-send (with backoff) or fail
+  /// the sync once retries are exhausted. Call once per simulation step.
+  void tick();
+
+  [[nodiscard]] Phase phase() const { return phase_; }
+  [[nodiscard]] bool done() const { return phase_ == Phase::kDone; }
+  [[nodiscard]] bool failed() const { return phase_ == Phase::kFailed; }
+  /// Failure cause; meaningful when failed().
+  [[nodiscard]] const std::optional<Error>& failure() const { return failure_; }
+  [[nodiscard]] std::size_t chunks_received() const { return received_; }
+
+ private:
+  struct Inflight {
+    Tick sent_at = 0;
+    std::size_t retries = 0;
+  };
+
+  void fail(std::string code, std::string message);
+  void send_manifest_req();
+  void send_blocks_req();
+  void request_chunk(std::uint32_t index);
+  /// Re-request after a timeout or a rejected payload; fails the sync when
+  /// the retry budget is exhausted. `resend` performs the actual send.
+  void retry(Inflight& slot, const std::function<void()>& resend);
+  void fill_window();
+  void on_manifest(const Message& msg);
+  void on_chunk(const Message& msg);
+  void on_blocks(const Message& msg);
+
+  Network& network_;
+  SnapshotTransferConfig config_;
+  Hooks hooks_;
+  NodeId self_;
+  NodeId peer_;
+  std::int64_t height_ = -1;
+  Phase phase_ = Phase::kIdle;
+  std::optional<Error> failure_;
+
+  Inflight single_;  ///< the manifest / blocks request in flight
+  std::vector<crypto::Digest> expected_;
+  std::vector<Bytes> chunks_;
+  std::vector<std::optional<Inflight>> inflight_;  ///< per chunk, when requested
+  std::vector<bool> have_;
+  std::size_t received_ = 0;
+  std::uint32_t next_unrequested_ = 0;
+  std::int64_t replay_from_ = 0;
+};
+
+}  // namespace mv::net

@@ -1059,11 +1059,60 @@ TEST(AccountProof, LightClientEndToEnd) {
   ASSERT_TRUE(ast.ok());
   EXPECT_FALSE(ast.value().exists);
 
-  // Only the tip can be served; out-of-range heights are distinct errors.
-  EXPECT_EQ(chain.prove_account(f.bob.address(), 0).error().code,
-            "chain.stale_height");
+  // Historical heights inside the retention window are served too: the proof
+  // at tip-1 anchors against that older header and shows the pre-transfer
+  // balance.
+  auto old_ap = chain.prove_account(f.bob.address(), 0);
+  ASSERT_TRUE(old_ap.ok());
+  auto old_decoded = AccountProof::decode(old_ap.value().encode());
+  ASSERT_TRUE(old_decoded.ok());
+  auto old_st = lc.verify_account(old_decoded.value());
+  ASSERT_TRUE(old_st.ok());
+  EXPECT_EQ(old_st.value().balance, st.value().balance + 5 + 1);  // amount + fee
+  EXPECT_EQ(old_st.value().nonce, 0u);
+
+  // Future heights are a distinct error from stale ones.
   EXPECT_EQ(chain.prove_account(f.bob.address(), 7).error().code,
             "chain.bad_height");
+}
+
+TEST(AccountProof, RetentionWindowBoundsHistoricalProofs) {
+  ChainFixture f;
+  f.config.state_retention = 3;
+  Blockchain chain = f.make_chain();
+  LightClient lc(LightClientConfig{{f.v0.public_key(), f.v1.public_key()},
+                                   chain.genesis_hash()});
+  // Eight blocks, each moving 1 from alice to bob, so every height has a
+  // distinct bob balance to recognise historical states by.
+  const std::uint64_t bob0 = chain.state().balance(f.bob.address());
+  for (int h = 0; h < 8; ++h) {
+    const crypto::Wallet& proposer = (h % 2 == 0) ? f.v0 : f.v1;
+    ASSERT_TRUE(
+        chain
+            .append(chain.assemble(
+                proposer,
+                {make_transfer(f.alice, h, f.bob.address(), 1, 1, f.rng)},
+                h, f.rng))
+            .ok());
+    ASSERT_TRUE(lc.accept_header(chain.blocks().back().header).ok());
+  }
+  const std::int64_t tip = chain.height() - 1;
+
+  // Every height in [tip - retention, tip] verifies against its own header.
+  for (std::int64_t h = tip - 3; h <= tip; ++h) {
+    auto ap = chain.prove_account(f.bob.address(), h);
+    ASSERT_TRUE(ap.ok()) << "height " << h;
+    auto st = lc.verify_account(ap.value());
+    ASSERT_TRUE(st.ok()) << "height " << h;
+    EXPECT_EQ(st.value().balance, bob0 + static_cast<std::uint64_t>(h) + 1);
+  }
+  // One height older falls off the ring.
+  EXPECT_EQ(chain.prove_account(f.bob.address(), tip - 4).error().code,
+            "chain.stale_height");
+  // Proving a historical height leaves the live state untouched.
+  auto tip_ap = chain.prove_account(f.bob.address(), tip);
+  ASSERT_TRUE(tip_ap.ok());
+  EXPECT_EQ(tip_ap.value().commitment.root, chain.state().commitment().root);
 }
 
 TEST(AccountProof, TamperedProofsAreRejected) {
