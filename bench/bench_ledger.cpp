@@ -6,11 +6,14 @@
 // and inclusion proofs stay logarithmic. Swept over committee size and tx mix.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <string>
 
+#include "common/job_queue.h"
 #include "ledger/audit.h"
 #include "ledger/consensus.h"
 #include "ledger/snapshot.h"
@@ -500,6 +503,83 @@ void BM_BlockValidateSigCache(benchmark::State& state) {
                           static_cast<std::int64_t>(kTxs));
 }
 BENCHMARK(BM_BlockValidateSigCache)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Raw job-queue dispatch cost: a 256-task batch of near-empty jobs through
+// `range(0)` workers. 0 = inline mode (the floor: admission + telemetry,
+// no synchronization hop); higher counts price the queue/wake/complete
+// round-trip. Single-core container: threads > 1 measures contention, not
+// speedup.
+void BM_JobQueueDispatch(benchmark::State& state) {
+  JobQueueConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  JobQueue queue(config);
+  constexpr std::size_t kJobs = 256;
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    queue.run_batch(JobClass::kValidation, kJobs, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kJobs));
+}
+BENCHMARK(BM_JobQueueDispatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+// Mixed-priority overload: each iteration floods the three lowest classes
+// past their depth ceilings while a consensus batch pushes through, the
+// shape the admission shedding exists for. Emits the shed rate and
+// per-class p50/p99 queue-waits as counters (into BENCH_ledger.json):
+// consensus wait must stay near the front of the line while the flooded
+// classes absorb the shedding.
+void BM_JobQueueMixedOverload(benchmark::State& state) {
+  JobQueueConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  config.limit(JobClass::kGossipRelay).max_depth = 64;
+  config.limit(JobClass::kSnapshotServe).max_depth = 32;
+  config.limit(JobClass::kClientQuery).max_depth = 16;
+  JobQueue queue(config);
+  std::atomic<std::uint64_t> sink{0};
+  const auto spin = [&] {
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    for (int i = 0; i < 400; ++i) x = x * 0x2545f4914f6cdd1dULL + 1;
+    sink.fetch_add(x, std::memory_order_relaxed);
+  };
+  std::uint64_t attempts = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 48; ++i) {
+      queue.submit(JobClass::kGossipRelay, spin);
+      queue.submit(JobClass::kSnapshotServe, spin);
+      queue.submit(JobClass::kClientQuery, spin);
+      attempts += 3;
+    }
+    queue.run_batch(JobClass::kConsensus, 16, [&](std::size_t) { spin(); });
+    attempts += 16;
+  }
+  queue.drain();
+  const JobQueueStats stats = queue.stats();
+  state.counters["shed_rate"] =
+      attempts ? static_cast<double>(stats.shed()) / static_cast<double>(attempts)
+               : 0.0;
+  const auto wait_counters = [&](JobClass cls, const char* tag) {
+    const JobClassStats& cs = stats.of(cls);
+    state.counters[std::string(tag) + "_wait_p50_us"] = cs.wait_p50_us;
+    state.counters[std::string(tag) + "_wait_p99_us"] = cs.wait_p99_us;
+  };
+  wait_counters(JobClass::kConsensus, "consensus");
+  wait_counters(JobClass::kGossipRelay, "gossip");
+  wait_counters(JobClass::kClientQuery, "client");
+  state.SetItemsProcessed(static_cast<std::int64_t>(stats.completed()));
+}
+BENCHMARK(BM_JobQueueMixedOverload)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MerkleProof256(benchmark::State& state) {
   std::vector<crypto::Digest> leaves;

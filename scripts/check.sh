@@ -61,9 +61,23 @@ if echo "${snap_out}" | grep -qi 'skipped'; then
   exit 1
 fi
 
+echo "== gate: job queue battery (priority, shedding, determinism) must run =="
+# The queue is the scheduler under every subsystem; its suite must never be
+# silently renamed away or skipped.
+jq_out="$(ctest --test-dir build -R 'JobQueue' --no-tests=error --output-on-failure 2>&1)" || {
+  echo "${jq_out}"
+  echo "FAIL: job queue tests did not run or did not pass"
+  exit 1
+}
+if echo "${jq_out}" | grep -qi 'skipped'; then
+  echo "${jq_out}"
+  echo "FAIL: job queue tests were skipped"
+  exit 1
+fi
+
 echo "== bench: ledger microbenchmarks -> BENCH_ledger.json (median of 3) =="
 MV_BENCH_NO_TABLE=1 ./build/bench/bench_ledger \
-  --benchmark_filter='BM_BlockAssembleValidate|BM_ParallelBlockValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove|BM_AccountProofRoundTrip|BM_CatchUp|BM_SnapshotExportImport|BM_BlockValidateSigCache' \
+  --benchmark_filter='BM_BlockAssembleValidate|BM_ParallelBlockValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove|BM_AccountProofRoundTrip|BM_CatchUp|BM_SnapshotExportImport|BM_BlockValidateSigCache|BM_JobQueue' \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   --benchmark_out=BENCH_ledger.json \
@@ -79,14 +93,15 @@ ctest --test-dir build-asan --output-on-failure -j "${jobs}"
 echo "== configure + build: tsan =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMV_TSAN=ON
 cmake --build build-tsan -j "${jobs}" --target \
-  common_test crypto_test parallel_test ledger_test snapshot_test net_test scenario_test
+  common_test job_queue_test crypto_test parallel_test ledger_test snapshot_test net_test scenario_test
 
 echo "== tsan: suites touching the parallel validation engine =="
 # halt_on_error turns the first data race into a non-zero exit instead of a
-# warning that scrolls past; the suites below cover the thread pool, the
+# warning that scrolls past; the suites below cover the thread pool, the job
+# queue (priority/shedding under real workers, destructor-during-batch), the
 # parallel apply/merge paths, consensus replicas in parallel mode, the
-# end-to-end scenarios, and the proof/light-client suites touched this PR.
-for t in common_test crypto_test parallel_test ledger_test snapshot_test net_test scenario_test; do
+# queue-routed gossip/snapshot paths, and the end-to-end scenarios.
+for t in common_test job_queue_test crypto_test parallel_test ledger_test snapshot_test net_test scenario_test; do
   echo "-- tsan: ${t}"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/${t}"
 done

@@ -3,8 +3,15 @@
 // All simulation components share a SimClock owned by the scenario driver.
 // Ticks are dimensionless; each simulation declares its own tick meaning
 // (the safety sim uses 10ms ticks, the ledger uses 1 tick per round).
+//
+// The counter is atomic so JobQueue workers may read now() (e.g. inside
+// Network::send) while the simulation thread advances it; relaxed ordering
+// suffices because any cross-thread happens-before the callers need comes
+// from their own synchronization (the network lock, the queue's mutex).
+// Advancing remains the simulation thread's job alone.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace mv {
@@ -13,13 +20,13 @@ using Tick = std::int64_t;
 
 class SimClock {
  public:
-  [[nodiscard]] Tick now() const { return now_; }
+  [[nodiscard]] Tick now() const { return now_.load(std::memory_order_relaxed); }
 
-  void advance(Tick delta = 1) { now_ += delta; }
-  void reset() { now_ = 0; }
+  void advance(Tick delta = 1) { now_.fetch_add(delta, std::memory_order_relaxed); }
+  void reset() { now_.store(0, std::memory_order_relaxed); }
 
  private:
-  Tick now_ = 0;
+  std::atomic<Tick> now_ = 0;
 };
 
 }  // namespace mv

@@ -50,6 +50,9 @@ double Percentiles::percentile(double p) const {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
+  // A negative p would make `rank` negative, and casting that to size_t
+  // below is UB; out-of-range p means the extreme order statistic.
+  p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const auto hi = std::min(lo + 1, samples_.size() - 1);
@@ -67,16 +70,21 @@ void Histogram::add(double x) {
     ++dropped_;
     return;
   }
-  // Clamp in the double domain: casting a value outside the target range
-  // (possible for finite samples far beyond [lo, hi]) is also UB.
-  const double t = (x - lo_) / (hi_ - lo_);
-  std::size_t idx = 0;
-  if (t >= 1.0) {
-    idx = counts_.size() - 1;
-  } else if (t > 0.0) {
-    idx = std::min(static_cast<std::size_t>(t * static_cast<double>(counts_.size())),
-                   counts_.size() - 1);
+  // Out-of-range mass is accounted for, never clamped into an edge bin; the
+  // range checks run in the double domain, so no out-of-range value (however
+  // far beyond [lo, hi)) is ever cast to an index.
+  if (x < lo_) {
+    ++underflow_;
+    return;
   }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double t = (x - lo_) / (hi_ - lo_);
+  const std::size_t idx =
+      std::min(static_cast<std::size_t>(t * static_cast<double>(counts_.size())),
+               counts_.size() - 1);
   ++counts_[idx];
   ++total_;
 }

@@ -36,8 +36,14 @@ class RunningStats {
 /// Reservoir of raw samples; exact percentiles for bench reporting.
 class Percentiles {
  public:
-  void add(double x) { samples_.push_back(x); }
-  [[nodiscard]] double percentile(double p) const;  ///< p in [0,100]
+  void add(double x) {
+    samples_.push_back(x);
+    // The sample lands at the back of a possibly-sorted vector; percentile()
+    // must re-sort or it would interpolate over partially-unsorted data.
+    sorted_ = false;
+  }
+  /// Exact (linearly interpolated) percentile; p is clamped into [0,100].
+  [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
 
@@ -46,19 +52,26 @@ class Percentiles {
   mutable bool sorted_ = false;
 };
 
-/// Fixed-width histogram for distribution shape reporting.
+/// Fixed-width histogram over [lo, hi) for distribution shape reporting.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
   /// Record one sample. Non-finite samples (NaN, ±Inf) are discarded and
   /// counted in dropped() — casting them to an index is undefined behavior.
+  /// Finite samples outside [lo, hi) are counted in underflow()/overflow()
+  /// instead of being clamped into the edge bins, so out-of-range mass is
+  /// visible rather than silently inflating bin 0 / the last bin.
   void add(double x);
   [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  /// In-range samples only (excludes dropped/underflow/overflow).
   [[nodiscard]] std::size_t total() const { return total_; }
   /// Samples discarded because they were not finite.
   [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  /// Finite samples below lo / at-or-above hi.
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
   /// Render a one-line ASCII sparkline — used by bench binaries.
   [[nodiscard]] std::string sparkline() const;
 
@@ -68,6 +81,8 @@ class Histogram {
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
   std::size_t dropped_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace mv

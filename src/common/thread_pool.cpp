@@ -10,6 +10,12 @@ ThreadPool::ThreadPool(std::size_t workers) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Serialize with any in-flight batch: once caller_mu_ is held, no caller
+  // is inside parallel(), so stop_ is only ever observed between batches and
+  // no thread can be left waiting on done_cv_ of a half-finished batch (the
+  // stop-mid-batch deadlock). Callers must not start new batches once
+  // destruction may begin — that is a use-after-free regardless.
+  std::lock_guard<std::mutex> batch(caller_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -22,16 +28,22 @@ void ThreadPool::worker_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock, [this] { return stop_ || (fn_ != nullptr && next_ < tasks_); });
-    if (stop_) return;
-    const std::size_t idx = next_++;
-    const auto* fn = fn_;
-    lock.unlock();
-    (*fn)(idx);
-    lock.lock();
-    if (++completed_ == tasks_) {
-      fn_ = nullptr;
-      done_cv_.notify_all();
+    // Drain before exiting: a worker that observed stop_ while a batch still
+    // has unclaimed tasks keeps working, otherwise completed_ would never
+    // reach tasks_ and the batch's caller would block on done_cv_ forever.
+    if (fn_ != nullptr && next_ < tasks_) {
+      const std::size_t idx = next_++;
+      const auto* fn = fn_;
+      lock.unlock();
+      (*fn)(idx);
+      lock.lock();
+      if (++completed_ == tasks_) {
+        fn_ = nullptr;
+        done_cv_.notify_all();
+      }
+      continue;
     }
+    if (stop_) return;
   }
 }
 

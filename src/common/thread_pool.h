@@ -29,6 +29,13 @@ class ThreadPool {
   /// inline on the calling thread (useful for forcing serial execution in
   /// tests without changing call sites).
   explicit ThreadPool(std::size_t workers);
+
+  /// Ownership contract: the destructor first waits for any in-flight batch
+  /// to finish (it takes the batch lock), so a parallel() call racing the
+  /// destructor completes normally instead of deadlocking on a batch whose
+  /// workers exited early. Workers additionally drain the current batch even
+  /// if they observe stop_ mid-batch. Starting a NEW batch once destruction
+  /// has begun is still the caller's bug (use-after-free).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -1,7 +1,9 @@
 #include "ledger/chain.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 namespace mv::ledger {
 
@@ -14,7 +16,9 @@ Blockchain::Blockchain(ChainConfig config,
   if (config_.validators.empty()) {
     throw std::invalid_argument("Blockchain: empty validator set");
   }
-  if (config_.validation.threads > 1) {
+  // A configured job queue brings its own workers (shared, prioritized);
+  // only the queue-less parallel configuration spawns a dedicated pool.
+  if (config_.validation.job_queue == nullptr && config_.validation.threads > 1) {
     pool_ = std::make_shared<ThreadPool>(config_.validation.threads);
   }
   ByteWriter w;
@@ -201,6 +205,29 @@ AccountProof make_account_proof(const LedgerState& state, crypto::Address addr,
 
 Result<AccountProof> Blockchain::prove_account(crypto::Address addr,
                                                std::int64_t block_height) const {
+  // Client proof queries ride the lowest-priority lane of the job queue when
+  // one is configured: under overload they are the first traffic shed, and a
+  // shed query answers immediately with chain.overloaded instead of queueing
+  // behind consensus work. Without a queue (or inline) behaviour is
+  // unchanged.
+  if (JobQueue* queue = config_.validation.job_queue.get(); queue != nullptr) {
+    std::optional<Result<AccountProof>> out;
+    const bool ran = queue->run(JobClass::kClientQuery, [&] {
+      out = prove_account_now(addr, block_height);
+    });
+    if (!ran) {
+      return make_error("chain.overloaded",
+                        "client query shed by the job queue (class " +
+                            std::string(job_class_name(JobClass::kClientQuery)) +
+                            " over its ceiling)");
+    }
+    return std::move(*out);
+  }
+  return prove_account_now(addr, block_height);
+}
+
+Result<AccountProof> Blockchain::prove_account_now(
+    crypto::Address addr, std::int64_t block_height) const {
   if (block_height < 0 || block_height >= height()) {
     return make_error("chain.bad_height", "no such block");
   }

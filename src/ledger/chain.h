@@ -23,6 +23,10 @@ struct ChainConfig {
   std::size_t max_txs_per_block = 256;
   /// Parallel block application (ledger/parallel.h). threads == 1 keeps the
   /// historical single-overlay path; > 1 spawns a per-chain worker pool.
+  /// Setting validation.job_queue instead routes validation units, signature
+  /// batches, and prove_account queries through a shared prioritized
+  /// JobQueue (common/job_queue.h) — no per-chain pool is spawned, and a
+  /// queue with workers()==0 reproduces the inline path byte-identically.
   ValidationConfig validation;
   /// How many recent heights behind the tip stay reconstructible (a ring of
   /// per-block undo deltas + commitments): prove_account and export_snapshot
@@ -86,6 +90,10 @@ class Blockchain {
   /// behind it); "chain.stale_height" fires only beyond that window. The
   /// result verifies against that header's state_root with
   /// verify_account_proof / LightClient::verify_account.
+  ///
+  /// When validation.job_queue is configured, the query runs as a
+  /// JobClass::kClientQuery job — the first traffic shed under overload —
+  /// and a shed query returns "chain.overloaded" immediately.
   [[nodiscard]] Result<AccountProof> prove_account(crypto::Address addr,
                                                    std::int64_t block_height) const;
 
@@ -134,6 +142,10 @@ class Blockchain {
   /// Validate the block by trial-applying it onto `scratch` (an overlay over
   /// the current state). On success the overlay holds the block's delta.
   [[nodiscard]] Status check(const Block& block, LedgerStateOverlay& scratch) const;
+
+  /// The proof construction itself (prove_account minus queue admission).
+  [[nodiscard]] Result<AccountProof> prove_account_now(
+      crypto::Address addr, std::int64_t block_height) const;
 
   /// One retention-ring slot: how to revert the block at its height, plus
   /// the post-block commitment (reconstruction sanity anchor).

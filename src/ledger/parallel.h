@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/job_queue.h"
 #include "common/thread_pool.h"
 #include "crypto/digest_lru.h"
 #include "ledger/state.h"
@@ -45,6 +46,16 @@ struct ValidationConfig {
   /// replica (with its mempool); tampering changes the digest, so a hit is as
   /// strong as re-verifying. null = verify every time.
   std::shared_ptr<crypto::DigestLruSet> sig_cache;
+  /// Prioritized executor (common/job_queue.h). When set it REPLACES the
+  /// plain pool: signature pre-verification batches run as kValidation jobs
+  /// and block-application units as kConsensus jobs, so ledger work competes
+  /// with gossip/snapshot/client traffic under one scheduler instead of
+  /// owning dedicated threads. The queue's worker count (not `threads`)
+  /// decides serial-vs-parallel; a queue with workers()==0 executes inline —
+  /// byte-identical to the historical serial path. Batches are never shed.
+  /// Share one instance per process (replicas may share it with net-side
+  /// users); results stay bit-identical either way (DESIGN.md §10).
+  std::shared_ptr<JobQueue> job_queue;
 };
 
 /// One element of a transaction's static conflict footprint.

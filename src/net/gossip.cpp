@@ -9,12 +9,13 @@ std::uint64_t rumor_key(const Bytes& payload) {
 }  // namespace
 
 Gossip::Gossip(Network& network, Rng rng, std::size_t fanout, DeliverFn deliver,
-               std::size_t relay_high_water)
+               std::size_t relay_high_water, JobQueue* queue)
     : network_(network),
       rng_(rng),
       fanout_(fanout),
       deliver_(std::move(deliver)),
-      relay_high_water_(relay_high_water) {}
+      relay_high_water_(relay_high_water),
+      queue_(queue) {}
 
 NodeId Gossip::join() {
   const NodeId id =
@@ -32,10 +33,13 @@ void Gossip::publish(NodeId origin, const Bytes& payload) {
 
 void Gossip::on_message(const Message& msg) {
   if (msg.topic != "gossip") return;
-  // One of msg.from's relays just landed: release its in-flight slot.
-  if (const auto it = inflight_.find(msg.from);
-      it != inflight_.end() && it->second > 0) {
-    --it->second;
+  {
+    // One of msg.from's relays just landed: release its in-flight slot.
+    std::lock_guard<std::mutex> lock(relay_mu_);
+    if (const auto it = inflight_.find(msg.from);
+        it != inflight_.end() && it->second > 0) {
+      --it->second;
+    }
   }
   if (mark_seen(msg.to, msg.payload())) {
     deliver_(msg.to, msg.payload());
@@ -44,6 +48,21 @@ void Gossip::on_message(const Message& msg) {
 }
 
 void Gossip::relay(NodeId from, const std::shared_ptr<const Bytes>& payload) {
+  if (queue_ == nullptr) {
+    relay_now(from, payload);
+    return;
+  }
+  // Offloaded hop: the fan-out competes with other traffic classes under
+  // the queue's scheduler. submit() returning false means the hop was shed
+  // at admission (kGossipRelay over a ceiling) — the rumor still reached
+  // this node; only its onward copies are withheld, which the epidemic
+  // redundancy absorbs exactly like a backpressure drop.
+  queue_->submit(JobClass::kGossipRelay,
+                 [this, from, payload] { relay_now(from, payload); });
+}
+
+void Gossip::relay_now(NodeId from, const std::shared_ptr<const Bytes>& payload) {
+  std::lock_guard<std::mutex> lock(relay_mu_);
   if (members_.size() <= 1) return;
   const std::size_t peers = std::min(fanout_, members_.size() - 1);
   if (peers == members_.size() - 1) {

@@ -13,9 +13,11 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/job_queue.h"
 #include "crypto/sha256.h"
 #include "net/network.h"
 
@@ -27,9 +29,14 @@ class Gossip {
   using DeliverFn = std::function<void(NodeId node, const Bytes& payload)>;
 
   /// `relay_high_water` bounds each node's in-flight relays; 0 disables
-  /// backpressure.
+  /// backpressure. When `queue` is set, each relay fan-out runs as a
+  /// JobClass::kGossipRelay job on it instead of inline: a shed job withholds
+  /// that hop entirely (visible in JobQueueStats, the mesh's redundancy
+  /// covers the gap) and fan-outs may run concurrently with the simulation
+  /// thread. Queued relay jobs reference this Gossip: drain() the queue (or
+  /// destroy it, which abandons them) before destroying the Gossip.
   Gossip(Network& network, Rng rng, std::size_t fanout, DeliverFn deliver,
-         std::size_t relay_high_water = 64);
+         std::size_t relay_high_water = 64, JobQueue* queue = nullptr);
 
   /// Register this gossip instance as the message handler of a fresh node.
   NodeId join();
@@ -44,23 +51,33 @@ class Gossip {
 
   /// Relays from `node` currently in flight (sent, not yet delivered).
   [[nodiscard]] std::size_t inflight(NodeId node) const {
+    std::lock_guard<std::mutex> lock(relay_mu_);
     const auto it = inflight_.find(node);
     return it == inflight_.end() ? 0 : it->second;
   }
 
  private:
   void on_message(const Message& msg);
-  /// Forward a rumor to up to `fanout` peers. The buffer is shared, not
-  /// copied: every hop of a rumor reuses the original sender's bytes.
+  /// Forward a rumor to up to `fanout` peers — inline, or as a kGossipRelay
+  /// job when a queue is configured. The buffer is shared, not copied: every
+  /// hop of a rumor reuses the original sender's bytes.
   void relay(NodeId from, const std::shared_ptr<const Bytes>& payload);
+  /// The fan-out itself (peer sampling + backpressured sends). Runs on the
+  /// simulation thread or a queue worker; relay_mu_ serializes either way.
+  void relay_now(NodeId from, const std::shared_ptr<const Bytes>& payload);
   /// First-seen bookkeeping; true when `node` had not seen the rumor yet.
   bool mark_seen(NodeId node, const Bytes& payload);
 
   Network& network_;
+  /// Guards rng_ and inflight_: queue workers run relay_now while the
+  /// simulation thread decrements in-flight counts at delivery. seen_ and
+  /// members_ stay simulation-thread-only (join/publish/on_message).
+  mutable std::mutex relay_mu_;
   Rng rng_;
   std::size_t fanout_;
   DeliverFn deliver_;
   std::size_t relay_high_water_;
+  JobQueue* queue_;
   std::vector<NodeId> members_;
   std::unordered_map<std::uint64_t, std::unordered_set<NodeId>> seen_;
   std::unordered_map<NodeId, std::size_t> inflight_;

@@ -40,6 +40,7 @@ bool Network::send(NodeId from, NodeId to, std::string topic, Bytes payload) {
 
 bool Network::send(NodeId from, NodeId to, std::string topic,
                    std::shared_ptr<const Bytes> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (to.value() >= nodes_.size()) {
     // Unknown destination: refuse and count rather than indexing out of
     // bounds at delivery time.
@@ -91,13 +92,21 @@ void Network::broadcast(NodeId from, const std::string& topic,
 }
 
 void Network::step() {
-  while (!queue_.empty() && queue_.top().msg.deliver_at <= clock_.now()) {
-    // Move out before pop: the handler may enqueue new messages. Moving from
-    // top() is safe because the element is removed immediately and the heap
-    // comparator reads only deliver_at/seq, which a move leaves intact.
-    Pending p = std::move(const_cast<Pending&>(queue_.top()));
-    queue_.pop();
-    ++stats_.delivered;
+  for (;;) {
+    Pending p;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty() || queue_.top().msg.deliver_at > clock_.now()) return;
+      // Move out before pop: the handler may enqueue new messages. Moving
+      // from top() is safe because the element is removed immediately and
+      // the heap comparator reads only deliver_at/seq, which a move leaves
+      // intact.
+      p = std::move(const_cast<Pending&>(queue_.top()));
+      queue_.pop();
+      ++stats_.delivered;
+    }
+    // The lock is released across the handler call: handlers send (which
+    // re-locks) and may hand work to JobQueue workers that send concurrently.
     nodes_[p.msg.to.value()](p.msg);
   }
 }
@@ -105,7 +114,7 @@ void Network::step() {
 Tick Network::run_until_idle(Tick max_ticks) {
   Tick advanced = 0;
   step();
-  while (!queue_.empty() && advanced < max_ticks) {
+  while (!idle() && advanced < max_ticks) {
     clock_.advance();
     ++advanced;
     step();

@@ -4,11 +4,23 @@
 // network instead of real sockets: discrete-event delivery on the shared
 // SimClock with per-link latency, jitter, loss, and named partitions.
 // Everything is deterministic given the seed.
+//
+// Threading: send()/broadcast() and the stats counters are internally
+// locked, so protocol jobs running on JobQueue workers (gossip relays,
+// snapshot chunk serving) may send concurrently with the simulation thread.
+// Delivery stays single-threaded: step()/run_until_idle() must be driven
+// from one thread, and handlers run on it. Enqueue order — and therefore
+// the FIFO tie-break between same-tick messages — follows whatever order
+// concurrent senders win the lock, so byte-exact delivery traces are only
+// guaranteed while all sends come from one thread (the seed configuration).
+// Topology calls (add_node/set_link/set_group/heal) are setup-phase: finish
+// them before concurrent traffic starts.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <queue>
 #include <string>
@@ -105,19 +117,30 @@ class Network {
   /// `max_ticks` elapse. Returns ticks advanced.
   Tick run_until_idle(Tick max_ticks = 100000);
 
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] bool idle() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.empty();
+  }
+  /// Snapshot of the counters (copied under the lock; counters may advance
+  /// while worker-executed protocol jobs are still in flight — drain the
+  /// queue first for exact values).
+  [[nodiscard]] NetworkStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   /// Record `n` protocol-level backpressure drops (see NetworkStats).
   void note_backpressure_drop(std::uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
     stats_.backpressure_dropped += n;
   }
   // Snapshot-transfer protocol events (net/snapshot_transfer.h).
-  void note_snapshot_chunk_served() { ++stats_.snapshot_chunks_served; }
-  void note_snapshot_chunk_verified() { ++stats_.snapshot_chunks_verified; }
-  void note_snapshot_chunk_rejected() { ++stats_.snapshot_chunks_rejected; }
-  void note_snapshot_retry() { ++stats_.snapshot_retries; }
+  void note_snapshot_chunk_served() { count(&NetworkStats::snapshot_chunks_served); }
+  void note_snapshot_chunk_verified() { count(&NetworkStats::snapshot_chunks_verified); }
+  void note_snapshot_chunk_rejected() { count(&NetworkStats::snapshot_chunks_rejected); }
+  void note_snapshot_retry() { count(&NetworkStats::snapshot_retries); }
   void note_snapshot_sync(bool completed) {
-    ++(completed ? stats_.snapshot_syncs_completed : stats_.snapshot_syncs_failed);
+    count(completed ? &NetworkStats::snapshot_syncs_completed
+                    : &NetworkStats::snapshot_syncs_failed);
   }
   [[nodiscard]] SimClock& clock() { return clock_; }
 
@@ -135,7 +158,15 @@ class Network {
 
   [[nodiscard]] const LinkParams& link(NodeId from, NodeId to) const;
 
+  void count(std::uint64_t NetworkStats::* field) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++(stats_.*field);
+  }
+
   SimClock& clock_;
+  /// Guards queue_/seq_/stats_/rng_ against concurrent senders (JobQueue
+  /// workers). Never held while a delivery handler runs.
+  mutable std::mutex mu_;
   Rng rng_;
   LinkParams defaults_;
   std::vector<Handler> nodes_;

@@ -99,15 +99,19 @@ bool SnapshotServer::handle(const Message& msg) {
   if (msg.topic == kSnapshotChunkReq) {
     const auto req = decode_chunk_req(msg.payload());
     if (!req.has_value()) return true;
-    Resp resp;
-    resp.height = req->height;
-    resp.index = req->index;
-    resp.data = source_.chunk ? source_.chunk(req->height, req->index) : Bytes{};
-    resp.ok = !resp.data.empty();
-    if (resp.ok && chunk_fault_) chunk_fault_(req->index, resp.data);
-    if (resp.ok) network_.note_snapshot_chunk_served();
-    (void)network_.send(self_, msg.from, kSnapshotChunkResp,
-                        encode_resp(resp, /*with_index=*/true));
+    if (queue_ != nullptr) {
+      // Served off the simulation thread as kSnapshotServe work. A shed job
+      // simply never answers — indistinguishable from a lost response, which
+      // the client's timeout/retry machinery already handles.
+      const NodeId requester = msg.from;
+      const std::int64_t height = req->height;
+      const std::uint32_t index = req->index;
+      queue_->submit(JobClass::kSnapshotServe, [this, requester, height, index] {
+        serve_chunk(requester, height, index);
+      });
+      return true;
+    }
+    serve_chunk(msg.from, req->height, req->index);
     return true;
   }
   if (msg.topic == kSnapshotBlocksReq) {
@@ -124,6 +128,19 @@ bool SnapshotServer::handle(const Message& msg) {
     return true;
   }
   return false;
+}
+
+void SnapshotServer::serve_chunk(NodeId requester, std::int64_t height,
+                                 std::uint32_t index) {
+  Resp resp;
+  resp.height = height;
+  resp.index = index;
+  resp.data = source_.chunk ? source_.chunk(height, index) : Bytes{};
+  resp.ok = !resp.data.empty();
+  if (resp.ok && chunk_fault_) chunk_fault_(index, resp.data);
+  if (resp.ok) network_.note_snapshot_chunk_served();
+  (void)network_.send(self_, requester, kSnapshotChunkResp,
+                      encode_resp(resp, /*with_index=*/true));
 }
 
 // ---------------------------------------------------------- SnapshotClient

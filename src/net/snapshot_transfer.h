@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/job_queue.h"
 #include "crypto/sha256.h"
 #include "net/network.h"
 
@@ -42,6 +43,17 @@ struct SnapshotTransferConfig {
 /// Serves manifests, chunks, and block suffixes from local callbacks. An
 /// empty Bytes from a callback means "unavailable" and is answered with a
 /// refusal the client treats as fatal for that sync.
+///
+/// With a JobQueue configured, chunk requests — the bulk of a sync's cost —
+/// are served as JobClass::kSnapshotServe jobs instead of inline: an
+/// overloaded server sheds them silently (no response; the client's timeout
+/// and retry machinery recovers, so shedding looks like loss). Manifest and
+/// block-suffix requests stay inline — they happen once per sync and gate
+/// everything else. The source callbacks then run on queue workers, so what
+/// they read (e.g. a chain's retained state) must not mutate concurrently;
+/// drain the queue before touching it. Queued serve jobs reference this
+/// server: drain() the queue (or destroy it, which abandons them) before
+/// destroying the server.
 class SnapshotServer {
  public:
   struct Source {
@@ -50,8 +62,8 @@ class SnapshotServer {
     std::function<Bytes(std::int64_t from_height)> blocks;
   };
 
-  SnapshotServer(Network& network, Source source)
-      : network_(network), source_(std::move(source)) {}
+  SnapshotServer(Network& network, Source source, JobQueue* queue = nullptr)
+      : network_(network), source_(std::move(source)), queue_(queue) {}
 
   void bind(NodeId self) { self_ = self; }
 
@@ -60,14 +72,20 @@ class SnapshotServer {
 
   /// Test-only fault injection: mutate outgoing chunk bytes (after the
   /// digest in the manifest was computed), simulating in-flight corruption.
+  /// Set before traffic starts when a queue is configured.
   void set_chunk_fault(std::function<void(std::uint32_t index, Bytes&)> fault) {
     chunk_fault_ = std::move(fault);
   }
 
  private:
+  /// Serve one chunk request (lookup, fault hook, respond). Runs inline or
+  /// on a queue worker.
+  void serve_chunk(NodeId requester, std::int64_t height, std::uint32_t index);
+
   Network& network_;
   Source source_;
   NodeId self_;
+  JobQueue* queue_;
   std::function<void(std::uint32_t, Bytes&)> chunk_fault_;
 };
 

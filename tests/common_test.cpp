@@ -2,9 +2,12 @@
 // bus, statistics.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <set>
+#include <thread>
 #include <unordered_set>
 
 #include "common/bytes.h"
@@ -332,15 +335,52 @@ TEST(Percentiles, ExactOnKnownData) {
   EXPECT_NEAR(p.percentile(99), 99.01, 0.02);
 }
 
-TEST(Histogram, BinsAndClamps) {
+// Regression: add() after a percentile() query used to leave sorted_ set, so
+// later queries interpolated over a partially-unsorted vector. Interleave
+// adds and queries and check every query against a freshly-built oracle.
+TEST(Percentiles, InterleavedAddAndQueryMatchesOracle) {
+  Rng rng(77);
+  Percentiles p;
+  std::vector<double> seen;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(0.0, 100.0);
+    p.add(x);
+    seen.push_back(x);
+    if (i % 7 == 0) {
+      Percentiles oracle;
+      for (const double s : seen) oracle.add(s);
+      for (const double q : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+        EXPECT_DOUBLE_EQ(p.percentile(q), oracle.percentile(q))
+            << "after " << seen.size() << " samples, p" << q;
+      }
+    }
+  }
+}
+
+// Regression: out-of-range p produced a negative rank cast to size_t (UB /
+// out-of-bounds read). Out-of-range queries now clamp to the extremes.
+TEST(Percentiles, QueryClampsOutOfRangeP) {
+  Percentiles p;
+  for (int i = 1; i <= 10; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.percentile(-5.0), p.percentile(0.0));
+  EXPECT_DOUBLE_EQ(p.percentile(150.0), p.percentile(100.0));
+  EXPECT_DOUBLE_EQ(p.percentile(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(150.0), 10.0);
+}
+
+TEST(Histogram, BinsInRangeAndCountsOutOfRange) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);   // bin 0
   h.add(9.5);   // bin 9
-  h.add(-5.0);  // clamped to bin 0
-  h.add(50.0);  // clamped to bin 9
-  EXPECT_EQ(h.bin_count(0), 2u);
-  EXPECT_EQ(h.bin_count(9), 2u);
-  EXPECT_EQ(h.total(), 4u);
+  h.add(-5.0);  // below lo: underflow, not clamped into bin 0
+  h.add(50.0);  // at/above hi: overflow, not clamped into bin 9
+  h.add(10.0);  // hi itself is exclusive
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.dropped(), 0u);
   EXPECT_EQ(h.sparkline().size() > 0, true);
 }
 
@@ -354,12 +394,17 @@ TEST(Histogram, DropsNonFiniteSamples) {
   h.add(5.0);
   EXPECT_EQ(h.total(), 1u);
   EXPECT_EQ(h.dropped(), 3u);
-  // Finite but astronomically out-of-range samples still clamp, not UB.
+  // Finite but astronomically out-of-range samples are accounted as
+  // under/overflow (they used to be clamped into the edge bins, silently
+  // skewing the tails).
   h.add(1e300);
   h.add(-1e300);
-  EXPECT_EQ(h.bin_count(9), 1u);
-  EXPECT_EQ(h.bin_count(0), 1u);
-  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin_count(9), 0u);
+  EXPECT_EQ(h.bin_count(0), 0u);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.dropped(), 3u);
 }
 
 // Property sweep: RNG uniformity chi-square sanity across seeds.
@@ -412,6 +457,34 @@ TEST(ThreadPool, ZeroWorkersRunsInline) {
   std::vector<int> hits(16, 0);
   pool.parallel(hits.size(), [&](std::size_t i) { ++hits[i]; });
   for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+// Regression: destroying the pool while another thread's parallel() batch was
+// in flight could strand the caller — workers honored stop_ before finishing
+// the batch, so completed_ never reached tasks_ and the caller waited on
+// done_cv_ forever. The destructor now serializes with in-flight batches and
+// workers drain the current batch before exiting.
+TEST(ThreadPool, DestructorDrainsInFlightBatch) {
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<bool> batch_done{false};
+  std::thread caller;
+  {
+    ThreadPool pool(3);
+    std::atomic<bool> started{false};
+    caller = std::thread([&] {
+      pool.parallel(hits.size(), [&](std::size_t i) {
+        started.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        hits[i].fetch_add(1);
+      });
+      batch_done.store(true);
+    });
+    while (!started.load()) std::this_thread::yield();
+    // ~ThreadPool runs here, mid-batch.
+  }
+  caller.join();
+  EXPECT_TRUE(batch_done.load());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 }  // namespace

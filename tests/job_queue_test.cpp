@@ -1,0 +1,441 @@
+// JobQueue tests: inline-mode determinism, strict priority and per-class
+// FIFO under a single worker, depth/wait shedding and recovery, never-shed
+// batches, stats consistency, absence of consensus starvation under a mixed
+// overload, destructor abandonment, and the ledger integration (queue-routed
+// block application bit-identical to serial; prove_account shed under
+// overload).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/job_queue.h"
+#include "ledger/chain.h"
+
+namespace mv {
+namespace {
+
+using namespace std::chrono_literals;
+using namespace mv::ledger;
+
+/// Manual gate: jobs park in wait() until the test hands out tokens.
+struct Gate {
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t tokens = 0;
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return tokens > 0; });
+    --tokens;
+  }
+  void release(std::size_t n = 1) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      tokens += n;
+    }
+    cv.notify_all();
+  }
+};
+
+/// Spin until `pred` holds (bounded; the suite runs on a single-core box, so
+/// sleeps instead of raw spinning).
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds budget = 5000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(1ms);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- inline
+
+TEST(JobQueueInline, ExecutesSynchronouslyInCallOrder) {
+  JobQueue q(JobQueueConfig{});  // threads = 0
+  EXPECT_EQ(q.workers(), 0u);
+  std::vector<int> order;
+  EXPECT_TRUE(q.submit(JobClass::kClientQuery, [&] { order.push_back(1); }));
+  EXPECT_TRUE(q.run(JobClass::kConsensus, [&] { order.push_back(2); }));
+  // Priority never reorders inline mode: execution is call order, exactly as
+  // if the queue were not there.
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+
+  std::vector<std::size_t> batch_order;
+  q.run_batch(JobClass::kValidation, 5,
+              [&](std::size_t i) { batch_order.push_back(i); });
+  EXPECT_EQ(batch_order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+
+  const JobQueueStats stats = q.stats();
+  EXPECT_EQ(stats.submitted(), 7u);
+  EXPECT_EQ(stats.completed(), 7u);
+  EXPECT_EQ(stats.shed(), 0u);
+  EXPECT_EQ(stats.of(JobClass::kValidation).completed, 5u);
+}
+
+TEST(JobQueueInline, DepthCeilingsNeverTrigger) {
+  // Inline mode holds nothing queued, so even max_depth = 1 admits every job.
+  JobQueueConfig config;
+  config.limit(JobClass::kClientQuery).max_depth = 1;
+  JobQueue q(config);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(q.submit(JobClass::kClientQuery, [] {}));
+  }
+  EXPECT_EQ(q.stats().shed(), 0u);
+}
+
+// ---------------------------------------------------------------- priority
+
+TEST(JobQueueThreaded, StrictPriorityAndPerClassFifo) {
+  JobQueueConfig config;
+  config.threads = 1;  // single worker => total execution order is observable
+  JobQueue q(config);
+
+  Gate gate;
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(q.submit(JobClass::kSnapshotServe, [&] {
+    started.store(true);
+    gate.wait();
+  }));
+  ASSERT_TRUE(eventually([&] { return started.load(); }));
+
+  // The worker is parked; everything below lands in the queues before any of
+  // it can run, in submission order: low classes first on purpose.
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  const auto mark = [&](std::string tag) {
+    return [&order, &order_mu, tag = std::move(tag)] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(tag);
+    };
+  };
+  ASSERT_TRUE(q.submit(JobClass::kClientQuery, mark("query-a")));
+  ASSERT_TRUE(q.submit(JobClass::kGossipRelay, mark("gossip-a")));
+  ASSERT_TRUE(q.submit(JobClass::kClientQuery, mark("query-b")));
+  ASSERT_TRUE(q.submit(JobClass::kConsensus, mark("consensus")));
+  ASSERT_TRUE(q.submit(JobClass::kValidation, mark("validation")));
+  ASSERT_TRUE(q.submit(JobClass::kGossipRelay, mark("gossip-b")));
+
+  gate.release();
+  q.drain();
+
+  // Highest class drains first regardless of submission order; within one
+  // class, submission (FIFO) order holds.
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"consensus", "validation", "gossip-a",
+                                      "gossip-b", "query-a", "query-b"}));
+}
+
+// ---------------------------------------------------------------- shedding
+
+TEST(JobQueueThreaded, DepthCeilingShedsAndRecovers) {
+  JobQueueConfig config;
+  config.threads = 1;
+  config.limit(JobClass::kClientQuery).max_depth = 2;
+  JobQueue q(config);
+
+  Gate gate;
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(q.submit(JobClass::kSnapshotServe, [&] {
+    started.store(true);
+    gate.wait();
+  }));
+  ASSERT_TRUE(eventually([&] { return started.load(); }));
+
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(q.submit(JobClass::kClientQuery, [&] { ++ran; }));
+  EXPECT_TRUE(q.submit(JobClass::kClientQuery, [&] { ++ran; }));
+  // Third submit sees depth == max_depth: shed, fn never runs.
+  EXPECT_FALSE(q.submit(JobClass::kClientQuery, [&] { ran += 100; }));
+  EXPECT_EQ(q.stats().of(JobClass::kClientQuery).shed_depth, 1u);
+
+  gate.release();
+  q.drain();
+  EXPECT_EQ(ran.load(), 2);
+
+  // Backlog cleared: admission recovers immediately.
+  EXPECT_TRUE(q.run(JobClass::kClientQuery, [&] { ++ran; }));
+  EXPECT_EQ(ran.load(), 3);
+  const JobClassStats cs = q.stats().of(JobClass::kClientQuery);
+  EXPECT_EQ(cs.submitted, 3u);
+  EXPECT_EQ(cs.completed, 3u);
+  EXPECT_EQ(cs.shed_depth, 1u);
+}
+
+TEST(JobQueueThreaded, WaitCeilingShedsUnderBacklogAndRecoversWhenDrained) {
+  JobQueueConfig config;
+  config.threads = 1;
+  // Any measurable queueing violates a 1us p99 ceiling; the test only relies
+  // on waits being bigger than that while a real backlog exists — lenient
+  // enough for the single-core CI box.
+  config.limit(JobClass::kGossipRelay).max_p99_wait_us = 1.0;
+  JobQueue q(config);
+
+  Gate gate;
+  constexpr int kJobs = 12;
+  constexpr int kReleased = 8;  // >= kMinShedSamples dequeues, 3 left queued
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kJobs; ++i) {
+    ASSERT_TRUE(q.submit(JobClass::kGossipRelay, [&] {
+      gate.wait();
+      ++ran;
+    }));
+  }
+  // Feed the worker one token at a time so every dequeued job accumulated
+  // genuine wall-clock wait while parked behind its predecessors. After
+  // kReleased tokens the worker sits inside job kReleased+1 (its wait
+  // already sampled) and the lane still holds queued jobs behind it.
+  for (int i = 0; i < kReleased; ++i) {
+    gate.release();
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_TRUE(eventually([&] { return ran.load() >= kReleased; }));
+  ASSERT_GE(q.stats().of(JobClass::kGossipRelay).depth, 1u);
+
+  // The lane still holds queued work and its recent p99 wait is milliseconds:
+  // a fresh submit must shed.
+  EXPECT_FALSE(q.submit(JobClass::kGossipRelay, [&] { ran += 100; }));
+  EXPECT_GE(q.stats().of(JobClass::kGossipRelay).shed_wait, 1u);
+
+  gate.release(kJobs);  // drain the last job
+  q.drain();
+  EXPECT_EQ(ran.load(), kJobs);
+
+  // Recovery: the wait ceiling only applies while a backlog exists, so the
+  // stale p99 from the burst cannot latch the lane shut.
+  EXPECT_TRUE(q.run(JobClass::kGossipRelay, [&] { ++ran; }));
+  EXPECT_EQ(ran.load(), kJobs + 1);
+}
+
+TEST(JobQueueThreaded, RunBatchIsNeverShed) {
+  JobQueueConfig config;
+  config.threads = 2;
+  config.limit(JobClass::kConsensus).max_depth = 1;  // would shed submits
+  JobQueue q(config);
+
+  constexpr std::size_t kTasks = 64;
+  std::vector<std::uint64_t> out(kTasks, 0);
+  q.run_batch(JobClass::kConsensus, kTasks,
+              [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(out[i], i * i);
+
+  const JobClassStats cs = q.stats().of(JobClass::kConsensus);
+  EXPECT_EQ(cs.submitted, kTasks);
+  EXPECT_EQ(cs.completed, kTasks);
+  EXPECT_EQ(cs.shed(), 0u);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(JobQueueThreaded, StatsConsistentAfterDrain) {
+  JobQueueConfig config;
+  config.threads = 2;
+  JobQueue q(config);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(q.submit(JobClass::kValidation,
+                         [] { std::this_thread::sleep_for(100us); }));
+  }
+  q.run_batch(JobClass::kGossipRelay, 10, [](std::size_t) {});
+  q.drain();
+
+  const JobQueueStats stats = q.stats();
+  EXPECT_EQ(stats.submitted(), 30u);
+  EXPECT_EQ(stats.completed(), 30u);
+  EXPECT_EQ(stats.shed(), 0u);
+  for (const JobClassStats& cs : stats.classes) {
+    EXPECT_EQ(cs.depth, 0u);
+    EXPECT_EQ(cs.submitted, cs.completed + cs.abandoned);
+    EXPECT_LE(cs.wait_p50_us, cs.wait_p99_us);
+    EXPECT_LE(cs.wait_p99_us, cs.wait_max_us + 1e-9);
+    EXPECT_LE(cs.run_p50_us, cs.run_p99_us);
+    EXPECT_GE(cs.wait_mean_us, 0.0);
+  }
+  EXPECT_STREQ(stats.of(JobClass::kConsensus).name, "consensus");
+  EXPECT_STREQ(stats.of(JobClass::kClientQuery).name, "client_query");
+}
+
+// ---------------------------------------------------------------- overload
+
+TEST(JobQueueThreaded, ConsensusNeverStarvesUnderMixedOverload) {
+  JobQueueConfig config;
+  config.threads = 2;
+  config.limit(JobClass::kGossipRelay).max_depth = 32;
+  config.limit(JobClass::kClientQuery).max_depth = 16;
+  JobQueue q(config);
+
+  std::atomic<bool> flooding{true};
+  std::atomic<std::uint64_t> low_attempts{0};
+  std::thread flooder([&] {
+    while (flooding.load()) {
+      q.submit(JobClass::kGossipRelay,
+               [] { std::this_thread::sleep_for(200us); });
+      q.submit(JobClass::kClientQuery,
+               [] { std::this_thread::sleep_for(200us); });
+      ++low_attempts;
+    }
+  });
+
+  // Every consensus job must be admitted (no ceiling on the class) and must
+  // complete — the flood may only slow it down, never reject or starve it.
+  std::atomic<int> consensus_done{0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(q.run(JobClass::kConsensus, [&] { ++consensus_done; }));
+  }
+  flooding.store(false);
+  flooder.join();
+  q.drain();
+
+  EXPECT_EQ(consensus_done.load(), 50);
+  const JobQueueStats stats = q.stats();
+  EXPECT_EQ(stats.of(JobClass::kConsensus).completed, 50u);
+  EXPECT_EQ(stats.of(JobClass::kConsensus).shed(), 0u);
+  EXPECT_GT(low_attempts.load(), 0u);
+  // Only the bounded lower classes may have shed.
+  EXPECT_EQ(stats.shed(), stats.of(JobClass::kGossipRelay).shed() +
+                              stats.of(JobClass::kClientQuery).shed());
+}
+
+// ---------------------------------------------------------------- shutdown
+
+TEST(JobQueueThreaded, DestructorAbandonsQueuedJobsWithoutHanging) {
+  Gate gate;
+  std::atomic<int> ran{0};
+  std::atomic<bool> started{false};
+  {
+    JobQueueConfig config;
+    config.threads = 1;
+    JobQueue q(config);
+    ASSERT_TRUE(q.submit(JobClass::kSnapshotServe, [&] {
+      started.store(true);
+      gate.wait();
+      ++ran;
+    }));
+    ASSERT_TRUE(eventually([&] { return started.load(); }));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(q.submit(JobClass::kClientQuery, [&] { ++ran; }));
+    }
+    EXPECT_EQ(q.stats().of(JobClass::kClientQuery).depth, 5u);
+    gate.release();
+    // ~JobQueue: finishes the running job, abandons whatever is still queued.
+  }
+  EXPECT_GE(ran.load(), 1);  // the running job always completes
+  EXPECT_LE(ran.load(), 6);
+}
+
+// ------------------------------------------------------------- ledger glue
+
+ChainConfig queue_chain_config(const crypto::Wallet& proposer,
+                               std::shared_ptr<JobQueue> queue) {
+  ChainConfig config;
+  config.validators = {proposer.public_key()};
+  config.validation.min_parallel_txs = 2;
+  config.validation.job_queue = std::move(queue);
+  return config;
+}
+
+TEST(JobQueueLedger, QueueRoutedApplicationMatchesSerialCommitments) {
+  Rng rng(404);
+  auto contracts = std::make_shared<ContractRegistry>();
+  crypto::Wallet proposer{rng};
+  std::vector<crypto::Wallet> wallets;
+  LedgerState genesis;
+  for (int i = 0; i < 8; ++i) {
+    wallets.emplace_back(rng);
+    genesis.credit(wallets.back().address(), 1'000'000);
+  }
+
+  ChainConfig serial_config;
+  serial_config.validators = {proposer.public_key()};
+  Blockchain serial(serial_config, contracts, genesis);
+
+  // Inline queue (workers() == 0) and a threaded queue: both must commit
+  // bit-identical blocks to the serial chain.
+  auto inline_queue = std::make_shared<JobQueue>(JobQueueConfig{});
+  JobQueueConfig threaded_config;
+  threaded_config.threads = 2;
+  auto threaded_queue = std::make_shared<JobQueue>(threaded_config);
+  Blockchain inline_chain(queue_chain_config(proposer, inline_queue),
+                          contracts, genesis);
+  Blockchain threaded_chain(queue_chain_config(proposer, threaded_queue),
+                            contracts, genesis);
+
+  std::vector<std::uint64_t> nonces(wallets.size(), 0);
+  Rng block_rng(17);
+  for (int b = 0; b < 6; ++b) {
+    std::vector<Transaction> txs;
+    for (int t = 0; t < 12; ++t) {
+      const std::size_t w = block_rng.next_below(wallets.size());
+      txs.push_back(make_transfer(
+          wallets[w], nonces[w]++,
+          wallets[block_rng.next_below(wallets.size())].address(),
+          1 + block_rng.next_below(100), 1, block_rng));
+    }
+    const Block block = serial.assemble(proposer, txs, /*timestamp=*/b, rng);
+    ASSERT_TRUE(serial.append(block).ok());
+    ASSERT_TRUE(inline_chain.append(block).ok());
+    ASSERT_TRUE(threaded_chain.append(block).ok());
+  }
+  EXPECT_EQ(serial.tip_hash(), inline_chain.tip_hash());
+  EXPECT_EQ(serial.tip_hash(), threaded_chain.tip_hash());
+  EXPECT_EQ(serial.state().commitment().root,
+            threaded_chain.state().commitment().root);
+
+  // The work really went through the queues.
+  EXPECT_GT(inline_queue->stats().completed(), 0u);
+  EXPECT_GT(threaded_queue->stats().completed(), 0u);
+  EXPECT_GT(threaded_queue->stats().of(JobClass::kValidation).completed, 0u);
+}
+
+TEST(JobQueueLedger, ProveAccountShedsWhenClientLaneIsFull) {
+  Rng rng(505);
+  crypto::Wallet proposer{rng};
+  crypto::Wallet user{rng};
+  LedgerState genesis;
+  genesis.credit(user.address(), 1000);
+
+  JobQueueConfig qconfig;
+  qconfig.threads = 1;
+  qconfig.limit(JobClass::kClientQuery).max_depth = 1;
+  auto queue = std::make_shared<JobQueue>(qconfig);
+  Blockchain chain(queue_chain_config(proposer, queue),
+                   std::make_shared<ContractRegistry>(), genesis);
+
+  const Block block = chain.assemble(
+      proposer,
+      {make_transfer(user, 0, proposer.address(), 10, 1, rng)},
+      /*timestamp=*/1, rng);
+  ASSERT_TRUE(chain.append(block).ok());
+
+  // Unloaded: the query runs through the queue and succeeds.
+  const auto ok = chain.prove_account(user.address(), /*block_height=*/0);
+  ASSERT_TRUE(ok.ok());
+
+  // Park the worker and fill the client lane to its ceiling; the next query
+  // is shed at admission and surfaces as chain.overloaded.
+  Gate gate;
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(queue->submit(JobClass::kSnapshotServe, [&] {
+    started.store(true);
+    gate.wait();
+  }));
+  ASSERT_TRUE(eventually([&] { return started.load(); }));
+  ASSERT_TRUE(queue->submit(JobClass::kClientQuery, [] {}));
+
+  const auto shed = chain.prove_account(user.address(), /*block_height=*/0);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.error().code, "chain.overloaded");
+
+  gate.release();
+  queue->drain();
+  // Backlog gone: queries are admitted again.
+  EXPECT_TRUE(chain.prove_account(user.address(), 0).ok());
+}
+
+}  // namespace
+}  // namespace mv

@@ -590,6 +590,47 @@ TEST(SnapshotTransfer, LossyNetworkCatchUpConverges) {
   EXPECT_EQ(stats.snapshot_syncs_failed, 0u);
 }
 
+TEST(SnapshotTransfer, QueueServedChunksConvergeAndShedRecoversViaRetry) {
+  // Chunk serving runs as kSnapshotServe jobs on a worker. The lane's depth
+  // ceiling is tighter than the client's request window, so bursts may be
+  // shed — a shed serve is a silent non-answer the client's timeout/retry
+  // machinery must absorb without the sync noticing.
+  NetFixture f(/*drop_rate=*/0.0);
+  const std::int64_t snap_height = f.source.height() - 2;
+
+  JobQueueConfig qconfig;
+  qconfig.threads = 1;
+  qconfig.limit(JobClass::kSnapshotServe).max_depth = 2;
+  JobQueue queue(qconfig);
+  net::SnapshotServer server(f.net, make_snapshot_source(f.source, 512),
+                             &queue);
+  SnapshotCatchup catchup(f.net, f.replica, f.lc,
+                          net::SnapshotTransferConfig{4, 8, 8, 4});
+  const NodeId server_node =
+      f.net.add_node([&](const net::Message& m) { server.handle(m); });
+  const NodeId client_node =
+      f.net.add_node([&](const net::Message& m) { catchup.handle(m); });
+  server.bind(server_node);
+  catchup.bind(client_node);
+
+  ASSERT_TRUE(catchup.start(server_node, snap_height).ok());
+  for (Tick t = 0; t < 20000 && !catchup.done() && !catchup.failed(); ++t) {
+    f.clock.advance(1);
+    f.net.step();
+    // Let admitted serves answer before the client scans for timeouts; shed
+    // ones stay unanswered on purpose.
+    queue.drain();
+    catchup.tick();
+  }
+  ASSERT_TRUE(catchup.done())
+      << (catchup.failure() ? catchup.failure()->to_string() : "timed out");
+  queue.drain();  // no serve may outlive the server it references
+  EXPECT_EQ(f.replica.height(), f.source.height());
+  EXPECT_EQ(f.replica.tip_hash(), f.source.tip_hash());
+  EXPECT_EQ(f.replica.state().commitment(), f.source.state().commitment());
+  EXPECT_GT(queue.stats().of(JobClass::kSnapshotServe).completed, 0u);
+}
+
 TEST(SnapshotTransfer, CorruptedChunksAreReRequested) {
   NetFixture f(/*drop_rate=*/0.0);
   const std::int64_t snap_height = f.source.height() - 1;
