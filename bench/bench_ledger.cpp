@@ -17,6 +17,7 @@
 #include "ledger/audit.h"
 #include "ledger/consensus.h"
 #include "ledger/snapshot.h"
+#include "net/subscription.h"
 
 namespace {
 
@@ -579,6 +580,65 @@ void BM_JobQueueMixedOverload(benchmark::State& state) {
 BENCHMARK(BM_JobQueueMixedOverload)
     ->Arg(1)
     ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Streaming fan-out: one commit push, serialized once, shared by pointer
+// across N subscribers — the zero-copy claim the subscription read path
+// makes. Each iteration publishes one commit and delivers every resulting
+// push; the counters surface the server's per-commit fan-out wall time
+// (mean/p50/p99/max over recent commits). Cost must scale linearly in
+// subscriber count with no per-subscriber re-encoding anywhere.
+void BM_SubscriptionFanout(benchmark::State& state) {
+  const std::size_t subscribers = static_cast<std::size_t>(state.range(0));
+  SimClock clock;
+  net::Network network(clock, Rng(99),
+                       net::LinkParams{.base_latency = 1.0,
+                                       .jitter = 0.0,
+                                       .drop_rate = 0.0});
+  // Unlimited per-client backlog: subscribers here are sinks that never ack,
+  // and eviction is not what this benchmark measures.
+  net::SubscriptionServer server(
+      network, net::SubscriptionConfig{.per_client_cap = 0, .retain = 4});
+  const NodeId server_node =
+      network.add_node([&](const net::Message& m) { server.handle(m); });
+  server.bind(server_node);
+
+  std::uint64_t received = 0;
+  std::vector<NodeId> nodes;
+  nodes.reserve(subscribers);
+  for (std::size_t i = 0; i < subscribers; ++i) {
+    nodes.push_back(network.add_node([&](const net::Message& m) {
+      received += m.topic == net::kSubPush ? 1 : 0;
+    }));
+  }
+  net::SubscriptionRequest req;
+  req.headers = true;
+  const Bytes req_bytes = req.encode();
+  for (const NodeId n : nodes) {
+    (void)network.send(n, server_node, net::kSubSubscribeReq, req_bytes);
+  }
+  network.run_until_idle();
+
+  // Sized like a small CommitPush (header + one account proof).
+  const auto payload = std::make_shared<const Bytes>(Bytes(512, 0x5A));
+  std::int64_t height = 0;
+  for (auto _ : state) {
+    server.publish(height++, payload);
+    network.run_until_idle();
+  }
+
+  const net::SubscriptionStats stats = server.stats();
+  if (received != stats.pushes_sent) state.SkipWithError("pushes lost");
+  state.counters["push_mean_us"] = stats.fanout_mean_us;
+  state.counters["push_p50_us"] = stats.fanout_p50_us;
+  state.counters["push_p99_us"] = stats.fanout_p99_us;
+  state.counters["push_max_us"] = stats.fanout_max_us;
+  state.SetItemsProcessed(static_cast<std::int64_t>(stats.pushes_sent));
+}
+BENCHMARK(BM_SubscriptionFanout)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_MerkleProof256(benchmark::State& state) {

@@ -75,9 +75,25 @@ if echo "${jq_out}" | grep -qi 'skipped'; then
   exit 1
 fi
 
+echo "== gate: subscription read path + client API taxonomy must run =="
+# The streaming read path's contract: lifecycle edge cases (eviction,
+# unsubscribe-during-push, stale rejection), flood isolation (consensus
+# never sheds while pushes do), gap recovery, the ClientApi error taxonomy,
+# and the snapshot server's busy-NACK backoff.
+sub_out="$(ctest --test-dir build -R 'Subscription|ClientApi|SnapshotBusyNack' --no-tests=error --output-on-failure 2>&1)" || {
+  echo "${sub_out}"
+  echo "FAIL: subscription/client-api tests did not run or did not pass"
+  exit 1
+}
+if echo "${sub_out}" | grep -qi 'skipped'; then
+  echo "${sub_out}"
+  echo "FAIL: subscription/client-api tests were skipped"
+  exit 1
+fi
+
 echo "== bench: ledger microbenchmarks -> BENCH_ledger.json (median of 3) =="
 MV_BENCH_NO_TABLE=1 ./build/bench/bench_ledger \
-  --benchmark_filter='BM_BlockAssembleValidate|BM_ParallelBlockValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove|BM_AccountProofRoundTrip|BM_CatchUp|BM_SnapshotExportImport|BM_BlockValidateSigCache|BM_JobQueue' \
+  --benchmark_filter='BM_BlockAssembleValidate|BM_ParallelBlockValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove|BM_AccountProofRoundTrip|BM_CatchUp|BM_SnapshotExportImport|BM_BlockValidateSigCache|BM_JobQueue|BM_SubscriptionFanout' \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   --benchmark_out=BENCH_ledger.json \
@@ -93,15 +109,16 @@ ctest --test-dir build-asan --output-on-failure -j "${jobs}"
 echo "== configure + build: tsan =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMV_TSAN=ON
 cmake --build build-tsan -j "${jobs}" --target \
-  common_test job_queue_test crypto_test parallel_test ledger_test snapshot_test net_test scenario_test
+  common_test job_queue_test crypto_test parallel_test ledger_test snapshot_test subscription_test net_test scenario_test
 
 echo "== tsan: suites touching the parallel validation engine =="
 # halt_on_error turns the first data race into a non-zero exit instead of a
 # warning that scrolls past; the suites below cover the thread pool, the job
 # queue (priority/shedding under real workers, destructor-during-batch), the
 # parallel apply/merge paths, consensus replicas in parallel mode, the
-# queue-routed gossip/snapshot paths, and the end-to-end scenarios.
-for t in common_test job_queue_test crypto_test parallel_test ledger_test snapshot_test net_test scenario_test; do
+# queue-routed gossip/snapshot paths, the subscription fan-out (worker-thread
+# pushes racing subscribe/ack handling), and the end-to-end scenarios.
+for t in common_test job_queue_test crypto_test parallel_test ledger_test snapshot_test subscription_test net_test scenario_test; do
   echo "-- tsan: ${t}"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/${t}"
 done

@@ -46,34 +46,16 @@ double elapsed_us(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
-/// Percentile over the filled portion of a recent-sample ring. Insertion
-/// order does not matter for an order statistic, so the ring is read as-is.
-template <std::size_t N>
-double window_percentile(const std::array<double, N>& window,
-                         std::size_t seen, double p) {
-  const std::size_t n = std::min(seen, window.size());
-  if (n == 0) return 0.0;
-  Percentiles pct;
-  for (std::size_t i = 0; i < n; ++i) pct.add(window[i]);
-  return pct.percentile(p);
-}
-
 }  // namespace
 
 void JobQueue::ClassState::record_wait(double us) {
   wait_stats.add(us);
-  wait_window[wait_seen % kLatencyWindow] = us;
-  ++wait_seen;
+  wait_window.add(us);
 }
 
 void JobQueue::ClassState::record_run(double us) {
   run_stats.add(us);
-  run_window[run_seen % kLatencyWindow] = us;
-  ++run_seen;
-}
-
-double JobQueue::ClassState::recent_wait_p99() const {
-  return window_percentile(wait_window, wait_seen, 99.0);
+  run_window.add(us);
 }
 
 JobQueue::JobQueue(JobQueueConfig config) : config_(config) {
@@ -112,8 +94,8 @@ bool JobQueue::admit_locked(ClassState& cs, const JobQueueConfig::Limit& limit) 
   // a meaningful sample base: an idle lane cannot be latched shut by stale
   // latency from a burst that drained long ago.
   if (limit.max_p99_wait_us > 0.0 && !cs.queue.empty() &&
-      cs.wait_seen >= kMinShedSamples &&
-      cs.recent_wait_p99() > limit.max_p99_wait_us) {
+      cs.wait_window.seen() >= kMinShedSamples &&
+      cs.wait_window.percentile(99.0) > limit.max_p99_wait_us) {
     ++cs.shed_wait;
     return false;
   }
@@ -229,12 +211,12 @@ JobQueueStats JobQueue::stats() const {
     s.depth = cs.queue.size();
     s.wait_mean_us = cs.wait_stats.mean();
     s.wait_max_us = cs.wait_stats.max();
-    s.wait_p50_us = window_percentile(cs.wait_window, cs.wait_seen, 50.0);
-    s.wait_p99_us = window_percentile(cs.wait_window, cs.wait_seen, 99.0);
+    s.wait_p50_us = cs.wait_window.percentile(50.0);
+    s.wait_p99_us = cs.wait_window.percentile(99.0);
     s.run_mean_us = cs.run_stats.mean();
     s.run_max_us = cs.run_stats.max();
-    s.run_p50_us = window_percentile(cs.run_window, cs.run_seen, 50.0);
-    s.run_p99_us = window_percentile(cs.run_window, cs.run_seen, 99.0);
+    s.run_p50_us = cs.run_window.percentile(50.0);
+    s.run_p99_us = cs.run_window.percentile(99.0);
   }
   return out;
 }

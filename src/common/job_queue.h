@@ -172,7 +172,7 @@ class JobQueue {
   };
 
   /// Latency digest window: recent sample ring feeding the p50/p99 the
-  /// shedding decision and stats() read.
+  /// shedding decision and stats() read (common/stats.h RecentWindow).
   static constexpr std::size_t kLatencyWindow = 128;
   /// Minimum recent wait samples before the wait ceiling may shed.
   static constexpr std::size_t kMinShedSamples = 8;
@@ -186,14 +186,11 @@ class JobQueue {
     std::uint64_t abandoned = 0;
     RunningStats wait_stats;
     RunningStats run_stats;
-    std::array<double, kLatencyWindow> wait_window{};
-    std::array<double, kLatencyWindow> run_window{};
-    std::size_t wait_seen = 0;  ///< total wait samples ever (ring pos = seen % W)
-    std::size_t run_seen = 0;
+    RecentWindow wait_window{kLatencyWindow};
+    RecentWindow run_window{kLatencyWindow};
 
     void record_wait(double us);
     void record_run(double us);
-    [[nodiscard]] double recent_wait_p99() const;
   };
 
   /// Admission decision; callers hold mu_. True = admit.

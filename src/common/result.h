@@ -9,9 +9,81 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace mv {
+
+/// Shared error-code registry.
+///
+/// Error codes are wire-stable strings ("chain.stale_height") that clients
+/// branch on; scattering them as raw literals across call sites invites
+/// typo'd codes that no client matches. Every code a client is expected to
+/// handle lives here as a named constant, and is_transient() classifies the
+/// retryable ones so retry loops don't have to keep their own lists.
+namespace errc {
+
+// api.* — the ClientApi facade's uniform taxonomy (ledger/client_api.h).
+// Per-subsystem codes below are mapped onto these at the API boundary.
+inline constexpr const char* kApiBadVersion = "api.bad_version";
+inline constexpr const char* kApiBadRequest = "api.bad_request";
+inline constexpr const char* kApiBadHeight = "api.bad_height";
+inline constexpr const char* kApiPrunedHeight = "api.pruned_height";
+inline constexpr const char* kApiStaleHeight = "api.stale_height";
+inline constexpr const char* kApiOverloaded = "api.overloaded";
+inline constexpr const char* kApiUnknownSubscription = "api.unknown_subscription";
+inline constexpr const char* kApiNoSubscriptionService =
+    "api.no_subscription_service";
+
+// chain.* — Blockchain query/install failures (ledger/chain.h).
+inline constexpr const char* kChainBadHeight = "chain.bad_height";
+inline constexpr const char* kChainPrunedHeight = "chain.pruned_height";
+inline constexpr const char* kChainStaleHeight = "chain.stale_height";
+inline constexpr const char* kChainOverloaded = "chain.overloaded";
+inline constexpr const char* kChainBadTxIndex = "chain.bad_tx_index";
+inline constexpr const char* kChainRetentionCorrupt = "chain.retention_corrupt";
+inline constexpr const char* kChainNotFresh = "chain.not_fresh";
+inline constexpr const char* kChainBadAnchor = "chain.bad_anchor";
+inline constexpr const char* kChainBadBlockCount = "chain.bad_block_count";
+
+// sub.* — subscription streaming (net/subscription.h, ledger/subscription.h).
+inline constexpr const char* kSubStaleFrom = "sub.stale_from";
+inline constexpr const char* kSubBadVersion = "sub.bad_version";
+inline constexpr const char* kSubNotSubscribed = "sub.not_subscribed";
+inline constexpr const char* kSubBusy = "sub.busy";
+inline constexpr const char* kSubBadPush = "sub.bad_push";
+
+// snapshot.* — snapshot codec + transfer (ledger/snapshot.h,
+// net/snapshot_transfer.h).
+inline constexpr const char* kSnapshotBusy = "snapshot.busy";
+inline constexpr const char* kSnapshotServerBusy = "snapshot.server_busy";
+inline constexpr const char* kSnapshotTimeout = "snapshot.timeout";
+inline constexpr const char* kSnapshotUnavailable = "snapshot.unavailable";
+inline constexpr const char* kSnapshotBadManifest = "snapshot.bad_manifest";
+inline constexpr const char* kSnapshotUnknownHeader = "snapshot.unknown_header";
+inline constexpr const char* kSnapshotUntrustedManifest =
+    "snapshot.untrusted_manifest";
+inline constexpr const char* kSnapshotNoManifest = "snapshot.no_manifest";
+
+// mempool.* — admission failures (ledger/mempool.h).
+inline constexpr const char* kMempoolBadSignature = "mempool.bad_signature";
+inline constexpr const char* kMempoolDuplicate = "mempool.duplicate";
+inline constexpr const char* kMempoolStaleNonce = "mempool.stale_nonce";
+inline constexpr const char* kMempoolUnderpriced = "mempool.underpriced";
+inline constexpr const char* kMempoolFull = "mempool.full";
+
+/// True when a retry of the same request may succeed without the caller
+/// changing anything (load shedding, transient contention, lost responses).
+/// Permanent answers — bad heights, pruned history, malformed payloads —
+/// are not transient: retrying them is wasted traffic.
+[[nodiscard]] inline bool is_transient(std::string_view code) {
+  return code == kApiOverloaded || code == kChainOverloaded ||
+         code == kSubBusy || code == kSnapshotBusy ||
+         code == kSnapshotServerBusy || code == kSnapshotTimeout ||
+         code == kMempoolFull;
+}
+
+}  // namespace errc
 
 /// Error payload: machine-readable code plus human-readable detail.
 struct Error {

@@ -60,6 +60,14 @@ double Percentiles::percentile(double p) const {
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+double RecentWindow::percentile(double p) const {
+  const std::size_t n = size();
+  if (n == 0) return 0.0;
+  Percentiles pct;
+  for (std::size_t i = 0; i < n; ++i) pct.add(window_[i]);
+  return pct.percentile(p);
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   assert(hi > lo && bins > 0);

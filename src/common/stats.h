@@ -52,6 +52,36 @@ class Percentiles {
   mutable bool sorted_ = false;
 };
 
+/// Fixed-capacity ring of the most recent samples with exact percentiles
+/// over the window. Where Percentiles reports lifetime order statistics,
+/// RecentWindow tracks *current* behaviour — the shape load-shedding and
+/// live telemetry decisions need (JobQueue wait ceilings, subscription push
+/// latency). Insertion order inside the ring is irrelevant to an order
+/// statistic, so overwriting the oldest slot is enough.
+class RecentWindow {
+ public:
+  explicit RecentWindow(std::size_t capacity = 128) : window_(capacity) {}
+
+  void add(double x) {
+    window_[seen_ % window_.size()] = x;
+    ++seen_;
+  }
+
+  /// Total samples ever offered (not capped by the window).
+  [[nodiscard]] std::size_t seen() const { return seen_; }
+  /// Samples currently in the window: min(seen, capacity).
+  [[nodiscard]] std::size_t size() const {
+    return seen_ < window_.size() ? seen_ : window_.size();
+  }
+
+  /// Exact percentile over the windowed samples (0 when empty).
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  std::vector<double> window_;
+  std::size_t seen_ = 0;
+};
+
 /// Fixed-width histogram over [lo, hi) for distribution shape reporting.
 class Histogram {
  public:

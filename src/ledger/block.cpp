@@ -23,6 +23,40 @@ Bytes BlockHeader::encode() const {
 
 crypto::Digest BlockHeader::hash() const { return crypto::sha256(encode()); }
 
+Result<BlockHeader> BlockHeader::decode(const Bytes& bytes) {
+  ByteReader r(bytes);
+  BlockHeader header;
+  auto height = r.i64();
+  if (!height.ok()) return height.error();
+  header.height = height.value();
+  auto prev = r.raw(32);
+  if (!prev.ok()) return prev.error();
+  std::copy(prev.value().begin(), prev.value().end(), header.prev_hash.begin());
+  auto tx_root = r.raw(32);
+  if (!tx_root.ok()) return tx_root.error();
+  std::copy(tx_root.value().begin(), tx_root.value().end(),
+            header.tx_root.begin());
+  auto state_root = r.raw(32);
+  if (!state_root.ok()) return state_root.error();
+  std::copy(state_root.value().begin(), state_root.value().end(),
+            header.state_root.begin());
+  auto ts = r.i64();
+  if (!ts.ok()) return ts.error();
+  header.timestamp = ts.value();
+  auto pub = r.u64();
+  if (!pub.ok()) return pub.error();
+  header.proposer_pub.y = pub.value();
+  auto e = r.u64();
+  if (!e.ok()) return e.error();
+  auto s = r.u64();
+  if (!s.ok()) return s.error();
+  header.proposer_sig = crypto::Signature{e.value(), s.value()};
+  if (!r.exhausted()) {
+    return make_error("block.trailing_bytes", "unparsed trailing header data");
+  }
+  return header;
+}
+
 Bytes Block::encode() const {
   ByteWriter w;
   w.bytes(header.encode());
@@ -37,33 +71,9 @@ Result<Block> Block::decode(const Bytes& bytes) {
   if (!header_bytes.ok()) return header_bytes.error();
 
   Block block;
-  {
-    ByteReader hr(header_bytes.value());
-    auto height = hr.i64();
-    if (!height.ok()) return height.error();
-    block.header.height = height.value();
-    auto prev = hr.raw(32);
-    if (!prev.ok()) return prev.error();
-    std::copy(prev.value().begin(), prev.value().end(), block.header.prev_hash.begin());
-    auto tx_root = hr.raw(32);
-    if (!tx_root.ok()) return tx_root.error();
-    std::copy(tx_root.value().begin(), tx_root.value().end(), block.header.tx_root.begin());
-    auto state_root = hr.raw(32);
-    if (!state_root.ok()) return state_root.error();
-    std::copy(state_root.value().begin(), state_root.value().end(),
-              block.header.state_root.begin());
-    auto ts = hr.i64();
-    if (!ts.ok()) return ts.error();
-    block.header.timestamp = ts.value();
-    auto pub = hr.u64();
-    if (!pub.ok()) return pub.error();
-    block.header.proposer_pub.y = pub.value();
-    auto e = hr.u64();
-    if (!e.ok()) return e.error();
-    auto s = hr.u64();
-    if (!s.ok()) return s.error();
-    block.header.proposer_sig = crypto::Signature{e.value(), s.value()};
-  }
+  auto header = BlockHeader::decode(header_bytes.value());
+  if (!header.ok()) return header.error();
+  block.header = std::move(header).value();
 
   auto count = r.u32();
   if (!count.ok()) return count.error();

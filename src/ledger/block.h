@@ -25,6 +25,9 @@ struct BlockHeader {
   /// Bytes covered by the proposer signature (everything except the sig).
   [[nodiscard]] Bytes signing_bytes() const;
   [[nodiscard]] Bytes encode() const;
+  /// Strict inverse of encode(): the whole buffer must be one header.
+  /// Subscription pushes and block decoding both parse headers through this.
+  [[nodiscard]] static Result<BlockHeader> decode(const Bytes& bytes);
   [[nodiscard]] crypto::Digest hash() const;
   [[nodiscard]] crypto::Address proposer() const {
     return crypto::address_of(proposer_pub);

@@ -121,11 +121,15 @@ Status Blockchain::append(const Block& block) {
   auto scratch = LedgerStateOverlay::writer(state_);
   if (auto s = check(block, scratch); !s.ok()) return s;
   // The inverse delta must be read off the pre-commit base; it feeds the
-  // retention ring that serves historical proofs and snapshot export.
+  // retention ring that serves historical proofs and snapshot export, and
+  // tells the commit hook which accounts/stores the block touched.
   StateUndo undo;
-  if (config_.state_retention > 0) undo = scratch.capture_undo(state_);
+  const bool want_undo =
+      config_.state_retention > 0 || static_cast<bool>(commit_hook_);
+  if (want_undo) undo = scratch.capture_undo(state_);
   scratch.commit();
   blocks_.push_back(block);
+  if (commit_hook_) commit_hook_(block, undo);
   if (config_.state_retention > 0) {
     retained_.push_back(Retained{std::move(undo), state_.commitment()});
     if (retained_.size() > config_.state_retention) retained_.pop_front();
@@ -162,7 +166,7 @@ Result<LedgerState> Blockchain::state_at(std::int64_t height) const {
   // exactly (absent only at the very edge of the window).
   if (const StateCommitment* expected = commitment_at(height);
       expected != nullptr && state.commitment() != *expected) {
-    return make_error("chain.retention_corrupt",
+    return make_error(errc::kChainRetentionCorrupt,
                       "rolled-back state does not match retained commitment");
   }
   return state;
@@ -171,15 +175,15 @@ Result<LedgerState> Blockchain::state_at(std::int64_t height) const {
 Result<crypto::MerkleProof> Blockchain::prove_tx(std::int64_t block_height,
                                                  std::size_t tx_index) const {
   if (block_height < 0 || block_height >= height()) {
-    return make_error("chain.bad_height", "no such block");
+    return make_error(errc::kChainBadHeight, "no such block");
   }
   const Block* block = block_at(block_height);
   if (block == nullptr) {
-    return make_error("chain.pruned_height",
+    return make_error(errc::kChainPrunedHeight,
                       "block below the snapshot base is not held");
   }
   if (tx_index >= block->txs.size()) {
-    return make_error("chain.bad_tx_index", "no such transaction");
+    return make_error(errc::kChainBadTxIndex, "no such transaction");
   }
   return block->tx_tree().prove(tx_index);
 }
@@ -216,7 +220,7 @@ Result<AccountProof> Blockchain::prove_account(crypto::Address addr,
       out = prove_account_now(addr, block_height);
     });
     if (!ran) {
-      return make_error("chain.overloaded",
+      return make_error(errc::kChainOverloaded,
                         "client query shed by the job queue (class " +
                             std::string(job_class_name(JobClass::kClientQuery)) +
                             " over its ceiling)");
@@ -229,10 +233,10 @@ Result<AccountProof> Blockchain::prove_account(crypto::Address addr,
 Result<AccountProof> Blockchain::prove_account_now(
     crypto::Address addr, std::int64_t block_height) const {
   if (block_height < 0 || block_height >= height()) {
-    return make_error("chain.bad_height", "no such block");
+    return make_error(errc::kChainBadHeight, "no such block");
   }
   if (!retains(block_height)) {
-    return make_error("chain.stale_height",
+    return make_error(errc::kChainStaleHeight,
                       "height " + std::to_string(block_height) +
                           " is beyond the retention window (tip " +
                           std::to_string(height() - 1) + ", retention " +
@@ -249,10 +253,10 @@ Result<AccountProof> Blockchain::prove_account_now(
 Result<Snapshot> Blockchain::export_snapshot(std::int64_t height,
                                              std::size_t chunk_size) const {
   if (height < 0 || height >= this->height()) {
-    return make_error("chain.bad_height", "no such block");
+    return make_error(errc::kChainBadHeight, "no such block");
   }
   if (!retains(height)) {
-    return make_error("chain.stale_height",
+    return make_error(errc::kChainStaleHeight,
                       "height " + std::to_string(height) +
                           " is beyond the retention window");
   }
@@ -268,25 +272,25 @@ Status Blockchain::init_from_snapshot(const SnapshotManifest& manifest,
                                       const std::vector<Bytes>& chunks,
                                       const BlockHeader& anchor) {
   if (height() != 0) {
-    return Status::fail("chain.not_fresh",
+    return Status::fail(errc::kChainNotFresh,
                         "snapshot install requires a chain with no blocks");
   }
   // Defense in depth: the caller is expected to have walked the header chain
   // (LightClient), but the anchor is cheap to re-check against this chain's
   // own validator schedule before any state is installed.
   if (anchor.height != manifest.height || anchor.height < 0) {
-    return Status::fail("chain.bad_anchor",
+    return Status::fail(errc::kChainBadAnchor,
                         "anchor header height does not match the manifest");
   }
   if (anchor.proposer_pub != expected_proposer(anchor.height)) {
-    return Status::fail("chain.bad_anchor", "anchor proposer not in schedule");
+    return Status::fail(errc::kChainBadAnchor, "anchor proposer not in schedule");
   }
   if (!crypto::verify(anchor.proposer_pub, anchor.signing_bytes(),
                       anchor.proposer_sig)) {
-    return Status::fail("chain.bad_anchor", "anchor header signature invalid");
+    return Status::fail(errc::kChainBadAnchor, "anchor header signature invalid");
   }
   if (anchor.state_root != manifest.commitment.root) {
-    return Status::fail("chain.bad_anchor",
+    return Status::fail(errc::kChainBadAnchor,
                         "anchor state_root does not match the manifest");
   }
   auto state = assemble_snapshot(manifest, chunks);
@@ -318,7 +322,7 @@ Result<std::size_t> Blockchain::import_blocks(const Bytes& data) {
   auto count = r.u32();
   if (!count.ok()) return count.error();
   if (count.value() > r.remaining() / 4) {
-    return make_error("chain.bad_block_count", "count exceeds payload size");
+    return make_error(errc::kChainBadBlockCount, "count exceeds payload size");
   }
   std::size_t appended = 0;
   for (std::uint32_t i = 0; i < count.value(); ++i) {

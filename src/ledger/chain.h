@@ -7,6 +7,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -71,6 +72,16 @@ class Blockchain {
 
   /// Full validation + commit. On any failure the chain is unchanged.
   [[nodiscard]] Status append(const Block& block);
+
+  /// Observer of successful commits: the block just appended plus the
+  /// inverse delta of its state changes — i.e. exactly which accounts and
+  /// stores it touched. Runs synchronously inside append() after the state
+  /// is committed (height() already counts the block), so the hook sees a
+  /// consistent tip and must stay cheap or dispatch elsewhere; it must not
+  /// call back into this chain's mutating API. One hook; set empty to clear.
+  /// The subscription publisher (ledger/subscription.h) hangs off this.
+  using CommitHook = std::function<void(const Block&, const StateUndo&)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
   /// Validate without committing (votes in the BFT round use this).
   [[nodiscard]] Status validate(const Block& block) const;
@@ -172,6 +183,7 @@ class Blockchain {
   std::deque<Retained> retained_;
   std::shared_ptr<ThreadPool> pool_;  ///< null when validation.threads <= 1
   mutable ValidationStats vstats_;
+  CommitHook commit_hook_;
 };
 
 }  // namespace mv::ledger

@@ -26,17 +26,17 @@ Status Mempool::add(Transaction tx, const LedgerState& state, Tick now) {
       config_.sig_cache->contains_and_touch(digest)) {
     // vouched for
   } else if (!tx.signature_valid()) {
-    return Status::fail("mempool.bad_signature", "rejected at admission");
+    return Status::fail(errc::kMempoolBadSignature, "rejected at admission");
   } else if (config_.sig_cache != nullptr) {
     config_.sig_cache->insert(digest);
   }
   const std::uint64_t dk = crypto::digest_prefix64(digest);
   if (by_digest_.contains(dk)) {
-    return Status::fail("mempool.duplicate", "transaction already pending");
+    return Status::fail(errc::kMempoolDuplicate, "transaction already pending");
   }
   const crypto::Address sender = tx.sender();
   if (tx.nonce < state.nonce(sender)) {
-    return Status::fail("mempool.stale_nonce", "nonce already consumed");
+    return Status::fail(errc::kMempoolStaleNonce, "nonce already consumed");
   }
   const std::uint64_t nonce = tx.nonce;
   if (const auto sit = by_sender_.find(sender.value); sit != by_sender_.end()) {
@@ -44,7 +44,7 @@ Status Mempool::add(Transaction tx, const LedgerState& state, Tick now) {
       // Same sender+nonce already pending: replace-by-fee, strictly higher.
       if (tx.fee <= it->second.tx.fee) {
         return Status::fail(
-            "mempool.underpriced",
+            errc::kMempoolUnderpriced,
             "pending tx with this nonce pays an equal or higher fee");
       }
       by_digest_.erase(it->second.dedupe);
@@ -68,7 +68,7 @@ Status Mempool::add(Transaction tx, const LedgerState& state, Tick now) {
       if (cheapest == by_fee_.end()) break;
       if (cheapest->first.first >= tx.fee) {
         ++stats_.rejected_full;
-        return Status::fail("mempool.full",
+        return Status::fail(errc::kMempoolFull,
                             "pool at capacity and fee does not beat the floor");
       }
       const Locator victim = cheapest->second;

@@ -33,7 +33,7 @@ SnapshotCatchup::SnapshotCatchup(net::Network& network, Blockchain& chain,
 
 Status SnapshotCatchup::start(NodeId peer, std::int64_t height) {
   if (light_client_.header_at(height) == nullptr) {
-    return Status::fail("snapshot.unknown_header",
+    return Status::fail(errc::kSnapshotUnknownHeader,
                         "light client has no verified header at this height");
   }
   manifest_.reset();
@@ -48,18 +48,18 @@ net::SnapshotClient::Hooks SnapshotCatchup::make_hooks() {
     auto manifest = SnapshotManifest::decode(bytes);
     if (!manifest.ok()) return std::move(manifest).error();
     if (manifest.value().height != height) {
-      return make_error("snapshot.bad_manifest",
+      return make_error(errc::kSnapshotBadManifest,
                         "manifest height does not match the request");
     }
     const BlockHeader* header = light_client_.header_at(height);
     if (header == nullptr) {
-      return make_error("snapshot.unknown_header",
+      return make_error(errc::kSnapshotUnknownHeader,
                         "light client lost the anchoring header");
     }
     // The one binding that makes every later check meaningful: the served
     // commitment must recombine to the verified header's state root.
     if (manifest.value().commitment.root != header->state_root) {
-      return make_error("snapshot.untrusted_manifest",
+      return make_error(errc::kSnapshotUntrustedManifest,
                         "manifest commitment does not match the verified "
                         "header's state root");
     }
@@ -73,11 +73,11 @@ net::SnapshotClient::Hooks SnapshotCatchup::make_hooks() {
   hooks.install =
       [this](std::vector<Bytes> chunks) -> Result<std::int64_t> {
     if (!manifest_.has_value()) {
-      return make_error("snapshot.no_manifest", "install without a manifest");
+      return make_error(errc::kSnapshotNoManifest, "install without a manifest");
     }
     const BlockHeader* anchor = light_client_.header_at(manifest_->height);
     if (anchor == nullptr) {
-      return make_error("snapshot.unknown_header",
+      return make_error(errc::kSnapshotUnknownHeader,
                         "light client lost the anchoring header");
     }
     if (Status s = chain_.init_from_snapshot(*manifest_, chunks, *anchor);

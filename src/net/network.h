@@ -74,6 +74,12 @@ struct NetworkStats {
   std::uint64_t snapshot_retries = 0;          ///< re-requests (timeout/reject)
   std::uint64_t snapshot_syncs_completed = 0;
   std::uint64_t snapshot_syncs_failed = 0;
+  /// Chunk requests answered with an explicit server_busy NACK (the serve
+  /// job was shed) instead of a silent non-answer.
+  std::uint64_t snapshot_busy_nacks = 0;
+  // Subscription protocol counters (net/subscription.h).
+  std::uint64_t subscription_sheds = 0;    ///< whole-commit fan-outs shed
+  std::uint64_t subscribers_evicted = 0;   ///< dropped at the unacked cap
 };
 
 class Network {
@@ -142,6 +148,10 @@ class Network {
     count(completed ? &NetworkStats::snapshot_syncs_completed
                     : &NetworkStats::snapshot_syncs_failed);
   }
+  void note_snapshot_busy_nack() { count(&NetworkStats::snapshot_busy_nacks); }
+  // Subscription protocol events (net/subscription.h).
+  void note_subscription_shed() { count(&NetworkStats::subscription_sheds); }
+  void note_subscriber_evicted() { count(&NetworkStats::subscribers_evicted); }
   [[nodiscard]] SimClock& clock() { return clock_; }
 
  private:

@@ -44,18 +44,28 @@ std::optional<ChunkReq> decode_chunk_req(const Bytes& payload) {
   return ChunkReq{height.value(), index.value()};
 }
 
+// Response status byte. kBusy is the chunk path's explicit load-shed NACK:
+// cheap to produce (no source lookup, empty data) and never shed itself, it
+// tells the client to back off without burning its retry budget — a silent
+// shed would be indistinguishable from packet loss and charged as one.
+constexpr std::uint8_t kRespRefused = 0;
+constexpr std::uint8_t kRespOk = 1;
+constexpr std::uint8_t kRespBusy = 2;
+
 struct Resp {
   std::int64_t height = 0;
   std::uint32_t index = 0;  ///< chunk responses only
-  bool ok = false;
+  std::uint8_t status = kRespRefused;
   Bytes data;
+
+  [[nodiscard]] bool ok() const { return status == kRespOk; }
 };
 
 Bytes encode_resp(const Resp& resp, bool with_index) {
   ByteWriter w;
   w.i64(resp.height);
   if (with_index) w.u32(resp.index);
-  w.u8(resp.ok ? 1 : 0);
+  w.u8(resp.status);
   w.bytes(resp.data);
   return w.take();
 }
@@ -71,9 +81,9 @@ std::optional<Resp> decode_resp(const Bytes& payload, bool with_index) {
     if (!index.ok()) return std::nullopt;
     resp.index = index.value();
   }
-  const auto ok = r.u8();
-  if (!ok.ok() || ok.value() > 1) return std::nullopt;
-  resp.ok = ok.value() == 1;
+  const auto status = r.u8();
+  if (!status.ok() || status.value() > kRespBusy) return std::nullopt;
+  resp.status = status.value();
   auto data = r.bytes();
   if (!data.ok() || !r.exhausted()) return std::nullopt;
   resp.data = std::move(data).value();
@@ -91,7 +101,7 @@ bool SnapshotServer::handle(const Message& msg) {
     Resp resp;
     resp.height = *height;
     resp.data = source_.manifest ? source_.manifest(*height) : Bytes{};
-    resp.ok = !resp.data.empty();
+    resp.status = resp.data.empty() ? kRespRefused : kRespOk;
     (void)network_.send(self_, msg.from, kSnapshotManifestResp,
                         encode_resp(resp, /*with_index=*/false));
     return true;
@@ -101,14 +111,26 @@ bool SnapshotServer::handle(const Message& msg) {
     if (!req.has_value()) return true;
     if (queue_ != nullptr) {
       // Served off the simulation thread as kSnapshotServe work. A shed job
-      // simply never answers — indistinguishable from a lost response, which
-      // the client's timeout/retry machinery already handles.
+      // is answered inline with a busy NACK — producing it costs no source
+      // lookup and no serialization of chunk data, so the NACK itself is
+      // never shed — and the client backs off immediately instead of
+      // spending timeout ticks and a retry on what looks like loss.
       const NodeId requester = msg.from;
       const std::int64_t height = req->height;
       const std::uint32_t index = req->index;
-      queue_->submit(JobClass::kSnapshotServe, [this, requester, height, index] {
-        serve_chunk(requester, height, index);
-      });
+      const bool admitted = queue_->submit(
+          JobClass::kSnapshotServe, [this, requester, height, index] {
+            serve_chunk(requester, height, index);
+          });
+      if (!admitted) {
+        Resp resp;
+        resp.height = height;
+        resp.index = index;
+        resp.status = kRespBusy;
+        network_.note_snapshot_busy_nack();
+        (void)network_.send(self_, requester, kSnapshotChunkResp,
+                            encode_resp(resp, /*with_index=*/true));
+      }
       return true;
     }
     serve_chunk(msg.from, req->height, req->index);
@@ -122,7 +144,7 @@ bool SnapshotServer::handle(const Message& msg) {
     resp.data = source_.blocks ? source_.blocks(*from_height) : Bytes{};
     // An empty archive is still a valid answer (the peer is already caught
     // up); only a missing callback refuses.
-    resp.ok = static_cast<bool>(source_.blocks);
+    resp.status = source_.blocks ? kRespOk : kRespRefused;
     (void)network_.send(self_, msg.from, kSnapshotBlocksResp,
                         encode_resp(resp, /*with_index=*/false));
     return true;
@@ -136,9 +158,9 @@ void SnapshotServer::serve_chunk(NodeId requester, std::int64_t height,
   resp.height = height;
   resp.index = index;
   resp.data = source_.chunk ? source_.chunk(height, index) : Bytes{};
-  resp.ok = !resp.data.empty();
-  if (resp.ok && chunk_fault_) chunk_fault_(index, resp.data);
-  if (resp.ok) network_.note_snapshot_chunk_served();
+  resp.status = resp.data.empty() ? kRespRefused : kRespOk;
+  if (resp.ok() && chunk_fault_) chunk_fault_(index, resp.data);
+  if (resp.ok()) network_.note_snapshot_chunk_served();
   (void)network_.send(self_, requester, kSnapshotChunkResp,
                       encode_resp(resp, /*with_index=*/true));
 }
@@ -148,7 +170,7 @@ void SnapshotServer::serve_chunk(NodeId requester, std::int64_t height,
 Status SnapshotClient::start(NodeId peer, std::int64_t height) {
   if (phase_ != Phase::kIdle && phase_ != Phase::kDone &&
       phase_ != Phase::kFailed) {
-    return Status::fail("snapshot.busy", "a sync is already running");
+    return Status::fail(errc::kSnapshotBusy, "a sync is already running");
   }
   peer_ = peer;
   height_ = height;
@@ -187,13 +209,14 @@ void SnapshotClient::request_chunk(std::uint32_t index) {
   auto& slot = inflight_[index];
   if (!slot.has_value()) slot = Inflight{};
   slot->sent_at = network_.clock().now();
+  slot->resend_at = -1;
   (void)network_.send(self_, peer_, kSnapshotChunkReq,
                       encode_chunk_req(ChunkReq{height_, index}));
 }
 
 void SnapshotClient::retry(Inflight& slot, const std::function<void()>& resend) {
   if (slot.retries >= config_.max_retries) {
-    fail("snapshot.timeout", "retry budget exhausted");
+    fail(errc::kSnapshotTimeout, "retry budget exhausted");
     return;
   }
   ++slot.retries;
@@ -218,8 +241,8 @@ void SnapshotClient::on_manifest(const Message& msg) {
   if (phase_ != Phase::kManifest || msg.from != peer_) return;
   const auto resp = decode_resp(msg.payload(), /*with_index=*/false);
   if (!resp.has_value() || resp->height != height_) return;
-  if (!resp->ok) {
-    fail("snapshot.unavailable", "peer does not serve this height");
+  if (!resp->ok()) {
+    fail(errc::kSnapshotUnavailable, "peer does not serve this height");
     return;
   }
   auto digests = hooks_.accept_manifest(height_, resp->data);
@@ -229,7 +252,7 @@ void SnapshotClient::on_manifest(const Message& msg) {
   }
   expected_ = std::move(digests).value();
   if (expected_.empty()) {
-    fail("snapshot.bad_manifest", "manifest commits to zero chunks");
+    fail(errc::kSnapshotBadManifest, "manifest commits to zero chunks");
     return;
   }
   chunks_.assign(expected_.size(), Bytes{});
@@ -252,8 +275,25 @@ void SnapshotClient::on_chunk(const Message& msg) {
   if (have_[index]) return;  // duplicate after a retried request
   auto& slot = inflight_[index];
   if (!slot.has_value()) return;  // stale reply from an abandoned sync
-  if (!resp->ok) {
-    fail("snapshot.unavailable", "peer refused chunk " + std::to_string(index));
+  if (resp->status == kRespBusy) {
+    // The server shed the serve job and said so. Defer the re-request with
+    // linear backoff instead of charging the retry budget — that budget
+    // exists to bound loss/corruption, and an honest "busy" is neither. A
+    // persistently busy server still can't pin us forever: consecutive
+    // deferrals are capped on their own.
+    ++slot->busy_defers;
+    if (slot->busy_defers > config_.max_retries * 4) {
+      fail(errc::kSnapshotServerBusy, "server persistently busy for chunk " +
+                                          std::to_string(index));
+      return;
+    }
+    slot->resend_at = network_.clock().now() +
+                      config_.backoff * static_cast<Tick>(slot->busy_defers);
+    return;
+  }
+  if (!resp->ok()) {
+    fail(errc::kSnapshotUnavailable,
+         "peer refused chunk " + std::to_string(index));
     return;
   }
   if (hooks_.chunk_digest(index, resp->data) != expected_[index]) {
@@ -289,8 +329,8 @@ void SnapshotClient::on_blocks(const Message& msg) {
   if (phase_ != Phase::kBlocks || msg.from != peer_) return;
   const auto resp = decode_resp(msg.payload(), /*with_index=*/false);
   if (!resp.has_value() || resp->height != replay_from_) return;
-  if (!resp->ok) {
-    fail("snapshot.unavailable", "peer does not serve the block suffix");
+  if (!resp->ok()) {
+    fail(errc::kSnapshotUnavailable, "peer does not serve the block suffix");
     return;
   }
   if (Status s = hooks_.replay(resp->data); !s.ok()) {
@@ -320,6 +360,7 @@ bool SnapshotClient::handle(const Message& msg) {
 void SnapshotClient::tick() {
   const Tick now = network_.clock().now();
   const auto timed_out = [&](const Inflight& slot) {
+    if (slot.resend_at >= 0) return false;  // parked on busy backoff
     const Tick deadline =
         slot.sent_at + config_.request_timeout +
         static_cast<Tick>(slot.retries) * config_.backoff;
@@ -332,7 +373,13 @@ void SnapshotClient::tick() {
     case Phase::kChunks:
       for (std::uint32_t i = 0; i < inflight_.size(); ++i) {
         auto& slot = inflight_[i];
-        if (!slot.has_value() || !timed_out(*slot)) continue;
+        if (!slot.has_value()) continue;
+        if (slot->resend_at >= 0 && now >= slot->resend_at) {
+          // Busy backoff elapsed: re-send without touching the retry budget.
+          request_chunk(i);
+          continue;
+        }
+        if (!timed_out(*slot)) continue;
         retry(*slot, [this, i] { request_chunk(i); });
         if (phase_ == Phase::kFailed) return;
       }

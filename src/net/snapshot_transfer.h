@@ -46,8 +46,10 @@ struct SnapshotTransferConfig {
 ///
 /// With a JobQueue configured, chunk requests — the bulk of a sync's cost —
 /// are served as JobClass::kSnapshotServe jobs instead of inline: an
-/// overloaded server sheds them silently (no response; the client's timeout
-/// and retry machinery recovers, so shedding looks like loss). Manifest and
+/// overloaded server sheds the serve and answers a cheap `busy` NACK
+/// (never shed itself — it costs no state lookup or serialization), so the
+/// client defers and re-asks instead of burning timeout ticks and retry
+/// budget on what would otherwise look like loss. Manifest and
 /// block-suffix requests stay inline — they happen once per sync and gate
 /// everything else. The source callbacks then run on queue workers, so what
 /// they read (e.g. a chain's retained state) must not mutate concurrently;
@@ -139,6 +141,13 @@ class SnapshotClient {
   struct Inflight {
     Tick sent_at = 0;
     std::size_t retries = 0;
+    /// Consecutive server_busy NACKs; deferrals, not retries — an honest
+    /// busy answer never charges the loss-retry budget, but is capped on its
+    /// own so a permanently overloaded server still fails the sync.
+    std::size_t busy_defers = 0;
+    /// When >= 0, the request is parked until this tick (busy backoff); the
+    /// timeout scan skips it and tick() re-sends once the tick arrives.
+    Tick resend_at = -1;
   };
 
   void fail(std::string code, std::string message);

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "crypto/digest_lru.h"
 #include "ledger/chain.h"
@@ -593,8 +596,8 @@ TEST(SnapshotTransfer, LossyNetworkCatchUpConverges) {
 TEST(SnapshotTransfer, QueueServedChunksConvergeAndShedRecoversViaRetry) {
   // Chunk serving runs as kSnapshotServe jobs on a worker. The lane's depth
   // ceiling is tighter than the client's request window, so bursts may be
-  // shed — a shed serve is a silent non-answer the client's timeout/retry
-  // machinery must absorb without the sync noticing.
+  // shed — a shed serve answers a cheap busy NACK the client absorbs by
+  // deferring and re-asking, and the sync must converge regardless.
   NetFixture f(/*drop_rate=*/0.0);
   const std::int64_t snap_height = f.source.height() - 2;
 
@@ -629,6 +632,75 @@ TEST(SnapshotTransfer, QueueServedChunksConvergeAndShedRecoversViaRetry) {
   EXPECT_EQ(f.replica.tip_hash(), f.source.tip_hash());
   EXPECT_EQ(f.replica.state().commitment(), f.source.state().commitment());
   EXPECT_GT(queue.stats().of(JobClass::kSnapshotServe).completed, 0u);
+}
+
+TEST(SnapshotBusyNack, DefersWithoutBurningRetryBudget) {
+  // A saturated serve lane answers chunk requests with an explicit busy
+  // NACK. The client must park those requests on a backoff timer — not
+  // charge its retry budget (that bounds loss/corruption, and "busy" is
+  // neither) and not let its timeout machinery double-fire on them — and
+  // the sync must complete once the server frees up.
+  NetFixture f(/*drop_rate=*/0.0);
+  const std::int64_t snap_height = f.source.height() - 2;
+
+  JobQueueConfig qconfig;
+  qconfig.threads = 1;
+  qconfig.limit(JobClass::kSnapshotServe).max_depth = 1;
+  JobQueue queue(qconfig);
+  net::SnapshotServer server(f.net, make_snapshot_source(f.source, 512),
+                             &queue);
+  SnapshotCatchup catchup(f.net, f.replica, f.lc,
+                          net::SnapshotTransferConfig{4, 8, 6, 4});
+  const NodeId server_node =
+      f.net.add_node([&](const net::Message& m) { server.handle(m); });
+  const NodeId client_node =
+      f.net.add_node([&](const net::Message& m) { catchup.handle(m); });
+  server.bind(server_node);
+  catchup.bind(client_node);
+
+  // Pin the single worker, then fill the lane's depth allowance: every chunk
+  // request from here until release is answered busy, deterministically.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(queue.submit(JobClass::kSnapshotServe, [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  }));
+  while (queue.stats().of(JobClass::kSnapshotServe).depth > 0) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(queue.submit(JobClass::kSnapshotServe, [] {}));
+
+  ASSERT_TRUE(catchup.start(server_node, snap_height).ok());
+  bool released = false;
+  for (Tick t = 0; t < 20000 && !catchup.done() && !catchup.failed(); ++t) {
+    f.clock.advance(1);
+    f.net.step();
+    if (t == 60) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+      }
+      cv.notify_all();
+      released = true;
+    }
+    if (released) queue.drain();
+    catchup.tick();
+  }
+  ASSERT_TRUE(catchup.done())
+      << (catchup.failure() ? catchup.failure()->to_string() : "timed out");
+  queue.drain();
+
+  EXPECT_EQ(f.replica.height(), f.source.height());
+  EXPECT_EQ(f.replica.tip_hash(), f.source.tip_hash());
+  const net::NetworkStats& stats = f.net.stats();
+  // The busy window really happened, and it cost deferrals, not retries:
+  // every NACKed request was parked and re-sent, never timed out.
+  EXPECT_GT(stats.snapshot_busy_nacks, 0u);
+  EXPECT_EQ(stats.snapshot_retries, 0u);
+  EXPECT_EQ(stats.snapshot_syncs_completed, 1u);
+  EXPECT_GT(queue.stats().of(JobClass::kSnapshotServe).shed(), 0u);
 }
 
 TEST(SnapshotTransfer, CorruptedChunksAreReRequested) {
