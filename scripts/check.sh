@@ -91,6 +91,27 @@ if echo "${sub_out}" | grep -qi 'skipped'; then
   exit 1
 fi
 
+echo "== gate: scenario replay regression (golden traces, codec fuzz, invariants) =="
+# The macro-workload harness (DESIGN.md §12): checked-in golden traces must
+# replay byte-identically, every single-byte trace mutation must be rejected,
+# the determinism sweep must agree across stack configurations, and the
+# cross-module invariant checker must pass on every replayed block.
+scen_out="$(ctest --test-dir build -R 'Scenario(Trace|Golden|Invariant|Harness)' --no-tests=error --output-on-failure 2>&1)" || {
+  echo "${scen_out}"
+  echo "FAIL: scenario replay-regression tests did not run or did not pass"
+  exit 1
+}
+if echo "${scen_out}" | grep -qi 'skipped'; then
+  echo "${scen_out}"
+  echo "FAIL: scenario replay-regression tests were skipped"
+  exit 1
+fi
+
+echo "== bench: e2e macro workloads -> BENCH_e2e.json =="
+MV_BENCH_NO_TABLE=1 ./build/bench/bench_e2e \
+  --benchmark_out=BENCH_e2e.json \
+  --benchmark_out_format=json
+
 echo "== bench: ledger microbenchmarks -> BENCH_ledger.json (median of 3) =="
 MV_BENCH_NO_TABLE=1 ./build/bench/bench_ledger \
   --benchmark_filter='BM_BlockAssembleValidate|BM_ParallelBlockValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove|BM_AccountProofRoundTrip|BM_CatchUp|BM_SnapshotExportImport|BM_BlockValidateSigCache|BM_JobQueue|BM_SubscriptionFanout' \

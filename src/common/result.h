@@ -72,6 +72,68 @@ inline constexpr const char* kMempoolStaleNonce = "mempool.stale_nonce";
 inline constexpr const char* kMempoolUnderpriced = "mempool.underpriced";
 inline constexpr const char* kMempoolFull = "mempool.full";
 
+// tx.* — transaction application failures (ledger/state.h apply()). These
+// reject one transaction, never the block; a client retries only after
+// changing the transaction (new nonce, more funds), so none are transient.
+inline constexpr const char* kTxBadSignature = "tx.bad_signature";
+inline constexpr const char* kTxBadNonce = "tx.bad_nonce";
+inline constexpr const char* kTxBadRecipient = "tx.bad_recipient";
+inline constexpr const char* kTxUnknownContract = "tx.unknown_contract";
+inline constexpr const char* kTxBadKind = "tx.bad_kind";
+/// Raised by LedgerView::debit (transfers, fees, and contract escrow flows).
+inline constexpr const char* kStateInsufficientFunds = "state.insufficient_funds";
+
+// nft.* — NFT contract rejections (nft/contract.h). Scenario replay
+// classifies these as permanent per-transaction outcomes.
+inline constexpr const char* kNftUnknownMethod = "nft.unknown_method";
+inline constexpr const char* kNftBadArgs = "nft.bad_args";
+inline constexpr const char* kNftRoyaltyTooHigh = "nft.royalty_too_high";
+inline constexpr const char* kNftNoSuchToken = "nft.no_such_token";
+inline constexpr const char* kNftNotOwner = "nft.not_owner";
+inline constexpr const char* kNftListed = "nft.listed";
+inline constexpr const char* kNftNotListed = "nft.not_listed";
+inline constexpr const char* kNftSelfPurchase = "nft.self_purchase";
+inline constexpr const char* kNftNoStore = "nft.no_store";
+
+// dao.* — DAO contract rejections (dao/contract.h).
+inline constexpr const char* kDaoUnknownMethod = "dao.unknown_method";
+inline constexpr const char* kDaoBadArgs = "dao.bad_args";
+inline constexpr const char* kDaoAlreadyMember = "dao.already_member";
+inline constexpr const char* kDaoNotAMember = "dao.not_a_member";
+inline constexpr const char* kDaoNoSuchProposal = "dao.no_such_proposal";
+inline constexpr const char* kDaoCorruptMeta = "dao.corrupt_meta";
+inline constexpr const char* kDaoVotingClosed = "dao.voting_closed";
+inline constexpr const char* kDaoVotingOpen = "dao.voting_open";
+inline constexpr const char* kDaoDoubleVote = "dao.double_vote";
+inline constexpr const char* kDaoAlreadyFinalized = "dao.already_finalized";
+inline constexpr const char* kDaoNoStore = "dao.no_store";
+
+// rep.* — on-chain reputation contract (reputation/contract.h).
+inline constexpr const char* kRepUnknownMethod = "rep.unknown_method";
+inline constexpr const char* kRepBadArgs = "rep.bad_args";
+inline constexpr const char* kRepSelfRating = "rep.self_rating";
+inline constexpr const char* kRepDeltaTooLarge = "rep.delta_too_large";
+inline constexpr const char* kRepCooldown = "rep.cooldown";
+
+// mod.* — on-chain moderation report registry (moderation/contract.h).
+inline constexpr const char* kModUnknownMethod = "mod.unknown_method";
+inline constexpr const char* kModBadArgs = "mod.bad_args";
+inline constexpr const char* kModSelfReport = "mod.self_report";
+inline constexpr const char* kModNoSuchReport = "mod.no_such_report";
+inline constexpr const char* kModAlreadyResolved = "mod.already_resolved";
+inline constexpr const char* kModNotModerator = "mod.not_moderator";
+
+// trace.* — scenario trace codec + replay (scenario/trace.h,
+// scenario/harness.h).
+inline constexpr const char* kTraceBadMagic = "trace.bad_magic";
+inline constexpr const char* kTraceBadVersion = "trace.bad_version";
+inline constexpr const char* kTraceTruncated = "trace.truncated";
+inline constexpr const char* kTraceBadCount = "trace.bad_count";
+inline constexpr const char* kTraceBadChecksum = "trace.bad_checksum";
+inline constexpr const char* kTraceBadTx = "trace.bad_tx";
+inline constexpr const char* kTraceGenesisMismatch = "trace.genesis_mismatch";
+inline constexpr const char* kTraceReplayDiverged = "trace.replay_diverged";
+
 /// True when a retry of the same request may succeed without the caller
 /// changing anything (load shedding, transient contention, lost responses).
 /// Permanent answers — bad heights, pruned history, malformed payloads —

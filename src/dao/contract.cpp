@@ -89,13 +89,13 @@ Status DaoContract::call(ledger::CallContext& ctx, const std::string& method,
   if (method == "propose") return do_propose(ctx, args);
   if (method == "vote") return do_vote(ctx, args);
   if (method == "finalize") return do_finalize(ctx, args);
-  return Status::fail("dao.unknown_method", method);
+  return Status::fail(errc::kDaoUnknownMethod, method);
 }
 
 Status DaoContract::do_join(ledger::CallContext& ctx) const {
   const std::string key = member_key(ctx.caller());
   if (ctx.get(key) != nullptr) {
-    return Status::fail("dao.already_member", "caller already joined");
+    return Status::fail(errc::kDaoAlreadyMember, "caller already joined");
   }
   ctx.put(key, encode_u64(1));
   ctx.put("member_count", encode_u64(read_u64(ctx.get("member_count")) + 1));
@@ -104,11 +104,11 @@ Status DaoContract::do_join(ledger::CallContext& ctx) const {
 
 Status DaoContract::do_propose(ledger::CallContext& ctx, const Bytes& args) const {
   if (ctx.get(member_key(ctx.caller())) == nullptr) {
-    return Status::fail("dao.not_a_member", "join first");
+    return Status::fail(errc::kDaoNotAMember, "join first");
   }
   ByteReader r(args);
   auto title = r.str();
-  if (!title.ok()) return Status::fail("dao.bad_args", "missing title");
+  if (!title.ok()) return Status::fail(errc::kDaoBadArgs, "missing title");
 
   const std::uint64_t id = read_u64(ctx.get("next_id"));
   ctx.put("next_id", encode_u64(id + 1));
@@ -124,29 +124,29 @@ Status DaoContract::do_propose(ledger::CallContext& ctx, const Bytes& args) cons
 
 Status DaoContract::do_vote(ledger::CallContext& ctx, const Bytes& args) const {
   if (ctx.get(member_key(ctx.caller())) == nullptr) {
-    return Status::fail("dao.not_a_member", "join first");
+    return Status::fail(errc::kDaoNotAMember, "join first");
   }
   ByteReader r(args);
   auto id = r.u64();
   auto choice = r.u8();
   if (!id.ok() || !choice.ok() || choice.value() > 2) {
-    return Status::fail("dao.bad_args", "vote(id: u64, choice: 0|1|2)");
+    return Status::fail(errc::kDaoBadArgs, "vote(id: u64, choice: 0|1|2)");
   }
   const Bytes* meta_bytes = ctx.get(meta_key(id.value()));
   if (meta_bytes == nullptr) {
-    return Status::fail("dao.no_such_proposal", "unknown proposal");
+    return Status::fail(errc::kDaoNoSuchProposal, "unknown proposal");
   }
   auto meta = Meta::decode(*meta_bytes);
-  if (!meta.ok()) return Status::fail("dao.corrupt_meta", "meta undecodable");
+  if (!meta.ok()) return Status::fail(errc::kDaoCorruptMeta, "meta undecodable");
   if (meta.value().status != static_cast<std::uint8_t>(OnChainStatus::kVoting)) {
-    return Status::fail("dao.voting_closed", "proposal finalized");
+    return Status::fail(errc::kDaoVotingClosed, "proposal finalized");
   }
   if (ctx.height() >= meta.value().created_height + config_.voting_period_blocks) {
-    return Status::fail("dao.voting_closed", "voting period elapsed");
+    return Status::fail(errc::kDaoVotingClosed, "voting period elapsed");
   }
   const std::string key = vote_key(id.value(), ctx.caller());
   if (ctx.get(key) != nullptr) {
-    return Status::fail("dao.double_vote", "ballot already cast");
+    return Status::fail(errc::kDaoDoubleVote, "ballot already cast");
   }
   // Ballot record: choice + weight. Weight is the caller's balance at vote
   // time under token weighting, 1 otherwise.
@@ -163,19 +163,19 @@ Status DaoContract::do_vote(ledger::CallContext& ctx, const Bytes& args) const {
 Status DaoContract::do_finalize(ledger::CallContext& ctx, const Bytes& args) const {
   ByteReader r(args);
   auto id = r.u64();
-  if (!id.ok()) return Status::fail("dao.bad_args", "finalize(id: u64)");
+  if (!id.ok()) return Status::fail(errc::kDaoBadArgs, "finalize(id: u64)");
   const Bytes* meta_bytes = ctx.get(meta_key(id.value()));
   if (meta_bytes == nullptr) {
-    return Status::fail("dao.no_such_proposal", "unknown proposal");
+    return Status::fail(errc::kDaoNoSuchProposal, "unknown proposal");
   }
   auto meta_result = Meta::decode(*meta_bytes);
-  if (!meta_result.ok()) return Status::fail("dao.corrupt_meta", "meta undecodable");
+  if (!meta_result.ok()) return Status::fail(errc::kDaoCorruptMeta, "meta undecodable");
   Meta meta = meta_result.value();
   if (meta.status != static_cast<std::uint8_t>(OnChainStatus::kVoting)) {
-    return Status::fail("dao.already_finalized", "proposal closed");
+    return Status::fail(errc::kDaoAlreadyFinalized, "proposal closed");
   }
   if (ctx.height() < meta.created_height + config_.voting_period_blocks) {
-    return Status::fail("dao.voting_open", "voting period not over");
+    return Status::fail(errc::kDaoVotingOpen, "voting period not over");
   }
 
   double counts[3] = {0, 0, 0};
@@ -224,10 +224,10 @@ Result<DaoContract::ProposalView> DaoContract::proposal(
     const ledger::LedgerState& state, const std::string& contract,
     std::uint64_t id) {
   const auto* store = state.find_store(contract);
-  if (store == nullptr) return make_error("dao.no_store", "contract has no state");
+  if (store == nullptr) return make_error(errc::kDaoNoStore, "contract has no state");
   const auto meta_it = store->find(meta_key(id));
   if (meta_it == store->end()) {
-    return make_error("dao.no_such_proposal", "unknown proposal");
+    return make_error(errc::kDaoNoSuchProposal, "unknown proposal");
   }
   auto meta = Meta::decode(meta_it->second);
   if (!meta.ok()) return meta.error();

@@ -88,7 +88,7 @@ void LedgerView::credit(crypto::Address a, std::uint64_t amount) {
 Status LedgerView::debit(crypto::Address a, std::uint64_t amount) {
   const auto bal = find_balance(a);
   if (!bal.has_value() || *bal < amount) {
-    return Status::fail("state.insufficient_funds",
+    return Status::fail(errc::kStateInsufficientFunds,
                         "balance below " + std::to_string(amount));
   }
   set_balance(a, *bal - amount);
@@ -101,11 +101,11 @@ Status LedgerView::apply(const Transaction& tx,
   // apply() is atomic: any failure leaves the view exactly as it was, so
   // block assembly can trial-apply candidates in sequence and skip failures.
   if (!signature_preverified && !tx.signature_valid()) {
-    return Status::fail("tx.bad_signature", "signature does not verify");
+    return Status::fail(errc::kTxBadSignature, "signature does not verify");
   }
   const crypto::Address sender = tx.sender();
   if (tx.nonce != nonce(sender)) {
-    return Status::fail("tx.bad_nonce",
+    return Status::fail(errc::kTxBadNonce,
                         "expected " + std::to_string(nonce(sender)) + " got " +
                             std::to_string(tx.nonce));
   }
@@ -114,14 +114,14 @@ Status LedgerView::apply(const Transaction& tx,
       auto body = TransferBody::decode(tx.payload);
       if (!body.ok()) return Status::fail(body.error().code, body.error().message);
       if (!body.value().to.valid()) {
-        return Status::fail("tx.bad_recipient", "null recipient");
+        return Status::fail(errc::kTxBadRecipient, "null recipient");
       }
       // All checks before any mutation keeps this branch trivially atomic.
       // One lookup serves the affordability check and the debit.
       const std::uint64_t need = tx.fee + body.value().amount;
       const auto bal = find_balance(sender);
       if (bal.value_or(0) < need) {
-        return Status::fail("state.insufficient_funds", "cannot cover amount + fee");
+        return Status::fail(errc::kStateInsufficientFunds, "cannot cover amount + fee");
       }
       if (bal.has_value()) set_balance(sender, *bal - need);
       credit(body.value().to, body.value().amount);
@@ -132,7 +132,7 @@ Status LedgerView::apply(const Transaction& tx,
       if (!body.ok()) return Status::fail(body.error().code, body.error().message);
       const auto bal = find_balance(sender);
       if (bal.value_or(0) < tx.fee) {
-        return Status::fail("state.insufficient_funds", "cannot cover fee");
+        return Status::fail(errc::kStateInsufficientFunds, "cannot cover fee");
       }
       if (bal.has_value()) set_balance(sender, *bal - tx.fee);
       append_audit(StoredAuditRecord{sender, std::move(body).value(), height});
@@ -141,10 +141,10 @@ Status LedgerView::apply(const Transaction& tx,
     case TxKind::kContractCall: {
       const Contract* contract = contracts.find(tx.contract);
       if (contract == nullptr) {
-        return Status::fail("tx.unknown_contract", tx.contract);
+        return Status::fail(errc::kTxUnknownContract, tx.contract);
       }
       if (balance(sender) < tx.fee) {
-        return Status::fail("state.insufficient_funds", "cannot cover fee");
+        return Status::fail(errc::kStateInsufficientFunds, "cannot cover fee");
       }
       // Contract bodies may fail after arbitrary writes; running the call in
       // a nested overlay keeps the whole transaction atomic — discarding the
@@ -159,7 +159,7 @@ Status LedgerView::apply(const Transaction& tx,
       break;
     }
     default:
-      return Status::fail("tx.bad_kind", "unknown transaction kind");
+      return Status::fail(errc::kTxBadKind, "unknown transaction kind");
   }
   set_nonce(sender, tx.nonce + 1);
   add_burned_fees(tx.fee);

@@ -1,0 +1,78 @@
+// ModerationContract: the report queue as replicated ledger state (§III-D).
+//
+// The in-memory ModerationEngine (moderation/engine.h) models staffing and
+// latency; this contract is the on-chain registry the paper's transparency
+// argument implies — filing a report and resolving it are signed
+// transactions, so "who reported whom, and what was decided" is replicated
+// and auditable, and report storms land as real ledger traffic in the
+// macro-workload harness.
+//
+// Methods (args ByteWriter-encoded):
+//   report(offender: u64-address, kind: u8, detail: str) — file a report
+//   resolve(id: u64, uphold: u8)                         — moderator verdict
+//
+// Only the configured moderator address may resolve. The store keeps
+// open_count / upheld_count counters in lockstep with the report records —
+// the consistency the scenario invariant checker audits every block.
+#pragma once
+
+#include <string>
+
+#include "ledger/state.h"
+
+namespace mv::moderation {
+
+struct ModerationContractConfig {
+  std::string name = "moderation";
+  /// The platform's sanction identity: the only address allowed to resolve.
+  crypto::Address moderator;
+  /// Report kinds are u8 in [0, max_kind].
+  std::uint8_t max_kind = 3;
+};
+
+enum class ReportStatus : std::uint8_t { kOpen = 0, kUpheld = 1, kDismissed = 2 };
+
+class ModerationContract final : public ledger::Contract {
+ public:
+  explicit ModerationContract(ModerationContractConfig config)
+      : config_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return config_.name; }
+  [[nodiscard]] Status call(ledger::CallContext& ctx, const std::string& method,
+                            const Bytes& args) const override;
+
+  [[nodiscard]] const ModerationContractConfig& config() const { return config_; }
+
+  struct ReportView {
+    crypto::Address reporter;
+    crypto::Address offender;
+    std::uint8_t kind = 0;
+    std::int64_t filed_height = 0;
+    ReportStatus status = ReportStatus::kOpen;
+  };
+
+  // ---- read-side helpers (inspect a committed state) ----
+  [[nodiscard]] static std::uint64_t report_count(const ledger::LedgerState& state,
+                                                  const std::string& contract);
+  [[nodiscard]] static std::uint64_t open_count(const ledger::LedgerState& state,
+                                                const std::string& contract);
+  [[nodiscard]] static std::uint64_t upheld_count(const ledger::LedgerState& state,
+                                                  const std::string& contract);
+  [[nodiscard]] static Result<ReportView> report(const ledger::LedgerState& state,
+                                                 const std::string& contract,
+                                                 std::uint64_t id);
+
+  // ---- argument encoders ----
+  [[nodiscard]] static Bytes encode_report(crypto::Address offender,
+                                           std::uint8_t kind,
+                                           const std::string& detail);
+  [[nodiscard]] static Bytes encode_resolve(std::uint64_t id, bool uphold);
+
+ private:
+  Status do_report(ledger::CallContext& ctx, const Bytes& args) const;
+  Status do_resolve(ledger::CallContext& ctx, const Bytes& args) const;
+
+  ModerationContractConfig config_;
+};
+
+}  // namespace mv::moderation

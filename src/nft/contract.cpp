@@ -50,7 +50,7 @@ Status NftContract::call(ledger::CallContext& ctx, const std::string& method,
   if (method == "list") return do_list(ctx, args);
   if (method == "cancel") return do_cancel(ctx, args);
   if (method == "buy") return do_buy(ctx, args);
-  return Status::fail("nft.unknown_method", method);
+  return Status::fail(errc::kNftUnknownMethod, method);
 }
 
 Status NftContract::do_mint(ledger::CallContext& ctx, const Bytes& args) const {
@@ -58,10 +58,10 @@ Status NftContract::do_mint(ledger::CallContext& ctx, const Bytes& args) const {
   auto uri = r.str();
   auto royalty = r.u32();
   if (!uri.ok() || !royalty.ok()) {
-    return Status::fail("nft.bad_args", "mint(uri: str, royalty_bps: u32)");
+    return Status::fail(errc::kNftBadArgs, "mint(uri: str, royalty_bps: u32)");
   }
   if (royalty.value() > kMaxRoyaltyBps) {
-    return Status::fail("nft.royalty_too_high", "royalty above 50%");
+    return Status::fail(errc::kNftRoyaltyTooHigh, "royalty above 50%");
   }
   const std::uint64_t id = dec_u64(ctx.get("next_token"));
   ctx.put("next_token", enc_u64(id + 1));
@@ -77,15 +77,15 @@ Status NftContract::do_transfer(ledger::CallContext& ctx, const Bytes& args) con
   auto token = r.u64();
   auto to = r.u64();
   if (!token.ok() || !to.ok() || to.value() == 0) {
-    return Status::fail("nft.bad_args", "transfer(token: u64, to: address)");
+    return Status::fail(errc::kNftBadArgs, "transfer(token: u64, to: address)");
   }
   const Bytes* owner = ctx.get(owner_key(token.value()));
-  if (owner == nullptr) return Status::fail("nft.no_such_token", "unknown token");
+  if (owner == nullptr) return Status::fail(errc::kNftNoSuchToken, "unknown token");
   if (dec_u64(owner) != ctx.caller().value) {
-    return Status::fail("nft.not_owner", "caller does not own the token");
+    return Status::fail(errc::kNftNotOwner, "caller does not own the token");
   }
   if (ctx.get(listing_key(token.value())) != nullptr) {
-    return Status::fail("nft.listed", "cancel the listing before transferring");
+    return Status::fail(errc::kNftListed, "cancel the listing before transferring");
   }
   ctx.put(owner_key(token.value()), enc_u64(to.value()));
   return {};
@@ -96,12 +96,12 @@ Status NftContract::do_list(ledger::CallContext& ctx, const Bytes& args) const {
   auto token = r.u64();
   auto price = r.u64();
   if (!token.ok() || !price.ok() || price.value() == 0) {
-    return Status::fail("nft.bad_args", "list(token: u64, price: u64 > 0)");
+    return Status::fail(errc::kNftBadArgs, "list(token: u64, price: u64 > 0)");
   }
   const Bytes* owner = ctx.get(owner_key(token.value()));
-  if (owner == nullptr) return Status::fail("nft.no_such_token", "unknown token");
+  if (owner == nullptr) return Status::fail(errc::kNftNoSuchToken, "unknown token");
   if (dec_u64(owner) != ctx.caller().value) {
-    return Status::fail("nft.not_owner", "caller does not own the token");
+    return Status::fail(errc::kNftNotOwner, "caller does not own the token");
   }
   ctx.put(listing_key(token.value()), enc_u64(price.value()));
   return {};
@@ -110,14 +110,14 @@ Status NftContract::do_list(ledger::CallContext& ctx, const Bytes& args) const {
 Status NftContract::do_cancel(ledger::CallContext& ctx, const Bytes& args) const {
   ByteReader r(args);
   auto token = r.u64();
-  if (!token.ok()) return Status::fail("nft.bad_args", "cancel(token: u64)");
+  if (!token.ok()) return Status::fail(errc::kNftBadArgs, "cancel(token: u64)");
   const Bytes* owner = ctx.get(owner_key(token.value()));
-  if (owner == nullptr) return Status::fail("nft.no_such_token", "unknown token");
+  if (owner == nullptr) return Status::fail(errc::kNftNoSuchToken, "unknown token");
   if (dec_u64(owner) != ctx.caller().value) {
-    return Status::fail("nft.not_owner", "caller does not own the token");
+    return Status::fail(errc::kNftNotOwner, "caller does not own the token");
   }
   if (ctx.get(listing_key(token.value())) == nullptr) {
-    return Status::fail("nft.not_listed", "no open listing");
+    return Status::fail(errc::kNftNotListed, "no open listing");
   }
   ctx.erase(listing_key(token.value()));
   return {};
@@ -126,14 +126,14 @@ Status NftContract::do_cancel(ledger::CallContext& ctx, const Bytes& args) const
 Status NftContract::do_buy(ledger::CallContext& ctx, const Bytes& args) const {
   ByteReader r(args);
   auto token = r.u64();
-  if (!token.ok()) return Status::fail("nft.bad_args", "buy(token: u64)");
+  if (!token.ok()) return Status::fail(errc::kNftBadArgs, "buy(token: u64)");
   const Bytes* listing = ctx.get(listing_key(token.value()));
-  if (listing == nullptr) return Status::fail("nft.not_listed", "no open listing");
+  if (listing == nullptr) return Status::fail(errc::kNftNotListed, "no open listing");
   const std::uint64_t price = dec_u64(listing);
   const crypto::Address seller{dec_u64(ctx.get(owner_key(token.value())))};
   const crypto::Address creator{dec_u64(ctx.get(creator_key(token.value())))};
   if (seller == ctx.caller()) {
-    return Status::fail("nft.self_purchase", "cannot buy your own listing");
+    return Status::fail(errc::kNftSelfPurchase, "cannot buy your own listing");
   }
   const std::uint32_t royalty_bps = dec_u32(ctx.get(royalty_key(token.value())));
   const std::uint64_t royalty =
@@ -158,9 +158,9 @@ std::uint64_t NftContract::token_count(const ledger::LedgerState& state) {
 Result<NftContract::TokenView> NftContract::token(
     const ledger::LedgerState& state, std::uint64_t id) {
   const auto* store = state.find_store("nft");
-  if (store == nullptr) return make_error("nft.no_store", "no contract state");
+  if (store == nullptr) return make_error(errc::kNftNoStore, "no contract state");
   const auto owner = store->find(owner_key(id));
-  if (owner == store->end()) return make_error("nft.no_such_token", "unknown token");
+  if (owner == store->end()) return make_error(errc::kNftNoSuchToken, "unknown token");
   TokenView view;
   view.owner = crypto::Address{dec_u64(&owner->second)};
   if (const auto it = store->find(creator_key(id)); it != store->end()) {

@@ -1,0 +1,64 @@
+// ReputationContract: peer ratings as on-ledger state (§IV-A/B Trust).
+//
+// The off-chain ReputationSystem (reputation/reputation.h) models endorsement
+// dynamics; this contract is the *replicated* counterpart the paper's trust
+// story needs — a rating is a signed transaction, so scores are auditable and
+// identical on every replica, and the macro-workload harness can drive
+// reputation churn as real ledger traffic.
+//
+// Methods (args ByteWriter-encoded):
+//   rate(subject: u64-address, delta: i64)  — adjust subject's score
+//
+// Rules: you cannot rate yourself, one rating moves a score by at most
+// `max_abs_delta`, a (rater, subject) pair must wait `cooldown_blocks`
+// between ratings (the anti-ballot-stuffing knob), and scores saturate at
+// [min_score, max_score] — the bound the scenario invariant checker audits
+// after every replayed block.
+#pragma once
+
+#include <string>
+
+#include "ledger/state.h"
+
+namespace mv::reputation {
+
+struct ReputationContractConfig {
+  std::string name = "reputation";
+  std::int64_t min_score = -100;
+  std::int64_t max_score = 100;
+  std::int64_t max_abs_delta = 5;
+  /// Blocks a (rater, subject) pair must wait between ratings. 0 = none.
+  std::int64_t cooldown_blocks = 2;
+};
+
+class ReputationContract final : public ledger::Contract {
+ public:
+  explicit ReputationContract(ReputationContractConfig config = {})
+      : config_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return config_.name; }
+  [[nodiscard]] Status call(ledger::CallContext& ctx, const std::string& method,
+                            const Bytes& args) const override;
+
+  [[nodiscard]] const ReputationContractConfig& config() const { return config_; }
+
+  // ---- read-side helpers (inspect a committed state) ----
+  /// Subject's score (0 when never rated).
+  [[nodiscard]] static std::int64_t score(const ledger::LedgerState& state,
+                                          const std::string& contract,
+                                          crypto::Address subject);
+  /// Number of subjects with a score entry.
+  [[nodiscard]] static std::uint64_t rated_count(const ledger::LedgerState& state,
+                                                 const std::string& contract);
+
+  // ---- argument encoder ----
+  [[nodiscard]] static Bytes encode_rate(crypto::Address subject,
+                                         std::int64_t delta);
+
+ private:
+  Status do_rate(ledger::CallContext& ctx, const Bytes& args) const;
+
+  ReputationContractConfig config_;
+};
+
+}  // namespace mv::reputation

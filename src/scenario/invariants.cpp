@@ -1,0 +1,180 @@
+#include "scenario/invariants.h"
+
+#include <cstring>
+
+#include "dao/contract.h"
+#include "moderation/contract.h"
+#include "nft/contract.h"
+
+namespace mv::scenario {
+
+namespace {
+
+std::uint64_t dec_u64(const Bytes& b) {
+  ByteReader r(b);
+  auto v = r.u64();
+  return v.ok() ? v.value() : 0;
+}
+
+std::int64_t dec_i64(const Bytes& b) {
+  ByteReader r(b);
+  auto v = r.i64();
+  return v.ok() ? v.value() : 0;
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+void check_conservation(const ledger::LedgerState& state,
+                        const InvariantOptions& opts,
+                        std::vector<std::string>& out) {
+  std::uint64_t circulating = 0;
+  for (const auto& [addr, balance] : state.balances()) circulating += balance;
+  const std::uint64_t total = circulating + state.burned_fees();
+  if (total != opts.total_supply) {
+    out.push_back("conservation: balances(" + std::to_string(circulating) +
+                  ") + burned(" + std::to_string(state.burned_fees()) +
+                  ") != supply(" + std::to_string(opts.total_supply) + ")");
+  }
+}
+
+void check_nft(const ledger::LedgerState& state, const InvariantOptions& opts,
+               std::vector<std::string>& out) {
+  const auto* store = state.find_store(opts.nft_contract);
+  if (store == nullptr) return;  // no nft traffic yet
+  std::uint64_t owners = 0;
+  std::uint64_t listings = 0;
+  for (const auto& [key, value] : *store) {
+    if (starts_with(key, "token/") && ends_with(key, "/owner")) ++owners;
+    if (starts_with(key, "listing/")) {
+      ++listings;
+      const std::string id = key.substr(std::strlen("listing/"));
+      if (store->find("token/" + id + "/owner") == store->end()) {
+        out.push_back("nft: listing for nonexistent token " + id);
+      }
+      if (dec_u64(value) == 0) {
+        out.push_back("nft: zero-price listing for token " + id);
+      }
+    }
+  }
+  const std::uint64_t next = nft::NftContract::token_count(state);
+  if (owners != next) {
+    out.push_back("nft: owner records (" + std::to_string(owners) +
+                  ") != next_token (" + std::to_string(next) + ")");
+  }
+  if (listings > owners) {
+    out.push_back("nft: more listings than tokens");
+  }
+}
+
+void check_dao(const ledger::LedgerState& state, const InvariantOptions& opts,
+               std::vector<std::string>& out) {
+  const auto* store = state.find_store(opts.dao_contract);
+  if (store == nullptr) return;
+  std::uint64_t members = 0;
+  std::uint64_t proposals = 0;
+  for (const auto& [key, value] : *store) {
+    if (starts_with(key, "member/")) ++members;
+    if (starts_with(key, "prop/") && ends_with(key, "/meta")) ++proposals;
+    const std::size_t vote_at = key.find("/vote/");
+    if (starts_with(key, "prop/") && vote_at != std::string::npos) {
+      const std::string voter = key.substr(vote_at + std::strlen("/vote/"));
+      if (store->find("member/" + voter) == store->end()) {
+        out.push_back("dao: ballot from non-member " + voter + " on " + key);
+      }
+    }
+  }
+  const std::uint64_t member_count =
+      dao::DaoContract::member_count(state, opts.dao_contract);
+  if (member_count != members) {
+    out.push_back("dao: member_count (" + std::to_string(member_count) +
+                  ") != member records (" + std::to_string(members) + ")");
+  }
+  const std::uint64_t next_id =
+      dao::DaoContract::proposal_count(state, opts.dao_contract);
+  if (next_id != proposals) {
+    out.push_back("dao: next_id (" + std::to_string(next_id) +
+                  ") != proposal records (" + std::to_string(proposals) + ")");
+  }
+}
+
+void check_reputation(const ledger::LedgerState& state,
+                      const InvariantOptions& opts,
+                      std::vector<std::string>& out) {
+  const auto* store = state.find_store(opts.reputation_contract);
+  if (store == nullptr) return;
+  for (const auto& [key, value] : *store) {
+    if (!starts_with(key, "score/")) continue;
+    const std::int64_t score = dec_i64(value);
+    if (score < opts.rep_min || score > opts.rep_max) {
+      out.push_back("reputation: " + key + " = " + std::to_string(score) +
+                    " outside [" + std::to_string(opts.rep_min) + ", " +
+                    std::to_string(opts.rep_max) + "]");
+    }
+  }
+}
+
+void check_moderation(const ledger::LedgerState& state,
+                      const InvariantOptions& opts,
+                      std::vector<std::string>& out) {
+  const auto* store = state.find_store(opts.moderation_contract);
+  if (store == nullptr) return;
+  std::uint64_t records = 0;
+  std::uint64_t open = 0;
+  std::uint64_t upheld = 0;
+  for (const auto& [key, value] : *store) {
+    if (!starts_with(key, "report/")) continue;
+    ++records;
+    auto view = moderation::ModerationContract::report(
+        state, opts.moderation_contract,
+        std::strtoull(key.c_str() + std::strlen("report/"), nullptr, 10));
+    if (!view.ok()) {
+      out.push_back("moderation: corrupt record at " + key);
+      continue;
+    }
+    switch (view.value().status) {
+      case moderation::ReportStatus::kOpen: ++open; break;
+      case moderation::ReportStatus::kUpheld: ++upheld; break;
+      case moderation::ReportStatus::kDismissed: break;
+    }
+  }
+  const auto& name = opts.moderation_contract;
+  if (moderation::ModerationContract::report_count(state, name) != records) {
+    out.push_back("moderation: next_id != report records");
+  }
+  if (moderation::ModerationContract::open_count(state, name) != open) {
+    out.push_back("moderation: open_count != open records");
+  }
+  if (moderation::ModerationContract::upheld_count(state, name) != upheld) {
+    out.push_back("moderation: upheld_count != upheld records");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> check_invariants(const ledger::LedgerState& state,
+                                          const InvariantOptions& opts,
+                                          const ledger::Mempool* pool) {
+  std::vector<std::string> out;
+  check_conservation(state, opts, out);
+  check_nft(state, opts, out);
+  check_dao(state, opts, out);
+  check_reputation(state, opts, out);
+  check_moderation(state, opts, out);
+  if (opts.check_full_rehash &&
+      !(state.full_rehash_commitment() == state.commitment())) {
+    out.push_back("commitment: full rehash diverges from incremental root");
+  }
+  if (pool != nullptr && !pool->self_check()) {
+    out.push_back("mempool: self_check failed");
+  }
+  return out;
+}
+
+}  // namespace mv::scenario

@@ -1,0 +1,47 @@
+// Cross-module invariant checks run between replayed blocks.
+//
+// Per-block commitment roots catch *any* divergence but explain nothing; the
+// checks here assert properties that should hold on every consistent ledger
+// regardless of workload, so a replay failure comes with a named violation
+// instead of just a root mismatch:
+//
+//   - token conservation: sum(balances) + burned_fees == genesis supply
+//   - nft store shape:    owner-record count == next_token; every listing
+//                         points at an owned token
+//   - dao store shape:    every recorded ballot was cast by a member;
+//                         member_count and next_id match the key space
+//   - reputation bounds:  every score within [min_score, max_score]
+//   - moderation counts:  open/upheld counters match the report records
+//   - optional full rehash: incremental accounts root == from-scratch root
+//   - optional mempool self_check
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ledger/mempool.h"
+#include "ledger/state.h"
+
+namespace mv::scenario {
+
+struct InvariantOptions {
+  std::uint64_t total_supply = 0;
+  std::string nft_contract = "nft";
+  std::string dao_contract = "dao";
+  std::string reputation_contract = "reputation";
+  std::string moderation_contract = "moderation";
+  std::int64_t rep_min = -100;
+  std::int64_t rep_max = 100;
+  /// Recompute the accounts root from scratch and compare against the
+  /// incrementally-maintained commitment. O(accounts log accounts) — on by
+  /// default for tests, off for benches.
+  bool check_full_rehash = true;
+};
+
+/// Returns one human-readable string per violated invariant (empty == clean).
+/// `pool`, when given, contributes Mempool::self_check().
+[[nodiscard]] std::vector<std::string> check_invariants(
+    const ledger::LedgerState& state, const InvariantOptions& opts,
+    const ledger::Mempool* pool = nullptr);
+
+}  // namespace mv::scenario

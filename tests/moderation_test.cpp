@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "moderation/community.h"
+#include "moderation/contract.h"
 #include "moderation/engine.h"
 
 namespace mv::moderation {
@@ -343,6 +344,105 @@ TEST_P(MixSeedTest, MixedBeatsEitherAlone) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MixSeedTest, ::testing::Values(31, 32, 33));
+
+// ------------------------------------------------- on-chain contract
+
+struct ContractFixture {
+  Rng rng{606};
+  std::shared_ptr<ledger::ContractRegistry> contracts =
+      std::make_shared<ledger::ContractRegistry>();
+  crypto::Wallet moderator{rng}, reporter{rng}, offender{rng};
+  ledger::LedgerState state;
+  ModerationContractConfig config;
+
+  ContractFixture() {
+    config.moderator = moderator.address();
+    contracts->install(std::make_shared<ModerationContract>(config));
+    state.credit(moderator.address(), 1000);
+    state.credit(reporter.address(), 1000);
+    state.credit(offender.address(), 1000);
+  }
+
+  Status call(const crypto::Wallet& w, const std::string& method, Bytes args,
+              std::int64_t height = 0) {
+    const auto tx = ledger::make_contract_call(
+        w, state.nonce(w.address()), config.name, method, std::move(args), 0,
+        rng);
+    return state.apply(tx, *contracts, height);
+  }
+};
+
+TEST(ModerationContract, ReportFilesAnOpenRecord) {
+  ContractFixture f;
+  ASSERT_TRUE(f.call(f.reporter, "report",
+                     ModerationContract::encode_report(
+                         f.offender.address(), 1, "spatial harassment"),
+                     7).ok());
+  EXPECT_EQ(ModerationContract::report_count(f.state, f.config.name), 1u);
+  EXPECT_EQ(ModerationContract::open_count(f.state, f.config.name), 1u);
+  auto view = ModerationContract::report(f.state, f.config.name, 0);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().reporter, f.reporter.address());
+  EXPECT_EQ(view.value().offender, f.offender.address());
+  EXPECT_EQ(view.value().kind, 1u);
+  EXPECT_EQ(view.value().filed_height, 7);
+  EXPECT_EQ(view.value().status, ReportStatus::kOpen);
+}
+
+TEST(ModerationContract, SelfReportAndBadKindRejected) {
+  ContractFixture f;
+  EXPECT_EQ(f.call(f.reporter, "report",
+                   ModerationContract::encode_report(f.reporter.address(), 0,
+                                                     "me"))
+                .error().code,
+            errc::kModSelfReport);
+  EXPECT_EQ(f.call(f.reporter, "report",
+                   ModerationContract::encode_report(
+                       f.offender.address(),
+                       static_cast<std::uint8_t>(f.config.max_kind + 1), "x"))
+                .error().code,
+            errc::kModBadArgs);
+}
+
+TEST(ModerationContract, OnlyModeratorResolvesAndOnlyOnce) {
+  ContractFixture f;
+  ASSERT_TRUE(f.call(f.reporter, "report",
+                     ModerationContract::encode_report(f.offender.address(), 2,
+                                                       "scam listing")).ok());
+  EXPECT_EQ(f.call(f.reporter, "resolve",
+                   ModerationContract::encode_resolve(0, true))
+                .error().code,
+            errc::kModNotModerator);
+  ASSERT_TRUE(f.call(f.moderator, "resolve",
+                     ModerationContract::encode_resolve(0, true)).ok());
+  EXPECT_EQ(ModerationContract::open_count(f.state, f.config.name), 0u);
+  EXPECT_EQ(ModerationContract::upheld_count(f.state, f.config.name), 1u);
+  EXPECT_EQ(ModerationContract::report(f.state, f.config.name, 0)
+                .value().status,
+            ReportStatus::kUpheld);
+  EXPECT_EQ(f.call(f.moderator, "resolve",
+                   ModerationContract::encode_resolve(0, false))
+                .error().code,
+            errc::kModAlreadyResolved);
+}
+
+TEST(ModerationContract, DismissalClosesWithoutUpholding) {
+  ContractFixture f;
+  ASSERT_TRUE(f.call(f.reporter, "report",
+                     ModerationContract::encode_report(f.offender.address(), 0,
+                                                       "noise")).ok());
+  ASSERT_TRUE(f.call(f.moderator, "resolve",
+                     ModerationContract::encode_resolve(0, false)).ok());
+  EXPECT_EQ(ModerationContract::open_count(f.state, f.config.name), 0u);
+  EXPECT_EQ(ModerationContract::upheld_count(f.state, f.config.name), 0u);
+  EXPECT_EQ(ModerationContract::report(f.state, f.config.name, 0)
+                .value().status,
+            ReportStatus::kDismissed);
+  EXPECT_EQ(f.call(f.moderator, "resolve",
+                   ModerationContract::encode_resolve(9, true))
+                .error().code,
+            errc::kModNoSuchReport);
+}
 
 }  // namespace
 }  // namespace mv::moderation

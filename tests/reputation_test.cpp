@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "reputation/attacks.h"
+#include "reputation/contract.h"
 #include "reputation/reputation.h"
 
 namespace mv::reputation {
@@ -195,6 +196,91 @@ TEST_P(SybilScaleTest, InflationSublinearInSybilCount) {
 
 INSTANTIATE_TEST_SUITE_P(Scales, SybilScaleTest,
                          ::testing::Values(1, 10, 100, 1000));
+
+// ------------------------------------------------- on-chain contract
+
+struct ContractFixture {
+  Rng rng{909};
+  std::shared_ptr<ledger::ContractRegistry> contracts =
+      std::make_shared<ledger::ContractRegistry>();
+  crypto::Wallet alice{rng}, bob{rng}, carol{rng};
+  ledger::LedgerState state;
+  ReputationContractConfig config;
+
+  ContractFixture() {
+    config.cooldown_blocks = 3;
+    contracts->install(std::make_shared<ReputationContract>(config));
+    state.credit(alice.address(), 1000);
+    state.credit(bob.address(), 1000);
+    state.credit(carol.address(), 1000);
+  }
+
+  Status rate(const crypto::Wallet& w, crypto::Address subject,
+              std::int64_t delta, std::int64_t height) {
+    const auto tx = ledger::make_contract_call(
+        w, state.nonce(w.address()), config.name, "rate",
+        ReputationContract::encode_rate(subject, delta), 0, rng);
+    return state.apply(tx, *contracts, height);
+  }
+};
+
+TEST(ReputationContract, RateAccumulatesOnLedger) {
+  ContractFixture f;
+  ASSERT_TRUE(f.rate(f.alice, f.bob.address(), 4, 0).ok());
+  EXPECT_EQ(ReputationContract::score(f.state, f.config.name, f.bob.address()), 4);
+  ASSERT_TRUE(f.rate(f.carol, f.bob.address(), -2, 0).ok());
+  EXPECT_EQ(ReputationContract::score(f.state, f.config.name, f.bob.address()), 2);
+  EXPECT_EQ(ReputationContract::rated_count(f.state, f.config.name), 1u);
+}
+
+TEST(ReputationContract, SelfRatingAndOversizedDeltaRejected) {
+  ContractFixture f;
+  EXPECT_EQ(f.rate(f.alice, f.alice.address(), 1, 0).error().code,
+            errc::kRepSelfRating);
+  EXPECT_EQ(f.rate(f.alice, f.bob.address(), f.config.max_abs_delta + 1, 0)
+                .error().code,
+            errc::kRepDeltaTooLarge);
+  EXPECT_EQ(f.rate(f.alice, f.bob.address(), 0, 0).error().code,
+            errc::kRepBadArgs);
+}
+
+TEST(ReputationContract, PairCooldownEnforcedByHeight) {
+  ContractFixture f;
+  ASSERT_TRUE(f.rate(f.alice, f.bob.address(), 1, 10).ok());
+  EXPECT_EQ(f.rate(f.alice, f.bob.address(), 1, 11).error().code,
+            errc::kRepCooldown);
+  // A different pair is unaffected; the same pair clears after the window.
+  ASSERT_TRUE(f.rate(f.carol, f.bob.address(), 1, 11).ok());
+  ASSERT_TRUE(f.rate(f.alice, f.bob.address(), 1, 13).ok());
+}
+
+TEST(ReputationContract, ScoreSaturatesAtBounds) {
+  ContractFixture f;
+  std::int64_t height = 0;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(f.rate(f.alice, f.bob.address(), f.config.max_abs_delta,
+                       height).ok());
+    height += f.config.cooldown_blocks;
+  }
+  EXPECT_EQ(ReputationContract::score(f.state, f.config.name, f.bob.address()),
+            f.config.max_score);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f.rate(f.alice, f.bob.address(), -f.config.max_abs_delta,
+                       height).ok());
+    height += f.config.cooldown_blocks;
+  }
+  EXPECT_EQ(ReputationContract::score(f.state, f.config.name, f.bob.address()),
+            f.config.min_score);
+}
+
+TEST(ReputationContract, UnknownMethodRejected) {
+  ContractFixture f;
+  const auto tx = ledger::make_contract_call(
+      f.alice, f.state.nonce(f.alice.address()), f.config.name, "boost",
+      Bytes{}, 0, f.rng);
+  EXPECT_EQ(f.state.apply(tx, *f.contracts, 0).error().code,
+            errc::kRepUnknownMethod);
+}
 
 }  // namespace
 }  // namespace mv::reputation
