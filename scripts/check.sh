@@ -91,6 +91,22 @@ if echo "${sub_out}" | grep -qi 'skipped'; then
   exit 1
 fi
 
+echo "== gate: swarm catch-up (striping, byzantine demotion, diff snapshots) =="
+# The multi-peer transfer's contract: striped fetch over a lossy network must
+# converge byte-identically, a corrupt peer must be demoted while the sync
+# still completes, busy NACKs must reroute instead of dead-ending, and diff
+# snapshots must fetch exactly the changed chunks.
+swarm_out="$(ctest --test-dir build -R 'SnapshotSwarm|SnapshotDiff|SnapshotExportCachePinning' --no-tests=error --output-on-failure 2>&1)" || {
+  echo "${swarm_out}"
+  echo "FAIL: swarm catch-up tests did not run or did not pass"
+  exit 1
+}
+if echo "${swarm_out}" | grep -qi 'skipped'; then
+  echo "${swarm_out}"
+  echo "FAIL: swarm catch-up tests were skipped"
+  exit 1
+fi
+
 echo "== gate: scenario replay regression (golden traces, codec fuzz, invariants) =="
 # The macro-workload harness (DESIGN.md §12): checked-in golden traces must
 # replay byte-identically, every single-byte trace mutation must be rejected,
@@ -114,7 +130,7 @@ MV_BENCH_NO_TABLE=1 ./build/bench/bench_e2e \
 
 echo "== bench: ledger microbenchmarks -> BENCH_ledger.json (median of 3) =="
 MV_BENCH_NO_TABLE=1 ./build/bench/bench_ledger \
-  --benchmark_filter='BM_BlockAssembleValidate|BM_ParallelBlockValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove|BM_AccountProofRoundTrip|BM_CatchUp|BM_SnapshotExportImport|BM_BlockValidateSigCache|BM_JobQueue|BM_SubscriptionFanout' \
+  --benchmark_filter='BM_BlockAssembleValidate|BM_ParallelBlockValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove|BM_AccountProofRoundTrip|BM_CatchUp|BM_DiffSnapshot|BM_SnapshotExportImport|BM_BlockValidateSigCache|BM_JobQueue|BM_SubscriptionFanout' \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   --benchmark_out=BENCH_ledger.json \

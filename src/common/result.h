@@ -64,6 +64,7 @@ inline constexpr const char* kSnapshotUnknownHeader = "snapshot.unknown_header";
 inline constexpr const char* kSnapshotUntrustedManifest =
     "snapshot.untrusted_manifest";
 inline constexpr const char* kSnapshotNoManifest = "snapshot.no_manifest";
+inline constexpr const char* kSnapshotNoPeers = "snapshot.no_peers";
 
 // mempool.* — admission failures (ledger/mempool.h).
 inline constexpr const char* kMempoolBadSignature = "mempool.bad_signature";

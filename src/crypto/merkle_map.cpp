@@ -189,6 +189,39 @@ MergeResult merge(const Node* node, int depth, std::span<const DeltaEntry> entri
   return {inner_hash(children), total};
 }
 
+/// Build the physical subtree for a strictly ascending leaf span at `depth`.
+/// Mirrors the partition loop of build_from_leaves, but materializes Nodes.
+/// `leaf_hashes` runs parallel to `leaves` (precomputed in one batched pass —
+/// see from_sorted_leaves). Inner hashes are computed eagerly on the way back
+/// up while the children are cache-hot, so the built tree is fully clean and
+/// root() afterwards is a cache read, not an O(n) deferred hash pass.
+NodePtr build_nodes(int depth,
+                    std::span<const std::pair<std::uint64_t, Digest>> leaves,
+                    std::span<const Digest> leaf_hashes) {
+  if (leaves.size() == 1) {
+    return make_leaf(leaves[0].first, leaves[0].second, leaf_hashes[0]);
+  }
+  assert(depth < 16);
+  auto inner = make_inner();
+  inner->count = static_cast<std::uint32_t>(leaves.size());
+  std::array<const Digest*, 16> children{};
+  std::size_t i = 0;
+  for (unsigned nib = 0; nib < 16 && i < leaves.size(); ++nib) {
+    std::size_t j = i;
+    while (j < leaves.size() && nibble(leaves[j].first, depth) == nib) ++j;
+    if (j > i) {
+      (*inner->kids)[nib] = build_nodes(depth + 1, leaves.subspan(i, j - i),
+                                        leaf_hashes.subspan(i, j - i));
+      children[nib] = &(*inner->kids)[nib]->hash;
+      i = j;
+    }
+  }
+  // leaves.size() >= 2 here, so the count-1 single-leaf rule never applies.
+  inner->hash = inner_hash(children);
+  inner->dirty = false;
+  return inner;
+}
+
 /// Push two distinct leaves down until their paths diverge.
 NodePtr split(NodePtr a, NodePtr b, int depth) {
   assert(depth < 16);
@@ -279,6 +312,38 @@ void MerkleMap::put(std::uint64_t key, const Digest& value) {
     return;
   }
   if (insert(root_, 0, key, value, lh)) ++size_;
+}
+
+MerkleMap MerkleMap::from_sorted_leaves(
+    std::span<const std::pair<std::uint64_t, Digest>> leaves) {
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < leaves.size(); ++i) {
+    assert(leaves[i - 1].first < leaves[i].first);
+  }
+#endif
+  MerkleMap m;
+  if (leaves.empty()) return m;
+  // Leaf hashes in one batched pass: the preimages (0x00 || key || value,
+  // 41 bytes) all fit a single compression block, so pairs of them run in
+  // interleaved SHA lanes — roughly half the cost of hashing one by one
+  // inside the build recursion.
+  constexpr std::size_t kPreimage = 1 + 8 + 32;
+  std::vector<std::uint8_t> preimages(leaves.size() * kPreimage);
+  std::vector<ShortInput> inputs(leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    std::uint8_t* p = preimages.data() + i * kPreimage;
+    p[0] = 0x00;
+    for (int b = 0; b < 8; ++b) {
+      p[1 + b] = static_cast<std::uint8_t>(leaves[i].first >> (8 * b));
+    }
+    std::memcpy(p + 9, leaves[i].second.data(), 32);
+    inputs[i] = {p, kPreimage};
+  }
+  std::vector<Digest> leaf_hashes(leaves.size());
+  sha256_short_batch(inputs, leaf_hashes.data());
+  m.root_ = build_nodes(0, leaves, leaf_hashes);
+  m.size_ = leaves.size();
+  return m;
 }
 
 void MerkleMap::erase(std::uint64_t key) {

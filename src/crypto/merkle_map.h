@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -85,6 +86,17 @@ class MerkleMap {
 
   /// Insert or update. O(log n) pointer work; hashing is deferred to root().
   void put(std::uint64_t key, const Digest& value);
+
+  /// Bulk construction from strictly ascending (key, value-digest) pairs:
+  /// the tree is built by structural recursion over the sorted span — one
+  /// node allocation per node, no descents, no splits — so loading n keys
+  /// costs O(n) pointer work instead of n incremental puts. Inner hashing is
+  /// deferred to root() exactly as with put(). The root of the resulting map
+  /// is identical to n puts of the same pairs (the commitment is defined on
+  /// the key set alone). Ascending order is the caller's contract; it is
+  /// assert-checked in debug builds.
+  [[nodiscard]] static MerkleMap from_sorted_leaves(
+      std::span<const std::pair<std::uint64_t, Digest>> leaves);
   /// Remove a key (no-op when absent).
   void erase(std::uint64_t key);
   [[nodiscard]] bool contains(std::uint64_t key) const;

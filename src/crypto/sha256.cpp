@@ -1,5 +1,6 @@
 #include "crypto/sha256.h"
 
+#include <algorithm>
 #include <cstring>
 
 #if defined(__x86_64__) && defined(__GNUC__)
@@ -292,6 +293,98 @@ __attribute__((target("sha,sse4.1,ssse3"))) void process_blocks_shani(
   _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
 }
 
+// Two independent single-block compressions with interleaved lanes. The
+// sha256rnds2 dependency chain bounds a single block at ~4 cycles per two
+// rounds; a second independent lane fills those latency slots nearly for
+// free, so hashing pairs of short messages roughly halves the per-digest
+// cost. Message schedule uses the rolling 4-word formulation:
+//   W[i..i+3] = msg2(msg1(W[i-16..], W[i-12..]) + alignr(W[i-4..], W[i-8..]),
+//               W[i-4..])
+__attribute__((target("sha,sse4.1,ssse3"))) void process_block2_shani(
+    std::array<std::uint32_t, 8>& state_a, const std::uint8_t* block_a,
+    std::array<std::uint32_t, 8>& state_b, const std::uint8_t* block_b,
+    std::size_t block_count) {
+  const __m128i shuf_mask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // Repack {a,b,c,d|e,f,g,h} into {ABEF|CDGH} for both lanes.
+  __m128i ta = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state_a[0]));
+  __m128i s1a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state_a[4]));
+  ta = _mm_shuffle_epi32(ta, 0xB1);
+  s1a = _mm_shuffle_epi32(s1a, 0x1B);
+  __m128i s0a = _mm_alignr_epi8(ta, s1a, 8);
+  s1a = _mm_blend_epi16(s1a, ta, 0xF0);
+  __m128i tb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state_b[0]));
+  __m128i s1b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state_b[4]));
+  tb = _mm_shuffle_epi32(tb, 0xB1);
+  s1b = _mm_shuffle_epi32(s1b, 0x1B);
+  __m128i s0b = _mm_alignr_epi8(tb, s1b, 8);
+  s1b = _mm_blend_epi16(s1b, tb, 0xF0);
+
+  while (block_count > 0) {
+    const __m128i save0a = s0a, save1a = s1a, save0b = s0b, save1b = s1b;
+
+    __m128i ma[4], mb[4];
+    for (int i = 0; i < 4; ++i) {
+      ma[i] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(block_a + 16 * i)),
+          shuf_mask);
+      mb[i] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(block_b + 16 * i)),
+          shuf_mask);
+    }
+
+    for (int r = 0; r < 16; ++r) {
+      const __m128i k =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[4 * r]));
+      __m128i wka = _mm_add_epi32(ma[0], k);
+      __m128i wkb = _mm_add_epi32(mb[0], k);
+      s1a = _mm_sha256rnds2_epu32(s1a, s0a, wka);
+      s1b = _mm_sha256rnds2_epu32(s1b, s0b, wkb);
+      wka = _mm_shuffle_epi32(wka, 0x0E);
+      wkb = _mm_shuffle_epi32(wkb, 0x0E);
+      s0a = _mm_sha256rnds2_epu32(s0a, s1a, wka);
+      s0b = _mm_sha256rnds2_epu32(s0b, s1b, wkb);
+      if (r < 12) {
+        __m128i na = _mm_add_epi32(_mm_sha256msg1_epu32(ma[0], ma[1]),
+                                   _mm_alignr_epi8(ma[3], ma[2], 4));
+        na = _mm_sha256msg2_epu32(na, ma[3]);
+        __m128i nb = _mm_add_epi32(_mm_sha256msg1_epu32(mb[0], mb[1]),
+                                   _mm_alignr_epi8(mb[3], mb[2], 4));
+        nb = _mm_sha256msg2_epu32(nb, mb[3]);
+        ma[0] = ma[1]; ma[1] = ma[2]; ma[2] = ma[3]; ma[3] = na;
+        mb[0] = mb[1]; mb[1] = mb[2]; mb[2] = mb[3]; mb[3] = nb;
+      } else {
+        ma[0] = ma[1]; ma[1] = ma[2]; ma[2] = ma[3];
+        mb[0] = mb[1]; mb[1] = mb[2]; mb[2] = mb[3];
+      }
+    }
+
+    s0a = _mm_add_epi32(s0a, save0a);
+    s1a = _mm_add_epi32(s1a, save1a);
+    s0b = _mm_add_epi32(s0b, save0b);
+    s1b = _mm_add_epi32(s1b, save1b);
+
+    block_a += 64;
+    block_b += 64;
+    --block_count;
+  }
+
+  // Repack {ABEF|CDGH} back to {a,b,c,d|e,f,g,h}.
+  ta = _mm_shuffle_epi32(s0a, 0x1B);
+  s1a = _mm_shuffle_epi32(s1a, 0xB1);
+  s0a = _mm_blend_epi16(ta, s1a, 0xF0);
+  s1a = _mm_alignr_epi8(s1a, ta, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state_a[0]), s0a);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state_a[4]), s1a);
+  tb = _mm_shuffle_epi32(s0b, 0x1B);
+  s1b = _mm_shuffle_epi32(s1b, 0xB1);
+  s0b = _mm_blend_epi16(tb, s1b, 0xF0);
+  s1b = _mm_alignr_epi8(s1b, tb, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state_b[0]), s0b);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state_b[4]), s1b);
+}
+
 bool cpu_has_sha_extensions() {
   unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
   if (__get_cpuid_max(0, nullptr) < 7) return false;
@@ -316,6 +409,61 @@ CompressFn resolve_compress() {
 }
 
 const CompressFn kCompress = resolve_compress();
+
+/// Pad a message of <= 55 bytes into one compression block: 0x80, zeros,
+/// then the 64-bit big-endian bit length (FIPS 180-4 §5.1.1).
+void pad_short_block(const std::uint8_t* data, std::size_t len,
+                     std::uint8_t block[64]) {
+  if (len > 0) std::memcpy(block, data, len);  // empty spans may carry null
+  block[len] = 0x80;
+  std::memset(block + len + 1, 0, 55 - len);
+  const std::uint64_t bits = static_cast<std::uint64_t>(len) * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[56 + i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  }
+}
+
+Digest state_to_digest(const std::array<std::uint32_t, 8>& state) {
+  Digest out{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    out[i * 4 + 0] = static_cast<std::uint8_t>(state[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(state[i]);
+  }
+  return out;
+}
+
+/// One-shot hash of a message that fits a single padded block: no streaming
+/// buffer round trips, one compression call.
+Digest sha256_short(const std::uint8_t* data, std::size_t len) {
+  std::uint8_t block[64];
+  pad_short_block(data, len, block);
+  std::array<std::uint32_t, 8> state = kInitState;
+  kCompress(state, block, 1);
+  return state_to_digest(state);
+}
+
+/// Finish one lane of a paired hash: the lane's full blocks past the
+/// interleaved prefix, then its padded tail (FIPS 180-4 §5.1.1).
+void finish_lane(std::array<std::uint32_t, 8>& state,
+                 std::span<const std::uint8_t> msg, std::size_t blocks_done) {
+  const std::size_t full = msg.size() / 64;
+  if (full > blocks_done) {
+    kCompress(state, msg.data() + blocks_done * 64, full - blocks_done);
+  }
+  const std::size_t tail = msg.size() - full * 64;
+  std::uint8_t block[128];
+  if (tail > 0) std::memcpy(block, msg.data() + full * 64, tail);
+  block[tail] = 0x80;
+  const std::size_t blocks = (tail >= 56) ? 2 : 1;
+  std::memset(block + tail + 1, 0, blocks * 64 - 8 - (tail + 1));
+  const std::uint64_t bits = static_cast<std::uint64_t>(msg.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[blocks * 64 - 8 + i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  }
+  kCompress(state, block, blocks);
+}
 
 }  // namespace
 
@@ -387,9 +535,55 @@ void Sha256::process_blocks(const std::uint8_t* data, std::size_t block_count) {
 }
 
 Digest sha256(std::span<const std::uint8_t> data) {
+  if (data.size() <= kSha256ShortMax) {
+    return sha256_short(data.data(), data.size());
+  }
   Sha256 h;
   h.update(data);
   return h.finalize();
+}
+
+void sha256_short_batch(std::span<const ShortInput> msgs, Digest* out) {
+  std::size_t i = 0;
+#if MV_SHA256_X86_DISPATCH
+  if (kCompress == &process_blocks_shani) {
+    std::uint8_t block_a[64];
+    std::uint8_t block_b[64];
+    for (; i + 1 < msgs.size(); i += 2) {
+      pad_short_block(msgs[i].data, msgs[i].len, block_a);
+      pad_short_block(msgs[i + 1].data, msgs[i + 1].len, block_b);
+      std::array<std::uint32_t, 8> state_a = kInitState;
+      std::array<std::uint32_t, 8> state_b = kInitState;
+      process_block2_shani(state_a, block_a, state_b, block_b, 1);
+      out[i] = state_to_digest(state_a);
+      out[i + 1] = state_to_digest(state_b);
+    }
+  }
+#endif
+  for (; i < msgs.size(); ++i) {
+    out[i] = sha256_short(msgs[i].data, msgs[i].len);
+  }
+}
+
+void sha256_pair(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+                 Digest& out_a, Digest& out_b) {
+#if MV_SHA256_X86_DISPATCH
+  if (kCompress == &process_blocks_shani) {
+    std::array<std::uint32_t, 8> state_a = kInitState;
+    std::array<std::uint32_t, 8> state_b = kInitState;
+    const std::size_t both = std::min(a.size() / 64, b.size() / 64);
+    if (both > 0) {
+      process_block2_shani(state_a, a.data(), state_b, b.data(), both);
+    }
+    finish_lane(state_a, a, both);
+    finish_lane(state_b, b, both);
+    out_a = state_to_digest(state_a);
+    out_b = state_to_digest(state_b);
+    return;
+  }
+#endif
+  out_a = sha256(a);
+  out_b = sha256(b);
 }
 
 Digest sha256(std::string_view data) {

@@ -46,6 +46,34 @@ class Sha256 {
 [[nodiscard]] Digest sha256(std::span<const std::uint8_t> data);
 [[nodiscard]] Digest sha256(std::string_view data);
 
+/// Messages of at most this many bytes fit one padded compression block, so
+/// they take the single-compression fast path in sha256() and are eligible
+/// for sha256_short_batch().
+inline constexpr std::size_t kSha256ShortMax = 55;
+
+/// One independent message for sha256_short_batch(). `len <= kSha256ShortMax`.
+struct ShortInput {
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// Hash many independent short messages: out[i] = sha256({msgs[i].data,
+/// msgs[i].len}). On CPUs with the SHA extensions, pairs of messages are
+/// compressed in interleaved lanes to hide the per-block latency chain of
+/// sha256rnds2 (the serial one-shot path is latency-bound, not
+/// throughput-bound); elsewhere this degrades to a loop over sha256().
+/// Bulk leaf hashing (snapshot install, MerkleMap::from_sorted_leaves) is
+/// the intended caller. `out` must hold msgs.size() digests.
+void sha256_short_batch(std::span<const ShortInput> msgs, Digest* out);
+
+/// Hash two independent messages of any length: out_a = sha256(a), out_b =
+/// sha256(b). On CPUs with the SHA extensions the two compressions run in
+/// interleaved lanes while both messages still have blocks left (maximally
+/// effective on equal-length inputs, e.g. snapshot chunks); the remainder —
+/// and every non-x86 path — falls back to the serial one-shot.
+void sha256_pair(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+                 Digest& out_a, Digest& out_b);
+
 /// Streams the ByteWriter wire format (common/bytes.h) straight into a
 /// SHA-256 state. digest() equals sha256(w.data()) for a ByteWriter `w` fed
 /// the same sequence of calls, without materializing the intermediate buffer
@@ -78,7 +106,16 @@ class HashWriter {
 
   /// Finalize. Resets the underlying stream (same contract as Sha256).
   [[nodiscard]] Digest digest() {
+    if (!flushed_ && stage_len_ <= kSha256ShortMax) {
+      // Whole message still staged and short: one-shot fast path (sha256()
+      // compresses a single padded block), skipping the streaming machinery.
+      const Digest d =
+          sha256(std::span<const std::uint8_t>(stage_.data(), stage_len_));
+      stage_len_ = 0;
+      return d;
+    }
     flush();
+    flushed_ = false;
     return hash_.finalize();
   }
 
@@ -93,6 +130,7 @@ class HashWriter {
       flush();
       if (n >= kStageSize) {
         hash_.update(std::span<const std::uint8_t>(p, n));
+        flushed_ = true;
         return;
       }
     }
@@ -103,10 +141,12 @@ class HashWriter {
     if (stage_len_ > 0) {
       hash_.update(std::span<const std::uint8_t>(stage_.data(), stage_len_));
       stage_len_ = 0;
+      flushed_ = true;
     }
   }
 
   Sha256 hash_;
+  bool flushed_ = false;  ///< hash_ has consumed bytes of the current message
   std::size_t stage_len_ = 0;
   std::array<std::uint8_t, kStageSize> stage_;
 };

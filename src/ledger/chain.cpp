@@ -10,9 +10,18 @@ namespace mv::ledger {
 Blockchain::Blockchain(ChainConfig config,
                        std::shared_ptr<const ContractRegistry> contracts,
                        LedgerState genesis)
+    : Blockchain(std::move(config), std::move(contracts),
+                 std::make_shared<const LedgerState>(std::move(genesis))) {}
+
+Blockchain::Blockchain(ChainConfig config,
+                       std::shared_ptr<const ContractRegistry> contracts,
+                       std::shared_ptr<const LedgerState> genesis)
     : config_(std::move(config)),
       contracts_(std::move(contracts)),
-      state_(std::move(genesis)) {
+      genesis_(std::move(genesis)) {
+  if (genesis_ == nullptr) {
+    throw std::invalid_argument("Blockchain: null genesis state");
+  }
   if (config_.validators.empty()) {
     throw std::invalid_argument("Blockchain: empty validator set");
   }
@@ -23,9 +32,14 @@ Blockchain::Blockchain(ChainConfig config,
   }
   ByteWriter w;
   w.str("genesis");
-  w.raw(state_.commitment().root);
+  w.raw(genesis_->commitment().root);
   genesis_hash_ = crypto::sha256(w.data());
   base_hash_ = genesis_hash_;
+}
+
+LedgerState& Blockchain::mutable_state() {
+  if (!state_.has_value()) state_ = *genesis_;
+  return *state_;
 }
 
 crypto::Digest Blockchain::tip_hash() const {
@@ -51,7 +65,7 @@ Block Blockchain::assemble(const crypto::Wallet& proposer,
   block.header.timestamp = timestamp;
   block.header.proposer_pub = proposer.public_key();
 
-  auto scratch = LedgerStateOverlay::reader(state_);
+  auto scratch = LedgerStateOverlay::reader(state());
   if (candidates.size() <= config_.max_txs_per_block) {
     const auto outcome =
         apply_block(scratch, candidates, *contracts_, block.header.height,
@@ -113,12 +127,15 @@ Status Blockchain::check(const Block& block, LedgerStateOverlay& scratch) const 
 }
 
 Status Blockchain::validate(const Block& block) const {
-  auto scratch = LedgerStateOverlay::reader(state_);
+  auto scratch = LedgerStateOverlay::reader(state());
   return check(block, scratch);
 }
 
 Status Blockchain::append(const Block& block) {
-  auto scratch = LedgerStateOverlay::writer(state_);
+  // First committed block: materialize the working copy of the shared
+  // genesis (a no-op on the copying constructor path).
+  LedgerState& state = mutable_state();
+  auto scratch = LedgerStateOverlay::writer(state);
   if (auto s = check(block, scratch); !s.ok()) return s;
   // The inverse delta must be read off the pre-commit base; it feeds the
   // retention ring that serves historical proofs and snapshot export, and
@@ -126,12 +143,12 @@ Status Blockchain::append(const Block& block) {
   StateUndo undo;
   const bool want_undo =
       config_.state_retention > 0 || static_cast<bool>(commit_hook_);
-  if (want_undo) undo = scratch.capture_undo(state_);
+  if (want_undo) undo = scratch.capture_undo(state);
   scratch.commit();
   blocks_.push_back(block);
   if (commit_hook_) commit_hook_(block, undo);
   if (config_.state_retention > 0) {
-    retained_.push_back(Retained{std::move(undo), state_.commitment()});
+    retained_.push_back(Retained{std::move(undo), state.commitment()});
     if (retained_.size() > config_.state_retention) retained_.pop_front();
   }
   return {};
@@ -156,7 +173,7 @@ const StateCommitment* Blockchain::commitment_at(std::int64_t height) const {
 
 Result<LedgerState> Blockchain::state_at(std::int64_t height) const {
   const std::int64_t tip = this->height() - 1;
-  LedgerState state = state_;
+  LedgerState state = this->state();
   for (std::int64_t h = tip; h > height; --h) {
     const std::size_t slot =
         retained_.size() - 1 - static_cast<std::size_t>(tip - h);
@@ -243,7 +260,7 @@ Result<AccountProof> Blockchain::prove_account_now(
                           std::to_string(config_.state_retention) + ")");
   }
   if (block_height == height() - 1) {
-    return make_account_proof(state_, addr, block_height);
+    return make_account_proof(state(), addr, block_height);
   }
   auto state = state_at(block_height);
   if (!state.ok()) return state.error();
@@ -261,8 +278,28 @@ Result<Snapshot> Blockchain::export_snapshot(std::int64_t height,
                           " is beyond the retention window");
   }
   if (height == this->height() - 1) {
-    return build_snapshot(state_, height, chunk_size);
+    return build_snapshot(state(), height, chunk_size);
   }
+  // Historical export fast path: roll the undo ring back over a content-only
+  // copy (no O(state) Merkle-tree clone) and take the manifest commitment
+  // from the retention ring, which holds the post-state commitment of every
+  // retained height. The receiver's trust chain (header.state_root ==
+  // manifest root → per-chunk digests → decoded-state commitment re-check)
+  // verifies the result end to end, so a corrupt ring cannot produce an
+  // installable-but-wrong snapshot — it produces one every receiver rejects.
+  if (const StateCommitment* commitment = commitment_at(height);
+      commitment != nullptr) {
+    LedgerState content = state().content_clone();
+    const std::int64_t tip = this->height() - 1;
+    for (std::int64_t h = tip; h > height; --h) {
+      const std::size_t slot =
+          retained_.size() - 1 - static_cast<std::size_t>(tip - h);
+      content.apply_undo(retained_[slot].undo);
+    }
+    return build_snapshot(content, height, *commitment, chunk_size);
+  }
+  // Edge of the window: the undo chain still reaches `height` but its own
+  // commitment has left the ring — fall back to the verifying full copy.
   auto state = state_at(height);
   if (!state.ok()) return state.error();
   return build_snapshot(state.value(), height, chunk_size);

@@ -9,6 +9,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "ledger/block.h"
@@ -41,8 +42,20 @@ class Blockchain {
  public:
   Blockchain(ChainConfig config, std::shared_ptr<const ContractRegistry> contracts,
              LedgerState genesis);
+  /// Shares the genesis state instead of cloning it into the chain. The
+  /// mutable working copy is materialized lazily when the first block
+  /// commits, so a replica that bootstraps via init_from_snapshot() never
+  /// pays the O(state) genesis clone (or its teardown) at all — the chain
+  /// goes straight from empty to the decoded snapshot state. The caller must
+  /// not mutate the shared state; computing its commitment writes cached
+  /// hashes, so callers sharing one genesis across threads must call
+  /// genesis->commitment() once up front.
+  Blockchain(ChainConfig config, std::shared_ptr<const ContractRegistry> contracts,
+             std::shared_ptr<const LedgerState> genesis);
 
-  [[nodiscard]] const LedgerState& state() const { return state_; }
+  [[nodiscard]] const LedgerState& state() const {
+    return state_.has_value() ? *state_ : *genesis_;
+  }
   [[nodiscard]] const ChainConfig& config() const { return config_; }
   [[nodiscard]] const ContractRegistry& contracts() const { return *contracts_; }
 
@@ -171,9 +184,15 @@ class Blockchain {
   /// block). `height` must be retained and strictly below the tip.
   [[nodiscard]] Result<LedgerState> state_at(std::int64_t height) const;
 
+  /// The working state, or nullopt while the chain still *is* the genesis
+  /// state (no committed blocks, no installed snapshot). state() reads
+  /// through to *genesis_ in that case; mutable_state() materializes.
+  [[nodiscard]] LedgerState& mutable_state();
+
   ChainConfig config_;
   std::shared_ptr<const ContractRegistry> contracts_;
-  LedgerState state_;
+  std::shared_ptr<const LedgerState> genesis_;
+  std::optional<LedgerState> state_;
   crypto::Digest genesis_hash_;
   std::vector<Block> blocks_;
   std::int64_t base_height_ = 0;  ///< height of blocks_[0] (snapshot offset)

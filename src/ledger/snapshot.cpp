@@ -23,6 +23,48 @@ std::uint64_t chunk_count_for(std::uint64_t total_bytes, std::uint32_t chunk_siz
   return (total_bytes + chunk_size - 1) / chunk_size;
 }
 
+// The contiguous byte stream snapshot_chunk_digest's HashWriter hashes
+// (tagged prefix, index, length-prefixed data), materialized so pairs of
+// chunks can run through crypto::sha256_pair in interleaved SHA lanes.
+// Equal-length messages (every chunk but the last) interleave end to end.
+void chunk_digest_preimage(std::uint32_t index,
+                           std::span<const std::uint8_t> data, Bytes& out) {
+  constexpr std::string_view kTag = "mv.snapshot.chunk";
+  out.clear();
+  out.reserve(4 + kTag.size() + 8 + data.size());
+  const auto u32le = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  u32le(static_cast<std::uint32_t>(kTag.size()));
+  out.insert(out.end(), kTag.begin(), kTag.end());
+  u32le(index);
+  u32le(static_cast<std::uint32_t>(data.size()));
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+// Digest every chunk, two at a time through crypto::sha256_pair. All chunks
+// but the last are exactly chunk_size bytes, so the two lanes stay in
+// lockstep for the whole message and the pairing is maximally effective.
+// Digests are bit-identical to per-chunk snapshot_chunk_digest().
+std::vector<crypto::Digest> digest_chunks(const std::vector<Bytes>& chunks) {
+  std::vector<crypto::Digest> digests(chunks.size());
+  Bytes pre_a;
+  Bytes pre_b;
+  std::size_t i = 0;
+  for (; i + 1 < chunks.size(); i += 2) {
+    chunk_digest_preimage(static_cast<std::uint32_t>(i), chunks[i], pre_a);
+    chunk_digest_preimage(static_cast<std::uint32_t>(i + 1), chunks[i + 1],
+                          pre_b);
+    crypto::sha256_pair(pre_a, pre_b, digests[i], digests[i + 1]);
+  }
+  if (i < chunks.size()) {
+    digests[i] = snapshot_chunk_digest(static_cast<std::uint32_t>(i), chunks[i]);
+  }
+  return digests;
+}
+
 }  // namespace
 
 crypto::Digest snapshot_chunk_digest(std::uint32_t index,
@@ -200,6 +242,11 @@ Result<LedgerState> decode_snapshot_payload(const Bytes& bytes) {
     return make_error("snapshot.bad_count", "account count exceeds payload");
   }
   std::uint64_t prev_addr = 0;
+  // Entries are validated into a sorted seed list and bulk-loaded in one
+  // pass (LedgerState::load_accounts) — per-entry set_balance/set_nonce
+  // round trips through the Merkle tree made install O(state)-rehash-bound.
+  std::vector<AccountSeed> seeds;
+  seeds.reserve(std::min<std::uint64_t>(account_count.value(), 1u << 20));
   for (std::uint64_t i = 0; i < account_count.value(); ++i) {
     const auto addr = r.u64();
     if (!addr.ok()) return addr.error();
@@ -225,10 +272,11 @@ Result<LedgerState> decode_snapshot_payload(const Bytes& bytes) {
       // A leafless entry would be semantically inert — not canonical.
       return make_error("snapshot.bad_entry", "entry carries no account leaf");
     }
-    const crypto::Address a{addr.value()};
-    if (has_balance) state.set_balance(a, balance);
-    if (nonce.value() != 0) state.set_nonce(a, nonce.value());
+    seeds.push_back(AccountSeed{
+        crypto::Address{addr.value()},
+        has_balance ? std::optional(balance) : std::nullopt, nonce.value()});
   }
+  state.load_accounts(seeds);
 
   const auto audit_count = r.u64();
   if (!audit_count.ok()) return audit_count.error();
@@ -300,24 +348,28 @@ Result<LedgerState> decode_snapshot_payload(const Bytes& bytes) {
 
 Snapshot build_snapshot(const LedgerState& state, std::int64_t height,
                         std::size_t chunk_size) {
+  return build_snapshot(state, height, state.commitment(), chunk_size);
+}
+
+Snapshot build_snapshot(const LedgerState& state, std::int64_t height,
+                        const StateCommitment& commitment,
+                        std::size_t chunk_size) {
   Snapshot snap;
   const Bytes payload = encode_snapshot_payload(state);
   snap.manifest.height = height;
-  snap.manifest.commitment = state.commitment();
+  snap.manifest.commitment = commitment;
   snap.manifest.chunk_size = static_cast<std::uint32_t>(chunk_size);
   snap.manifest.total_bytes = payload.size();
   const auto count = static_cast<std::uint32_t>(
       chunk_count_for(payload.size(), snap.manifest.chunk_size));
   snap.chunks.reserve(count);
-  snap.manifest.chunk_digests.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::size_t begin = static_cast<std::size_t>(i) * chunk_size;
     const std::size_t end = std::min(begin + chunk_size, payload.size());
-    Bytes chunk(payload.begin() + static_cast<std::ptrdiff_t>(begin),
-                payload.begin() + static_cast<std::ptrdiff_t>(end));
-    snap.manifest.chunk_digests.push_back(snapshot_chunk_digest(i, chunk));
-    snap.chunks.push_back(std::move(chunk));
+    snap.chunks.emplace_back(payload.begin() + static_cast<std::ptrdiff_t>(begin),
+                             payload.begin() + static_cast<std::ptrdiff_t>(end));
   }
+  snap.manifest.chunk_digests = digest_chunks(snap.chunks);
   return snap;
 }
 
@@ -336,8 +388,6 @@ Result<LedgerState> assemble_snapshot(const SnapshotManifest& manifest,
                       "expected " + std::to_string(manifest.chunk_count()) +
                           " chunks, got " + std::to_string(chunks.size()));
   }
-  Bytes payload;
-  payload.reserve(manifest.total_bytes);
   for (std::uint32_t i = 0; i < chunks.size(); ++i) {
     const std::size_t expected =
         i + 1 < chunks.size()
@@ -348,7 +398,12 @@ Result<LedgerState> assemble_snapshot(const SnapshotManifest& manifest,
       return make_error("snapshot.bad_chunk_size",
                         "chunk " + std::to_string(i) + " has wrong length");
     }
-    if (snapshot_chunk_digest(i, chunks[i]) != manifest.chunk_digests[i]) {
+  }
+  const std::vector<crypto::Digest> digests = digest_chunks(chunks);
+  Bytes payload;
+  payload.reserve(manifest.total_bytes);
+  for (std::uint32_t i = 0; i < chunks.size(); ++i) {
+    if (digests[i] != manifest.chunk_digests[i]) {
       return make_error("snapshot.bad_chunk",
                         "chunk " + std::to_string(i) + " digest mismatch");
     }

@@ -1,19 +1,58 @@
 #include "ledger/snapshot_sync.h"
 
+#include <algorithm>
+
 namespace mv::ledger {
 
+std::shared_ptr<const Snapshot> SnapshotExportCache::get_or_export(
+    const Blockchain& chain, std::int64_t height, std::size_t chunk_size) {
+  const Key key{height, chunk_size};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->first == key) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it);  // touch
+      return lru_.front().second;
+    }
+  }
+  // Built under the lock: concurrent requests for the same height would
+  // otherwise race to duplicate the most expensive operation this module
+  // performs. Serve workers serialize here only on a cold entry.
+  auto exported = chain.export_snapshot(height, chunk_size);
+  if (!exported.ok()) return nullptr;
+  ++stats_.misses;
+  auto pinned =
+      std::make_shared<const Snapshot>(std::move(exported).value());
+  lru_.emplace_front(key, pinned);
+  while (lru_.size() > capacity_) lru_.pop_back();
+  return pinned;
+}
+
 net::SnapshotServer::Source make_snapshot_source(const Blockchain& chain,
-                                                 std::size_t chunk_size) {
+                                                 std::size_t chunk_size,
+                                                 SnapshotExportCache* cache) {
   net::SnapshotServer::Source source;
-  source.manifest = [&chain, chunk_size](std::int64_t height) -> Bytes {
+  source.manifest = [&chain, chunk_size,
+                     cache](std::int64_t height) -> Bytes {
+    if (cache != nullptr) {
+      auto snap = cache->get_or_export(chain, height, chunk_size);
+      return snap == nullptr ? Bytes{} : snap->manifest.encode();
+    }
     auto snap = chain.export_snapshot(height, chunk_size);
     if (!snap.ok()) return {};
     return snap.value().manifest.encode();
   };
-  source.chunk = [&chain, chunk_size](std::int64_t height,
-                                      std::uint32_t index) -> Bytes {
+  source.chunk = [&chain, chunk_size, cache](std::int64_t height,
+                                             std::uint32_t index) -> Bytes {
+    if (cache != nullptr) {
+      // Served from the pinned export: consistent for the whole sync even
+      // after the chain commits past the retention window.
+      auto snap = cache->get_or_export(chain, height, chunk_size);
+      if (snap == nullptr || index >= snap->chunks.size()) return {};
+      return snap->chunks[index];
+    }
     // Re-exporting per chunk keeps the server stateless; a serving replica
-    // that cares can wrap this in a cache keyed by height.
+    // that cares wraps this in a SnapshotExportCache.
     auto snap = chain.export_snapshot(height, chunk_size);
     if (!snap.ok() || index >= snap.value().chunks.size()) return {};
     return std::move(snap.value().chunks[index]);
@@ -31,13 +70,13 @@ SnapshotCatchup::SnapshotCatchup(net::Network& network, Blockchain& chain,
       light_client_(light_client),
       client_(network, config, make_hooks()) {}
 
-Status SnapshotCatchup::start(NodeId peer, std::int64_t height) {
+Status SnapshotCatchup::start(std::vector<NodeId> peers, std::int64_t height) {
   if (light_client_.header_at(height) == nullptr) {
     return Status::fail(errc::kSnapshotUnknownHeader,
                         "light client has no verified header at this height");
   }
   manifest_.reset();
-  return client_.start(peer, height);
+  return client_.start(std::move(peers), height);
 }
 
 net::SnapshotClient::Hooks SnapshotCatchup::make_hooks() {
@@ -69,6 +108,25 @@ net::SnapshotClient::Hooks SnapshotCatchup::make_hooks() {
   hooks.chunk_digest = [](std::uint32_t index,
                           const Bytes& chunk) -> crypto::Digest {
     return snapshot_chunk_digest(index, chunk);
+  };
+  hooks.prefill = [this]() -> std::vector<std::pair<std::uint32_t, Bytes>> {
+    std::vector<std::pair<std::uint32_t, Bytes>> out;
+    if (!diff_base_.has_value() || !manifest_.has_value()) return out;
+    const SnapshotManifest& base = diff_base_->manifest;
+    // The diff is anchored on the chunk geometry: digests commit to
+    // (index, bytes) under the same chunk size, so an equal digest at an
+    // equal index pins identical payload bytes at the same offset. A base
+    // with another chunk size shares no digests and contributes nothing.
+    if (base.chunk_size != manifest_->chunk_size) return out;
+    const std::size_t overlap =
+        std::min({base.chunk_digests.size(), diff_base_->chunks.size(),
+                  manifest_->chunk_digests.size()});
+    for (std::size_t i = 0; i < overlap; ++i) {
+      if (base.chunk_digests[i] == manifest_->chunk_digests[i]) {
+        out.emplace_back(static_cast<std::uint32_t>(i), diff_base_->chunks[i]);
+      }
+    }
+    return out;
   };
   hooks.install =
       [this](std::vector<Bytes> chunks) -> Result<std::int64_t> {

@@ -5,17 +5,29 @@
 //
 //   server — make_snapshot_source() adapts a Blockchain into the callbacks a
 //            net::SnapshotServer serves from: manifests and chunks for any
-//            height the retention ring covers, plus the block suffix.
+//            height the retention ring covers, plus the block suffix. With a
+//            SnapshotExportCache attached, an export is built once per
+//            (height, chunk size) and pinned: the server keeps answering
+//            chunk requests for that snapshot consistently even after the
+//            chain has committed past the retention window.
 //   client — SnapshotCatchup drives a net::SnapshotClient whose hooks bind
 //            every served byte to a LightClient-verified header: the manifest
 //            commitment root must equal header.state_root, each chunk must
 //            match the manifest's digest, and the installed state must
 //            reproduce the commitment byte-identically
 //            (Blockchain::init_from_snapshot). The suffix is then replayed
-//            through full block validation (import_blocks).
+//            through full block validation (import_blocks). start() accepts
+//            a whole peer set — chunk fetches stripe across every replica
+//            advertising the manifest — and set_diff_base() turns the sync
+//            into a diff: chunks whose digests already match a locally-held
+//            snapshot are reused instead of fetched.
 //
-// Trust chain details in DESIGN.md §9.
+// Trust chain details in DESIGN.md §9 and §13.
 #pragma once
+
+#include <list>
+#include <mutex>
+#include <utility>
 
 #include "ledger/chain.h"
 #include "ledger/light_client.h"
@@ -23,12 +35,58 @@
 
 namespace mv::ledger {
 
-/// Serve snapshots and block suffixes from `chain`. The reference must
+/// Pinned, LRU-bounded exports for a serving replica. export_snapshot() is
+/// the expensive end of a sync (state clone + encode + chunk digests); a
+/// server fielding a swarm of catch-up clients builds each export once and
+/// serves every chunk request from the pinned copy. Because the entry is
+/// immutable, a sync that started inside the retention window keeps being
+/// served consistently while blocks commit past it. Thread-safe: chunk
+/// serving may run on JobQueue workers.
+class SnapshotExportCache {
+ public:
+  explicit SnapshotExportCache(std::size_t capacity = 4)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;  ///< exports actually built (and cached)
+  };
+
+  /// The pinned export for (height, chunk_size), building it on first use.
+  /// nullptr when the chain cannot export that height (and nothing cached).
+  [[nodiscard]] std::shared_ptr<const Snapshot> get_or_export(
+      const Blockchain& chain, std::int64_t height, std::size_t chunk_size);
+
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+
+ private:
+  using Key = std::pair<std::int64_t, std::size_t>;  // (height, chunk_size)
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  /// Front = most recently used. Linear scans are fine: capacity is tiny
+  /// (a handful of concurrently-served heights).
+  std::list<std::pair<Key, std::shared_ptr<const Snapshot>>> lru_;
+  Stats stats_;
+};
+
+/// Serve snapshots and block suffixes from `chain`. The references must
 /// outlive the returned Source. Heights outside the retention window answer
-/// with an empty payload (the transport's "unavailable" refusal).
+/// with an empty payload (the transport's "unavailable" refusal). With a
+/// `cache`, exports are built once and pinned (see SnapshotExportCache) —
+/// without one, every chunk request re-exports, which keeps the server
+/// stateless but is only sensible for tests.
 [[nodiscard]] net::SnapshotServer::Source make_snapshot_source(
     const Blockchain& chain,
-    std::size_t chunk_size = kSnapshotChunkSize);
+    std::size_t chunk_size = kSnapshotChunkSize,
+    SnapshotExportCache* cache = nullptr);
 
 /// A fresh replica's catch-up driver: fetch manifest + chunks for a header
 /// the light client has verified, install via Blockchain::init_from_snapshot,
@@ -42,9 +100,23 @@ class SnapshotCatchup {
   /// Handlers run at delivery time; call once the replica's NodeId is known.
   void bind(NodeId self) { client_.bind(self); }
 
-  /// Begin syncing the snapshot at `height` from `peer`. The light client
-  /// must already hold the header at `height` (it anchors every check).
-  [[nodiscard]] Status start(NodeId peer, std::int64_t height);
+  /// Begin syncing the snapshot at `height`, striping chunk fetches across
+  /// `peers`. The light client must already hold the header at `height` (it
+  /// anchors every check).
+  [[nodiscard]] Status start(std::vector<NodeId> peers, std::int64_t height);
+  /// Single-peer convenience overload.
+  [[nodiscard]] Status start(NodeId peer, std::int64_t height) {
+    return start(std::vector<NodeId>{peer}, height);
+  }
+
+  /// Diff snapshot: before the next start(), hand over a snapshot this
+  /// replica already holds (e.g. from a previous sync). Chunks of the target
+  /// whose manifest digests match the base's — same chunk geometry, so a
+  /// digest match pins identical payload bytes at the same offset — are
+  /// installed from the base and never requested. The base is checked, not
+  /// trusted: every reused chunk passes the same digest gate as a served
+  /// one, and the commitment equality at install covers the whole state.
+  void set_diff_base(Snapshot base) { diff_base_ = std::move(base); }
 
   /// Dispatch one delivered message; true when the topic was ours.
   bool handle(const net::Message& msg) { return client_.handle(msg); }
@@ -59,6 +131,11 @@ class SnapshotCatchup {
   [[nodiscard]] std::size_t chunks_received() const {
     return client_.chunks_received();
   }
+  /// Per-peer striping/reputation state (tests, diagnostics).
+  [[nodiscard]] const std::vector<net::SnapshotClient::PeerState>& peers()
+      const {
+    return client_.peers();
+  }
 
  private:
   [[nodiscard]] net::SnapshotClient::Hooks make_hooks();
@@ -66,6 +143,7 @@ class SnapshotCatchup {
   Blockchain& chain_;
   const LightClient& light_client_;
   std::optional<SnapshotManifest> manifest_;  ///< accepted for the active sync
+  std::optional<Snapshot> diff_base_;         ///< local chunks to reuse
   net::SnapshotClient client_;
 };
 

@@ -199,6 +199,45 @@ void LedgerState::set_nonce(crypto::Address a, std::uint64_t value) {
   refresh_account_leaf(a);
 }
 
+void LedgerState::load_accounts(const std::vector<AccountSeed>& sorted) {
+  std::vector<std::pair<const crypto::Address, std::uint64_t>> balances;
+  std::vector<std::pair<const crypto::Address, std::uint64_t>> nonces;
+  std::vector<std::pair<std::uint64_t, crypto::Digest>> leaves;
+  balances.reserve(sorted.size());
+  leaves.reserve(sorted.size());
+  // Value digests in one batched pass: the preimage (flag || balance ||
+  // nonce, 17 bytes — the exact byte stream account_leaf_digest hashes) fits
+  // a single compression block, so pairs run in interleaved SHA lanes.
+  constexpr std::size_t kPreimage = 1 + 8 + 8;
+  std::vector<std::uint8_t> preimages(sorted.size() * kPreimage);
+  std::vector<crypto::ShortInput> inputs(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const AccountSeed& s = sorted[i];
+    std::uint8_t* p = preimages.data() + i * kPreimage;
+    p[0] = s.balance.has_value() ? 1 : 0;
+    const std::uint64_t bal = s.balance.value_or(0);
+    for (int b = 0; b < 8; ++b) {
+      p[1 + b] = static_cast<std::uint8_t>(bal >> (8 * b));
+      p[9 + b] = static_cast<std::uint8_t>(s.nonce >> (8 * b));
+    }
+    inputs[i] = {p, kPreimage};
+  }
+  std::vector<crypto::Digest> digests(sorted.size());
+  crypto::sha256_short_batch(inputs, digests.data());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const AccountSeed& s = sorted[i];
+    if (s.balance.has_value()) balances.emplace_back(s.addr, *s.balance);
+    if (s.nonce != 0) nonces.emplace_back(s.addr, s.nonce);
+    leaves.emplace_back(s.addr.value, digests[i]);
+  }
+  // Range construction of a std::map from a sorted range is O(n).
+  balances_ = std::map<crypto::Address, std::uint64_t>(balances.begin(),
+                                                       balances.end());
+  nonces_ = std::map<crypto::Address, std::uint64_t>(nonces.begin(),
+                                                     nonces.end());
+  accounts_ = crypto::MerkleMap::from_sorted_leaves(leaves);
+}
+
 void LedgerState::append_audit(StoredAuditRecord record) {
   audit_digest_ = chain_audit(audit_digest_, record);
   audit_log_.push_back(std::move(record));
@@ -248,6 +287,18 @@ void LedgerState::store_erase(const std::string& contract,
 void LedgerState::materialize_store(const std::string& contract) {
   contracts_[contract];
   store_digests_[contract];
+}
+
+LedgerState LedgerState::content_clone() const {
+  LedgerState copy;
+  copy.balances_ = balances_;
+  copy.nonces_ = nonces_;
+  copy.audit_log_ = audit_log_;
+  copy.contracts_ = contracts_;
+  copy.burned_fees_ = burned_fees_;
+  copy.audit_digest_ = audit_digest_;
+  copy.store_digests_ = store_digests_;
+  return copy;
 }
 
 void LedgerState::apply_undo(const StateUndo& undo) {

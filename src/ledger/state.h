@@ -178,6 +178,14 @@ class LedgerView {
                              bool signature_preverified = false);
 };
 
+/// One account's full content, used to bulk-load the account section on
+/// snapshot install (LedgerState::load_accounts).
+struct AccountSeed {
+  crypto::Address addr;
+  std::optional<std::uint64_t> balance;  ///< engaged = balance entry exists
+  std::uint64_t nonce = 0;
+};
+
 class LedgerState final : public LedgerView {
  public:
   // ---- accounts ----
@@ -186,6 +194,17 @@ class LedgerState final : public LedgerView {
   [[nodiscard]] std::uint64_t nonce(crypto::Address a) const override;
   void set_balance(crypto::Address a, std::uint64_t value) override;
   void set_nonce(crypto::Address a, std::uint64_t value) override;
+
+  /// Snapshot-install fast path: replace the whole account section from
+  /// entries in strictly ascending address order. The balance/nonce maps are
+  /// range-constructed (O(n) on sorted input) and the accounts Merkle tree
+  /// is bulk-built from sorted leaves (MerkleMap::from_sorted_leaves) —
+  /// one leaf hash per account, no per-key descents — instead of n
+  /// set_balance/set_nonce round trips through refresh_account_leaf. Every
+  /// entry must carry a leaf (a balance entry or nonzero nonce); order and
+  /// leaf presence are the caller's contract (the strict snapshot decoder
+  /// enforces both before calling).
+  void load_accounts(const std::vector<AccountSeed>& sorted);
 
   // ---- audit log (§II-D) ----
   [[nodiscard]] const std::vector<StoredAuditRecord>& audit_log() const {
@@ -239,6 +258,16 @@ class LedgerState final : public LedgerView {
   /// have been captured against exactly this state's pre-block version and
   /// undos must be applied newest-first; anything else corrupts the state.
   void apply_undo(const StateUndo& undo);
+
+  /// Snapshot-export fast path: a copy carrying the raw content sections
+  /// (balances, nonces, audit log, stores, burned fees, cached section
+  /// digests) but an EMPTY accounts Merkle tree — cloning the tree is the
+  /// dominant cost of a full copy, and the exporter takes the manifest
+  /// commitment from the chain's retention ring instead. apply_undo works on
+  /// the clone (leaf refreshes land in a small scratch tree), but any
+  /// commitment-bearing API touching the accounts tree returns garbage by
+  /// construction: the clone must stay local to the export path.
+  [[nodiscard]] LedgerState content_clone() const;
 
   /// Merkle inclusion proof for `a` against the current accounts_root (a
   /// non-membership proof when the account has no leaf). Pair with

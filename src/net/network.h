@@ -77,6 +77,10 @@ struct NetworkStats {
   /// Chunk requests answered with an explicit server_busy NACK (the serve
   /// job was shed) instead of a silent non-answer.
   std::uint64_t snapshot_busy_nacks = 0;
+  // Swarm catch-up counters (multi-peer striped sync).
+  std::uint64_t snapshot_peers_demoted = 0;    ///< reputation strikes reached the cap
+  std::uint64_t snapshot_busy_reroutes = 0;    ///< busy NACK re-aimed at another peer
+  std::uint64_t snapshot_diff_chunks_reused = 0;  ///< served from the local diff base
   // Subscription protocol counters (net/subscription.h).
   std::uint64_t subscription_sheds = 0;    ///< whole-commit fan-outs shed
   std::uint64_t subscribers_evicted = 0;   ///< dropped at the unacked cap
@@ -149,6 +153,11 @@ class Network {
                     : &NetworkStats::snapshot_syncs_failed);
   }
   void note_snapshot_busy_nack() { count(&NetworkStats::snapshot_busy_nacks); }
+  void note_snapshot_peer_demoted() { count(&NetworkStats::snapshot_peers_demoted); }
+  void note_snapshot_busy_reroute() { count(&NetworkStats::snapshot_busy_reroutes); }
+  void note_snapshot_diff_chunk_reused() {
+    count(&NetworkStats::snapshot_diff_chunks_reused);
+  }
   // Subscription protocol events (net/subscription.h).
   void note_subscription_shed() { count(&NetworkStats::subscription_sheds); }
   void note_subscriber_evicted() { count(&NetworkStats::subscribers_evicted); }

@@ -6,6 +6,17 @@
 // per-chunk verification on arrival, out-of-order assembly, and re-request
 // of dropped or corrupted chunks under capped retries with linear backoff.
 //
+// The client is a swarm: start() takes a *set* of peers and stripes the
+// windowed chunk requests across every replica that served a byte-identical
+// manifest, under a per-peer in-flight cap. Peers earn reputation strikes
+// for timeouts, corrupt chunks, and persistent busy-NACKs; at the strike cap
+// a peer is demoted and only used again as a last resort. A straggler chunk
+// is re-requested from a different peer than the one that stalled it, and a
+// busy NACK re-aims the request at an idle peer instead of parking it behind
+// the overloaded one. The single-peer overload keeps the original behavior
+// (nowhere to reroute, so busy requests park and persistent overload is a
+// dead end).
+//
 // The transport is payload-agnostic: what a manifest means, how a chunk is
 // digested, and how the assembled bytes are installed are supplied as hooks
 // by the ledger-side glue (ledger/snapshot_sync.h), so this layer stays free
@@ -16,6 +27,7 @@
 
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/job_queue.h"
@@ -34,10 +46,17 @@ inline constexpr const char* kSnapshotBlocksReq = "snap.blocks_req";
 inline constexpr const char* kSnapshotBlocksResp = "snap.blocks_resp";
 
 struct SnapshotTransferConfig {
-  std::size_t window = 8;      ///< chunk requests kept in flight
+  std::size_t window = 8;      ///< chunk requests kept in flight (global cap)
   Tick request_timeout = 16;   ///< ticks before a quiet request is re-sent
   std::size_t max_retries = 6; ///< per request; exhausted => sync fails
   Tick backoff = 8;            ///< extra timeout per accumulated retry
+  /// Chunk requests kept in flight at any single peer. Total striping
+  /// capacity is min(window, eligible peers * per_peer_inflight); the
+  /// default matches `window` so a single-peer sync behaves as before.
+  std::size_t per_peer_inflight = 8;
+  /// Reputation strikes (timeout, corrupt chunk, busy exhaustion, manifest
+  /// mismatch) before a peer is demoted to last-resort duty.
+  std::size_t demote_after = 3;
 };
 
 /// Serves manifests, chunks, and block suffixes from local callbacks. An
@@ -91,22 +110,43 @@ class SnapshotServer {
   std::function<void(std::uint32_t, Bytes&)> chunk_fault_;
 };
 
-/// Client state machine: manifest -> chunks (windowed, out-of-order) ->
-/// install -> block suffix -> done. Drive with handle() on every delivered
-/// message and tick() once per simulation step (timeout scanning).
+/// Client state machine: manifest -> chunks (windowed, out-of-order, striped
+/// across the peer set) -> install -> block suffix -> done. Drive with
+/// handle() on every delivered message and tick() once per simulation step
+/// (timeout scanning).
 class SnapshotClient {
  public:
   enum class Phase { kIdle, kManifest, kChunks, kBlocks, kDone, kFailed };
 
+  /// Per-peer striping and reputation state, exposed for tests and
+  /// diagnostics. A peer only receives chunk requests once it has served a
+  /// manifest byte-identical to the accepted one; demotion pushes it to the
+  /// back of every selection until no healthy peer has capacity.
+  struct PeerState {
+    NodeId id;
+    std::size_t inflight = 0;  ///< chunk requests outstanding at this peer
+    std::size_t strikes = 0;   ///< reputation: timeouts/corruption/busy caps
+    std::size_t served = 0;    ///< chunks that arrived and verified
+    bool demoted = false;      ///< strikes reached demote_after
+    bool has_manifest = false; ///< advertised the accepted manifest
+    bool refused = false;      ///< does not serve this height; never used
+  };
+
   struct Hooks {
     /// Authenticate a served manifest (decode, bind to a trusted header) and
-    /// return the expected per-chunk digests. An error fails the sync.
+    /// return the expected per-chunk digests. An error demotes the serving
+    /// peer; the sync fails once no peer can still deliver a manifest.
     std::function<Result<std::vector<crypto::Digest>>(std::int64_t height,
                                                       const Bytes& manifest)>
         accept_manifest;
     /// Digest of one chunk as the manifest commits to it.
     std::function<crypto::Digest(std::uint32_t index, const Bytes& chunk)>
         chunk_digest;
+    /// Optional: chunks the client already holds locally (diff snapshots).
+    /// Called once, right after the manifest is accepted; every returned
+    /// chunk is digest-verified like a served one before being marked
+    /// present, so a stale or corrupt local base degrades to a normal fetch.
+    std::function<std::vector<std::pair<std::uint32_t, Bytes>>()> prefill;
     /// All chunks verified: install the snapshot. Returns the height block
     /// replay should resume from, or an error to fail the sync.
     std::function<Result<std::int64_t>(std::vector<Bytes> chunks)> install;
@@ -119,15 +159,20 @@ class SnapshotClient {
 
   void bind(NodeId self) { self_ = self; }
 
-  /// Begin fetching the snapshot at `height` from `peer`. Fails if a sync is
-  /// already running.
-  [[nodiscard]] Status start(NodeId peer, std::int64_t height);
+  /// Begin fetching the snapshot at `height`, striping chunk requests across
+  /// `peers`. Fails if a sync is already running or `peers` is empty.
+  [[nodiscard]] Status start(std::vector<NodeId> peers, std::int64_t height);
+  /// Single-peer convenience overload (the original protocol).
+  [[nodiscard]] Status start(NodeId peer, std::int64_t height) {
+    return start(std::vector<NodeId>{peer}, height);
+  }
 
   /// Dispatch one delivered message; true when the topic was ours.
   bool handle(const Message& msg);
 
-  /// Scan in-flight requests for timeouts; re-send (with backoff) or fail
-  /// the sync once retries are exhausted. Call once per simulation step.
+  /// Scan in-flight requests for timeouts; re-send (with backoff, preferring
+  /// a different peer) or fail the sync once retries are exhausted. Call
+  /// once per simulation step.
   void tick();
 
   [[nodiscard]] Phase phase() const { return phase_; }
@@ -135,7 +180,10 @@ class SnapshotClient {
   [[nodiscard]] bool failed() const { return phase_ == Phase::kFailed; }
   /// Failure cause; meaningful when failed().
   [[nodiscard]] const std::optional<Error>& failure() const { return failure_; }
+  /// Chunks present locally, whether served by a peer or reused from a diff
+  /// prefill.
   [[nodiscard]] std::size_t chunks_received() const { return received_; }
+  [[nodiscard]] const std::vector<PeerState>& peers() const { return peers_; }
 
  private:
   struct Inflight {
@@ -143,21 +191,38 @@ class SnapshotClient {
     std::size_t retries = 0;
     /// Consecutive server_busy NACKs; deferrals, not retries — an honest
     /// busy answer never charges the loss-retry budget, but is capped on its
-    /// own so a permanently overloaded server still fails the sync.
+    /// own so a permanently overloaded server still fails a single-peer
+    /// sync (a swarm demotes the peer and reroutes instead).
     std::size_t busy_defers = 0;
     /// When >= 0, the request is parked until this tick (busy backoff); the
     /// timeout scan skips it and tick() re-sends once the tick arrives.
     Tick resend_at = -1;
+    /// Index into peers_ of the peer this request is charged against.
+    std::size_t peer = 0;
   };
 
   void fail(std::string code, std::string message);
+  /// One reputation strike; demotes at the configured cap.
+  void strike(std::size_t peer_idx);
+  /// Strike straight to demotion (byzantine manifest, busy exhaustion).
+  void strike_out(std::size_t peer_idx);
+  /// Peer index for a sender NodeId, or -1 when it is not in the swarm.
+  [[nodiscard]] int peer_index(NodeId id) const;
+  /// Best peer with chunk capacity: prefers not-`avoid`, then not demoted,
+  /// then fewest strikes, then least loaded. -1 when nobody (or, with
+  /// `exclude_avoid`, nobody else) has capacity.
+  [[nodiscard]] int pick_peer(int avoid, bool exclude_avoid) const;
+  [[nodiscard]] bool all_peers_refused() const;
+  /// Manifest request to every peer that has not answered yet.
   void send_manifest_req();
   void send_blocks_req();
-  void request_chunk(std::uint32_t index);
+  void request_chunk(std::uint32_t index, std::size_t peer_idx);
   /// Re-request after a timeout or a rejected payload; fails the sync when
   /// the retry budget is exhausted. `resend` performs the actual send.
   void retry(Inflight& slot, const std::function<void()>& resend);
   void fill_window();
+  /// All chunks verified (served or prefilled): install and move to blocks.
+  void finish_chunks();
   void on_manifest(const Message& msg);
   void on_chunk(const Message& msg);
   void on_blocks(const Message& msg);
@@ -166,12 +231,14 @@ class SnapshotClient {
   SnapshotTransferConfig config_;
   Hooks hooks_;
   NodeId self_;
-  NodeId peer_;
+  std::vector<PeerState> peers_;
   std::int64_t height_ = -1;
   Phase phase_ = Phase::kIdle;
   std::optional<Error> failure_;
 
   Inflight single_;  ///< the manifest / blocks request in flight
+  Bytes manifest_bytes_;  ///< accepted manifest; later peers must byte-match
+  std::size_t blocks_peer_ = 0;  ///< peer index serving the block suffix
   std::vector<crypto::Digest> expected_;
   std::vector<Bytes> chunks_;
   std::vector<std::optional<Inflight>> inflight_;  ///< per chunk, when requested

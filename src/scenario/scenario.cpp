@@ -176,7 +176,12 @@ void ScenarioGenerator::emit(ledger::Transaction tx) {
 }
 
 void ScenarioGenerator::charge(std::size_t avatar, std::uint64_t amount) {
-  avatars_[avatar].spent += amount;
+  AvatarModel& a = avatars_[avatar];
+  // First reservation this round: remember the avatar so settling scans the
+  // handful of spenders, not the whole population (`spent == 0` makes the
+  // list duplicate-free until on_round_committed resets it).
+  if (a.spent == 0 && amount > 0) dirty_spenders_.push_back(avatar);
+  a.spent += amount;
 }
 
 void ScenarioGenerator::remove_listing(std::uint64_t token) {
@@ -695,10 +700,12 @@ void ScenarioGenerator::on_round_committed(const ledger::LedgerState& state) {
     avatars_[idx].balance += credit;
   }
   pending_credits_.clear();
-  for (auto& a : avatars_) {
+  for (const std::size_t idx : dirty_spenders_) {
+    AvatarModel& a = avatars_[idx];
     a.balance -= a.spent;
     a.spent = 0;
   }
+  dirty_spenders_.clear();
   mod_balance_ -= mod_spent_;
   mod_spent_ = 0;
 

@@ -230,6 +230,9 @@ class ScenarioGenerator {
   Rng rng_;
 
   std::vector<AvatarModel> avatars_;
+  /// Avatars with spent != 0 in the current round; on_round_committed
+  /// settles exactly these instead of scanning every avatar.
+  std::vector<std::size_t> dirty_spenders_;
   std::uint64_t mod_balance_ = 0;
   std::uint64_t mod_spent_ = 0;
   std::uint64_t mod_nonce_ = 0;

@@ -315,6 +315,32 @@ TEST(MerkleMap, DeepCopyIsIndependent) {
   EXPECT_NE(b.root(), before);
 }
 
+TEST(MerkleMap, FromSortedLeavesMatchesIncrementalBuild) {
+  // The bulk loader (batched leaf hashing, eager inner hashing) must be
+  // bit-identical to put()-loop construction and to the structural oracle,
+  // across sizes that hit every shape: single leaf, one full nibble fanout,
+  // clustered low keys (deep shared prefixes), and large random spreads.
+  Rng rng(4242);
+  for (const std::size_t n : {1u, 2u, 15u, 16u, 17u, 100u, 1000u, 5000u}) {
+    std::map<std::uint64_t, Digest> model;
+    while (model.size() < n) {
+      const std::uint64_t key =
+          rng.chance(0.3) ? rng.next_below(256) : rng.next_u64();
+      model[key] = value_digest(rng.next_u64());
+    }
+    const std::vector<std::pair<std::uint64_t, Digest>> leaves(model.begin(),
+                                                               model.end());
+    const MerkleMap bulk = MerkleMap::from_sorted_leaves(leaves);
+    MerkleMap incremental;
+    for (const auto& [k, v] : model) incremental.put(k, v);
+    ASSERT_EQ(bulk.size(), n);
+    ASSERT_EQ(bulk.root(), incremental.root()) << "n=" << n;
+    ASSERT_EQ(bulk.root(), reference_of(model)) << "n=" << n;
+    // Lookups traverse the bulk-built structure, not just its hashes.
+    for (const auto& [k, v] : model) ASSERT_TRUE(bulk.contains(k));
+  }
+}
+
 TEST(MerkleMap, MatchesReferenceOracleUnderRandomChurn) {
   // Incremental root (cached tree, dirty-path rehash) vs. the structural
   // recursion oracle, across interleaved inserts, updates, and erases.

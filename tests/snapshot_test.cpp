@@ -807,6 +807,373 @@ TEST(SnapshotTransfer, StartRequiresVerifiedHeader) {
             "snapshot.unknown_header");
 }
 
+TEST(SnapshotTransfer, StartRequiresPeers) {
+  NetFixture f(/*drop_rate=*/0.0);
+  SnapshotCatchup catchup(f.net, f.replica, f.lc, {});
+  EXPECT_EQ(catchup.start(std::vector<NodeId>{}, f.source.height() - 1)
+                .error()
+                .code,
+            "snapshot.no_peers");
+}
+
+// ------------------------------------------------------- swarm catch-up
+
+/// NetFixture plus N servers sharing the source chain, each with a pinned
+/// export cache (the swarm-serving configuration).
+struct SwarmFixture : NetFixture {
+  std::vector<std::unique_ptr<SnapshotExportCache>> caches;
+  std::vector<std::unique_ptr<net::SnapshotServer>> servers;
+  std::vector<NodeId> server_nodes;
+
+  SwarmFixture(double drop_rate, std::size_t n_servers, int source_blocks = 12,
+               std::size_t chunk_size = 256)
+      : NetFixture(drop_rate, source_blocks) {
+    for (std::size_t i = 0; i < n_servers; ++i) {
+      caches.push_back(std::make_unique<SnapshotExportCache>());
+      servers.push_back(std::make_unique<net::SnapshotServer>(
+          net,
+          make_snapshot_source(source, chunk_size, caches.back().get())));
+      net::SnapshotServer& server = *servers.back();
+      server_nodes.push_back(
+          net.add_node([&server](const net::Message& m) { server.handle(m); }));
+      servers.back()->bind(server_nodes.back());
+    }
+  }
+};
+
+TEST(SnapshotSwarm, StripedLossyCatchUpConvergesAcrossPeers) {
+  // Four replicas advertise the snapshot; chunk requests stripe across all
+  // of them under a per-peer in-flight cap, through 12% iid loss, and the
+  // result is byte-identical to a full replay.
+  SwarmFixture f(/*drop_rate=*/0.12, /*n_servers=*/4);
+  const std::int64_t snap_height = f.source.height() - 3;
+
+  SnapshotCatchup catchup(
+      f.net, f.replica, f.lc,
+      net::SnapshotTransferConfig{16, 8, 8, 4, /*per_peer_inflight=*/4});
+  const NodeId client_node =
+      f.net.add_node([&](const net::Message& m) { catchup.handle(m); });
+  catchup.bind(client_node);
+
+  ASSERT_TRUE(catchup.start(f.server_nodes, snap_height).ok());
+  f.run(catchup);
+  ASSERT_TRUE(catchup.done())
+      << (catchup.failure() ? catchup.failure()->to_string() : "timed out");
+
+  EXPECT_EQ(f.replica.height(), f.source.height());
+  EXPECT_EQ(f.replica.tip_hash(), f.source.tip_hash());
+  EXPECT_EQ(f.replica.state().commitment(), f.source.state().commitment());
+  Blockchain full_replay = f.ledger.make_chain();
+  ASSERT_TRUE(full_replay.import_blocks(f.source.export_blocks()).ok());
+  EXPECT_EQ(f.replica.state().commitment(), full_replay.state().commitment());
+
+  // The stripe genuinely spread: more than one peer served verified chunks
+  // (a peer whose manifest response was lost sits the stripe out — that is
+  // allowed, the rest carry it).
+  std::size_t serving_peers = 0;
+  std::size_t total_served = 0;
+  for (const auto& p : catchup.peers()) {
+    if (p.served > 0) ++serving_peers;
+    total_served += p.served;
+  }
+  EXPECT_GT(serving_peers, 1u);
+  EXPECT_EQ(total_served, catchup.chunks_received());
+  EXPECT_GT(f.net.stats().dropped, 0u);
+  EXPECT_EQ(f.net.stats().snapshot_syncs_completed, 1u);
+}
+
+TEST(SnapshotSwarm, ByzantinePeerIsDemotedWhileSyncCompletes) {
+  // One of three replicas serves corrupt bytes for every chunk. Each bad
+  // chunk is rejected at the digest gate and re-requested from a different
+  // peer; the corrupt peer collects strikes until it is demoted, and the
+  // sync still converges byte-identically off the honest peers.
+  // 24 blocks at tiny chunks => enough chunks that the corrupt peer's
+  // initial stripe alone crosses the demotion threshold.
+  SwarmFixture f(/*drop_rate=*/0.0, /*n_servers=*/3, /*source_blocks=*/24,
+                 /*chunk_size=*/64);
+  const std::int64_t snap_height = f.source.height() - 2;
+  f.servers[0]->set_chunk_fault(
+      [](std::uint32_t, Bytes& data) { data[0] ^= 0xFF; });
+
+  SnapshotCatchup catchup(
+      f.net, f.replica, f.lc,
+      net::SnapshotTransferConfig{12, 8, 8, 4, /*per_peer_inflight=*/8});
+  const NodeId client_node =
+      f.net.add_node([&](const net::Message& m) { catchup.handle(m); });
+  catchup.bind(client_node);
+
+  ASSERT_TRUE(catchup.start(f.server_nodes, snap_height).ok());
+  f.run(catchup);
+  ASSERT_TRUE(catchup.done())
+      << (catchup.failure() ? catchup.failure()->to_string() : "timed out");
+
+  EXPECT_EQ(f.replica.height(), f.source.height());
+  EXPECT_EQ(f.replica.state().commitment(), f.source.state().commitment());
+  // The byzantine peer was demoted and served nothing that verified; the
+  // honest peers carried the sync.
+  const auto& peers = catchup.peers();
+  EXPECT_TRUE(peers[0].demoted);
+  EXPECT_EQ(peers[0].served, 0u);
+  EXPECT_FALSE(peers[1].demoted);
+  EXPECT_FALSE(peers[2].demoted);
+  EXPECT_EQ(peers[1].served + peers[2].served, catchup.chunks_received());
+  const net::NetworkStats& stats = f.net.stats();
+  EXPECT_GE(stats.snapshot_peers_demoted, 1u);
+  EXPECT_GT(stats.snapshot_chunks_rejected, 0u);
+  EXPECT_EQ(stats.snapshot_syncs_completed, 1u);
+}
+
+TEST(SnapshotSwarm, BusyPeerReroutesInsteadOfFailing) {
+  // Regression for the single-peer dead end: when a server's busy-defer
+  // budget ran out the old client failed the sync outright. With a peer
+  // set, a busy NACK re-aims the request at another peer and the sync
+  // completes without charging the retry budget.
+  SwarmFixture f(/*drop_rate=*/0.0, /*n_servers=*/1);
+  const std::int64_t snap_height = f.source.height() - 2;
+
+  // Server 0 is wrapped in a saturated queue: its worker is pinned and the
+  // lane is full, so every chunk request it sees is answered with a busy
+  // NACK for the whole test.
+  JobQueueConfig qconfig;
+  qconfig.threads = 1;
+  qconfig.limit(JobClass::kSnapshotServe).max_depth = 1;
+  JobQueue queue(qconfig);
+  SnapshotExportCache busy_cache;
+  net::SnapshotServer busy_server(
+      f.net, make_snapshot_source(f.source, 256, &busy_cache), &queue);
+  const NodeId busy_node =
+      f.net.add_node([&](const net::Message& m) { busy_server.handle(m); });
+  busy_server.bind(busy_node);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(queue.submit(JobClass::kSnapshotServe, [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  }));
+  while (queue.stats().of(JobClass::kSnapshotServe).depth > 0) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(queue.submit(JobClass::kSnapshotServe, [] {}));
+
+  SnapshotCatchup catchup(
+      f.net, f.replica, f.lc,
+      net::SnapshotTransferConfig{8, 8, 6, 4, /*per_peer_inflight=*/8});
+  const NodeId client_node =
+      f.net.add_node([&](const net::Message& m) { catchup.handle(m); });
+  catchup.bind(client_node);
+
+  ASSERT_TRUE(
+      catchup.start(std::vector<NodeId>{busy_node, f.server_nodes[0]},
+                    snap_height)
+          .ok());
+  f.run(catchup);
+  ASSERT_TRUE(catchup.done())
+      << (catchup.failure() ? catchup.failure()->to_string() : "timed out");
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  queue.drain();  // no serve may outlive the server it references
+
+  EXPECT_EQ(f.replica.height(), f.source.height());
+  EXPECT_EQ(f.replica.state().commitment(), f.source.state().commitment());
+  const net::NetworkStats& stats = f.net.stats();
+  // Busy answers were re-aimed at the healthy peer — never parked into the
+  // retry budget, never fatal.
+  EXPECT_GT(stats.snapshot_busy_nacks, 0u);
+  EXPECT_GT(stats.snapshot_busy_reroutes, 0u);
+  EXPECT_EQ(stats.snapshot_retries, 0u);
+  EXPECT_EQ(stats.snapshot_syncs_failed, 0u);
+  EXPECT_EQ(catchup.peers()[0].served, 0u);
+  EXPECT_EQ(catchup.peers()[1].served, catchup.chunks_received());
+}
+
+TEST(SnapshotSwarm, SinglePersistentlyBusyPeerIsStillADeadEnd) {
+  // The busy-defer cap keeps its original meaning when there is nowhere to
+  // reroute: one peer, permanently saturated, must fail the sync instead of
+  // deferring forever.
+  NetFixture f(/*drop_rate=*/0.0);
+  const std::int64_t snap_height = f.source.height() - 2;
+
+  JobQueueConfig qconfig;
+  qconfig.threads = 1;
+  qconfig.limit(JobClass::kSnapshotServe).max_depth = 1;
+  JobQueue queue(qconfig);
+  net::SnapshotServer server(f.net, make_snapshot_source(f.source, 512),
+                             &queue);
+  const NodeId server_node =
+      f.net.add_node([&](const net::Message& m) { server.handle(m); });
+  server.bind(server_node);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(queue.submit(JobClass::kSnapshotServe, [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  }));
+  while (queue.stats().of(JobClass::kSnapshotServe).depth > 0) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(queue.submit(JobClass::kSnapshotServe, [] {}));
+
+  SnapshotCatchup catchup(f.net, f.replica, f.lc,
+                          net::SnapshotTransferConfig{4, 8, 6, 4});
+  const NodeId client_node =
+      f.net.add_node([&](const net::Message& m) { catchup.handle(m); });
+  catchup.bind(client_node);
+
+  ASSERT_TRUE(catchup.start(server_node, snap_height).ok());
+  f.run(catchup);
+  ASSERT_TRUE(catchup.failed());
+  EXPECT_EQ(catchup.failure()->code, "snapshot.server_busy");
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  queue.drain();
+  EXPECT_EQ(f.replica.height(), 0);
+  EXPECT_EQ(f.net.stats().snapshot_syncs_failed, 1u);
+}
+
+// --------------------------------------------------------- diff snapshots
+
+TEST(SnapshotDiff, FetchesOnlyChangedChunksAndInstallsIdentically) {
+  // A replica holding an older snapshot re-syncs to a newer height. Chunks
+  // whose digests already match the target manifest are reused from the
+  // local base; exactly the changed ones cross the wire, and the installed
+  // state is byte-identical to the source.
+  // The snapshot byte stream is fixed-width, so a bulky append-only audit
+  // log sandwiched between the constant-size account section and the
+  // mutating store tail keeps both its offsets and its bytes across a few
+  // blocks of ordinary traffic — that middle run is what the diff reuses.
+  SwarmFixture f(/*drop_rate=*/0.0, /*n_servers=*/2, /*source_blocks=*/2);
+  const std::size_t headers_seen = f.source.blocks().size();
+  const std::string blob(48, 'x');
+  for (int b = 0; b < 8; ++b) {
+    const std::int64_t h = f.source.height();
+    const crypto::Wallet& proposer = (h % 2 == 0) ? f.ledger.v0 : f.ledger.v1;
+    std::vector<Transaction> txs;
+    std::uint64_t nonce = f.source.state().nonce(f.ledger.alice.address());
+    for (int i = 0; i < 3; ++i) {
+      txs.push_back(make_audit_record(
+          f.ledger.alice, nonce++,
+          AuditRecordBody{"pose." + blob, "presence." + blob, 5,
+                          "laplace." + blob},
+          1, f.ledger.rng));
+    }
+    ASSERT_TRUE(
+        f.source.append(f.source.assemble(proposer, txs, h, f.ledger.rng))
+            .ok());
+  }
+  auto base = f.source.export_snapshot(f.source.height() - 1, 256);
+  ASSERT_TRUE(base.ok()) << base.error().to_string();
+
+  // A few blocks of ordinary traffic on top: the delta the diff must fetch.
+  f.ledger.grow(f.source, 4);
+  for (std::size_t i = headers_seen; i < f.source.blocks().size(); ++i) {
+    ASSERT_TRUE(f.lc.accept_header(f.source.blocks()[i].header).ok());
+  }
+  const std::int64_t snap_height = f.source.height() - 2;
+  auto target = f.source.export_snapshot(snap_height, 256);
+  ASSERT_TRUE(target.ok());
+  // The delta must be real but strictly smaller than the snapshot.
+  std::size_t expected_reused = 0;
+  const auto& base_digests = base.value().manifest.chunk_digests;
+  const auto& target_digests = target.value().manifest.chunk_digests;
+  for (std::size_t i = 0;
+       i < std::min(base_digests.size(), target_digests.size()); ++i) {
+    if (base_digests[i] == target_digests[i]) ++expected_reused;
+  }
+  ASSERT_GT(expected_reused, 0u) << "base shares no chunks; weaken the test";
+  ASSERT_LT(expected_reused, target_digests.size());
+
+  SnapshotCatchup catchup(
+      f.net, f.replica, f.lc,
+      net::SnapshotTransferConfig{8, 8, 8, 4, /*per_peer_inflight=*/4});
+  const NodeId client_node =
+      f.net.add_node([&](const net::Message& m) { catchup.handle(m); });
+  catchup.bind(client_node);
+  catchup.set_diff_base(std::move(base).value());
+
+  ASSERT_TRUE(catchup.start(f.server_nodes, snap_height).ok());
+  f.run(catchup);
+  ASSERT_TRUE(catchup.done())
+      << (catchup.failure() ? catchup.failure()->to_string() : "timed out");
+
+  EXPECT_EQ(f.replica.height(), f.source.height());
+  EXPECT_EQ(f.replica.tip_hash(), f.source.tip_hash());
+  EXPECT_EQ(f.replica.state().commitment(), f.source.state().commitment());
+
+  // The fetch count is exact: every matching chunk was reused, every
+  // changed one was served, nothing twice (no loss in this test).
+  const net::NetworkStats& stats = f.net.stats();
+  EXPECT_EQ(stats.snapshot_diff_chunks_reused, expected_reused);
+  EXPECT_EQ(stats.snapshot_chunks_served,
+            target_digests.size() - expected_reused);
+  EXPECT_EQ(catchup.chunks_received(), target_digests.size());
+}
+
+TEST(SnapshotDiff, StaleBaseDegradesToFullFetch) {
+  // A diff base with a different chunk geometry shares no digests: nothing
+  // prefills, everything is fetched, and the sync still converges.
+  SwarmFixture f(/*drop_rate=*/0.0, /*n_servers=*/1);
+  const std::int64_t snap_height = f.source.height() - 2;
+  auto base = f.source.export_snapshot(snap_height - 3, 128);  // other size
+  ASSERT_TRUE(base.ok());
+
+  SnapshotCatchup catchup(f.net, f.replica, f.lc,
+                          net::SnapshotTransferConfig{4, 8, 8, 4});
+  const NodeId client_node =
+      f.net.add_node([&](const net::Message& m) { catchup.handle(m); });
+  catchup.bind(client_node);
+  catchup.set_diff_base(std::move(base).value());
+
+  ASSERT_TRUE(catchup.start(f.server_nodes, snap_height).ok());
+  f.run(catchup);
+  ASSERT_TRUE(catchup.done());
+  EXPECT_EQ(f.net.stats().snapshot_diff_chunks_reused, 0u);
+  EXPECT_EQ(f.replica.state().commitment(), f.source.state().commitment());
+}
+
+// ------------------------------------------------------ pinned export cache
+
+TEST(SnapshotExportCachePinning, ServesConsistentlyPastRetention) {
+  // A sync that started inside the retention window keeps being served from
+  // the pinned export while the chain commits past it — the direct export
+  // is already stale, the cached one is not.
+  SyncFixture f;
+  Blockchain chain = f.make_chain();
+  f.grow(chain, 12);
+  const std::int64_t snap_height = chain.height() - 1;
+
+  SnapshotExportCache cache(/*capacity=*/2);
+  auto source = make_snapshot_source(chain, 256, &cache);
+  const Bytes manifest_bytes = source.manifest(snap_height);
+  ASSERT_FALSE(manifest_bytes.empty());
+  const Bytes chunk0 = source.chunk(snap_height, 0);
+  ASSERT_FALSE(chunk0.empty());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Commit far past the retention ring (retention = 8).
+  f.grow(chain, 10);
+  ASSERT_EQ(chain.export_snapshot(snap_height).error().code,
+            "chain.stale_height");
+
+  // The pinned export still answers, byte-identically.
+  EXPECT_EQ(source.manifest(snap_height), manifest_bytes);
+  EXPECT_EQ(source.chunk(snap_height, 0), chunk0);
+  EXPECT_GE(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // LRU bound: filling past capacity evicts the oldest entry.
+  ASSERT_FALSE(source.manifest(chain.height() - 1).empty());
+  ASSERT_FALSE(source.manifest(chain.height() - 2).empty());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
 // ------------------------------------------------------------- sig cache
 
 TEST(DigestLru, InsertContainsAndTouch) {
