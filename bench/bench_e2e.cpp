@@ -19,6 +19,7 @@
 #include <string>
 
 #include "scenario/harness.h"
+#include "scenario/shard_harness.h"
 
 namespace {
 
@@ -193,6 +194,48 @@ void BM_E2EReplay(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(committed));
 }
 BENCHMARK(BM_E2EReplay)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+/// Cross-shard-heavy multi-world mix through the sharded harness: 4 worlds,
+/// every round carries lock-and-mint receipt traffic alongside intra-world
+/// transfers, and each iteration replays the recorded trace end to end
+/// (beacon roots verified against the recording). Arg = JobQueue workers
+/// fanning the per-shard commits out (0 = serial). Single-core container:
+/// worker counts > 0 price the fan-out, not wall-clock speedup.
+void BM_E2EMultiWorldReplay(benchmark::State& state) {
+  MultiWorldConfig config;
+  config.num_shards = 4;
+  config.seed = 2022;
+  config.avatars = 64;
+  config.validators = 3;
+  config.rounds = 10;
+  config.intra_per_round = 16;
+  config.cross_per_round = 8;
+  auto rec = record_multi_world(config);
+  if (!rec.ok()) {
+    state.SkipWithError(rec.error().to_string().c_str());
+    return;
+  }
+  MultiWorldOptions opts;
+  opts.queue_workers = static_cast<std::size_t>(state.range(0));
+  opts.check_invariants = false;  // measure the pipeline, not the auditor
+  std::size_t committed = 0;
+  for (auto _ : state) {
+    auto run = replay_multi_world(rec.value().trace, opts);
+    if (!run.ok()) {
+      state.SkipWithError(run.error().to_string().c_str());
+      return;
+    }
+    if (run.value().mismatched_rounds != 0) {
+      state.SkipWithError("multi-world replay diverged from recording");
+      return;
+    }
+    committed += run.value().committed_txs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(committed));
+  state.counters["cross_transfers"] =
+      static_cast<double>(rec.value().cross_transfers);
+}
+BENCHMARK(BM_E2EMultiWorldReplay)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -123,6 +123,22 @@ if echo "${scen_out}" | grep -qi 'skipped'; then
   exit 1
 fi
 
+echo "== gate: sharded ledger (beacon anchors, cross-shard receipts, multi-world) =="
+# The shard split's contract: N=1 byte-identity with the plain chain, beacon
+# roots stable across thread counts, lock-and-mint receipts with replay and
+# stale/foreign-root rejection, the receipt-codec mutation fuzz, and the
+# multi-world trace replaying byte-identically through the sharded harness.
+shard_out="$(ctest --test-dir build -R 'Shard|Beacon|CrossShard|MultiWorld' --no-tests=error --output-on-failure 2>&1)" || {
+  echo "${shard_out}"
+  echo "FAIL: sharded ledger tests did not run or did not pass"
+  exit 1
+}
+if echo "${shard_out}" | grep -qi 'skipped'; then
+  echo "${shard_out}"
+  echo "FAIL: sharded ledger tests were skipped"
+  exit 1
+fi
+
 echo "== bench: e2e macro workloads -> BENCH_e2e.json =="
 MV_BENCH_NO_TABLE=1 ./build/bench/bench_e2e \
   --benchmark_out=BENCH_e2e.json \
@@ -130,7 +146,7 @@ MV_BENCH_NO_TABLE=1 ./build/bench/bench_e2e \
 
 echo "== bench: ledger microbenchmarks -> BENCH_ledger.json (median of 3) =="
 MV_BENCH_NO_TABLE=1 ./build/bench/bench_ledger \
-  --benchmark_filter='BM_BlockAssembleValidate|BM_ParallelBlockValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove|BM_AccountProofRoundTrip|BM_CatchUp|BM_DiffSnapshot|BM_SnapshotExportImport|BM_BlockValidateSigCache|BM_JobQueue|BM_SubscriptionFanout' \
+  --benchmark_filter='BM_BlockAssembleValidate|BM_ParallelBlockValidate|BM_CommitmentAfterTouch|BM_TxApplyTransfer|BM_MempoolSelectRemove|BM_AccountProofRoundTrip|BM_CatchUp|BM_DiffSnapshot|BM_SnapshotExportImport|BM_BlockValidateSigCache|BM_JobQueue|BM_SubscriptionFanout|BM_ShardedPipeline' \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   --benchmark_out=BENCH_ledger.json \
@@ -146,7 +162,7 @@ ctest --test-dir build-asan --output-on-failure -j "${jobs}"
 echo "== configure + build: tsan =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMV_TSAN=ON
 cmake --build build-tsan -j "${jobs}" --target \
-  common_test job_queue_test crypto_test parallel_test ledger_test snapshot_test subscription_test net_test scenario_test
+  common_test job_queue_test crypto_test parallel_test ledger_test snapshot_test subscription_test net_test scenario_test shard_test
 
 echo "== tsan: suites touching the parallel validation engine =="
 # halt_on_error turns the first data race into a non-zero exit instead of a
@@ -155,7 +171,7 @@ echo "== tsan: suites touching the parallel validation engine =="
 # parallel apply/merge paths, consensus replicas in parallel mode, the
 # queue-routed gossip/snapshot paths, the subscription fan-out (worker-thread
 # pushes racing subscribe/ack handling), and the end-to-end scenarios.
-for t in common_test job_queue_test crypto_test parallel_test ledger_test snapshot_test subscription_test net_test scenario_test; do
+for t in common_test job_queue_test crypto_test parallel_test ledger_test snapshot_test subscription_test net_test scenario_test shard_test; do
   echo "-- tsan: ${t}"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/${t}"
 done

@@ -124,6 +124,24 @@ inline constexpr const char* kModNoSuchReport = "mod.no_such_report";
 inline constexpr const char* kModAlreadyResolved = "mod.already_resolved";
 inline constexpr const char* kModNotModerator = "mod.not_moderator";
 
+// beacon.* — beacon header codec + sharded-ledger rounds (ledger/beacon.h,
+// ledger/shard.h).
+inline constexpr const char* kBeaconBadCount = "beacon.bad_count";
+inline constexpr const char* kBeaconBadRoot = "beacon.bad_root";
+inline constexpr const char* kBeaconTrailing = "beacon.trailing_bytes";
+inline constexpr const char* kShardBadConfig = "shard.bad_config";
+inline constexpr const char* kShardUnknownReceipt = "shard.unknown_receipt";
+inline constexpr const char* kShardRoundFailed = "shard.round_failed";
+
+// xshard.* — cross-shard lock-and-mint contract rejections (ledger/shard.h).
+inline constexpr const char* kXShardBadArgs = "xshard.bad_args";
+inline constexpr const char* kXShardUnknownMethod = "xshard.unknown_method";
+inline constexpr const char* kXShardBadDest = "xshard.bad_dest";
+inline constexpr const char* kXShardWrongShard = "xshard.wrong_shard";
+inline constexpr const char* kXShardUnknownBeacon = "xshard.unknown_beacon";
+inline constexpr const char* kXShardBadProof = "xshard.bad_proof";
+inline constexpr const char* kXShardReceiptSpent = "xshard.receipt_spent";
+
 // trace.* — scenario trace codec + replay (scenario/trace.h,
 // scenario/harness.h).
 inline constexpr const char* kTraceBadMagic = "trace.bad_magic";

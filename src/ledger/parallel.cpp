@@ -153,22 +153,30 @@ struct UnitRun {
   std::vector<std::size_t> applied;
 };
 
-/// True when any unit's reads or writes overlap another unit's writes.
-/// Conflicts the static partition already captured cannot appear here (those
-/// transactions share a unit); anything a contract reached dynamically can.
-bool units_interfere(const std::vector<UnitRun>& runs) {
+/// Units whose reads or writes overlap another unit's writes — both parties
+/// of every overlap, sorted ascending; empty means the units are mutually
+/// independent. Conflicts the static partition already captured cannot
+/// appear here (those transactions share a unit); anything a contract
+/// reached dynamically can. Attribution (instead of a bare bool) is what
+/// lets the repair path below re-run only the entangled units.
+std::vector<std::size_t> interfering_units(const std::vector<UnitRun>& runs) {
+  std::vector<bool> marked(runs.size(), false);
+  const auto mark = [&](std::size_t a, std::size_t b) {
+    marked[a] = true;
+    marked[b] = true;
+  };
   std::unordered_map<std::uint64_t, std::size_t> account_writer;
   std::map<std::string, std::map<std::string, std::size_t>> store_writer;
   for (std::size_t u = 0; u < runs.size(); ++u) {
     for (const std::uint64_t a : runs[u].view.access().account_writes) {
       const auto [it, inserted] = account_writer.emplace(a, u);
-      if (!inserted && it->second != u) return true;
+      if (!inserted && it->second != u) mark(u, it->second);
     }
     for (const auto& [contract, keys] : runs[u].view.access().store_writes) {
       auto& owner = store_writer[contract];
       for (const auto& key : keys) {
         const auto [it, inserted] = owner.emplace(key, u);
-        if (!inserted && it->second != u) return true;
+        if (!inserted && it->second != u) mark(u, it->second);
       }
     }
   }
@@ -176,14 +184,14 @@ bool units_interfere(const std::vector<UnitRun>& runs) {
     const AccessSet& acc = runs[u].view.access();
     for (const std::uint64_t a : acc.account_reads) {
       const auto it = account_writer.find(a);
-      if (it != account_writer.end() && it->second != u) return true;
+      if (it != account_writer.end() && it->second != u) mark(u, it->second);
     }
     for (const auto& [contract, keys] : acc.store_reads) {
       const auto sit = store_writer.find(contract);
       if (sit == store_writer.end()) continue;
       for (const auto& key : keys) {
         const auto it = sit->second.find(key);
-        if (it != sit->second.end() && it->second != u) return true;
+        if (it != sit->second.end() && it->second != u) mark(u, it->second);
       }
     }
     for (const auto& [contract, prefix] : acc.prefix_reads) {
@@ -192,11 +200,67 @@ bool units_interfere(const std::vector<UnitRun>& runs) {
       for (auto it = sit->second.lower_bound(prefix); it != sit->second.end();
            ++it) {
         if (!it->first.starts_with(prefix)) break;
-        if (it->second != u) return true;
+        if (it->second != u) mark(u, it->second);
       }
     }
   }
+  std::vector<std::size_t> out;
+  for (std::size_t u = 0; u < runs.size(); ++u) {
+    if (marked[u]) out.push_back(u);
+  }
+  return out;
+}
+
+bool u64_sets_overlap(const std::unordered_set<std::uint64_t>& a,
+                      const std::unordered_set<std::uint64_t>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& big = a.size() <= b.size() ? b : a;
+  for (const std::uint64_t v : small) {
+    if (big.contains(v)) return true;
+  }
   return false;
+}
+
+bool store_maps_overlap(const std::map<std::string, std::set<std::string>>& a,
+                        const std::map<std::string, std::set<std::string>>& b) {
+  for (const auto& [contract, keys] : a) {
+    const auto it = b.find(contract);
+    if (it == b.end()) continue;
+    const auto& small = keys.size() <= it->second.size() ? keys : it->second;
+    const auto& big = keys.size() <= it->second.size() ? it->second : keys;
+    for (const auto& key : small) {
+      if (big.contains(key)) return true;
+    }
+  }
+  return false;
+}
+
+bool prefix_reads_hit_writes(
+    const std::vector<std::pair<std::string, std::string>>& prefixes,
+    const std::map<std::string, std::set<std::string>>& writes) {
+  for (const auto& [contract, prefix] : prefixes) {
+    const auto sit = writes.find(contract);
+    if (sit == writes.end()) continue;
+    const auto it = sit->second.lower_bound(prefix);
+    if (it != sit->second.end() && it->starts_with(prefix)) return true;
+  }
+  return false;
+}
+
+/// Directional half of the interference predicate: does `w`'s write set
+/// touch anything `r` read, wrote, or prefix-scanned?
+bool writes_touch(const AccessSet& w, const AccessSet& r) {
+  return u64_sets_overlap(w.account_writes, r.account_writes) ||
+         u64_sets_overlap(w.account_writes, r.account_reads) ||
+         store_maps_overlap(w.store_writes, r.store_writes) ||
+         store_maps_overlap(w.store_writes, r.store_reads) ||
+         prefix_reads_hit_writes(r.prefix_reads, w.store_writes);
+}
+
+/// Full symmetric check between two access sets (both read-vs-write
+/// directions plus write-vs-write).
+bool access_interferes(const AccessSet& a, const AccessSet& b) {
+  return writes_touch(a, b) || writes_touch(b, a);
 }
 
 /// How apply_block fans out CPU-bound work: through the prioritized job
@@ -444,35 +508,87 @@ BlockApplyOutcome apply_block(LedgerStateOverlay& scratch,
     }
   });
 
-  // Any failure (all-or-nothing) or cross-unit interference: discard the
-  // unit overlays (nothing reached scratch) and replay serially — the serial
-  // result is authoritative, including error text and skip decisions.
-  const bool any_failed =
-      std::any_of(runs.begin(), runs.end(), [](const UnitRun& r) { return r.failed; });
-  if (any_failed || units_interfere(runs)) {
+  // Any failure (all-or-nothing): discard the unit overlays (nothing reached
+  // scratch) and replay serially — the serial result is authoritative,
+  // including error text and skip decisions.
+  const auto full_serial = [&]() {
     auto out = serial_apply(scratch, txs, contracts, height, mode, &sig_ok);
     out.groups = groups.size();
     out.serial_fallback = true;
     out.sig_hits = sig_hits;
     out.sig_misses = sig_misses;
     return out;
+  };
+  const bool any_failed =
+      std::any_of(runs.begin(), runs.end(), [](const UnitRun& r) { return r.failed; });
+  if (any_failed) return full_serial();
+
+  // Dynamic cross-unit interference: instead of discarding every unit for a
+  // full serial replay, re-run only the entangled units' transactions — in
+  // ascending block order, on one fresh tracked overlay over the still-
+  // pristine scratch — and keep the independent units' overlays. The repair
+  // is sound iff the re-run's actual access set stays disjoint from every
+  // kept unit's (checked in both directions below: the re-run may touch
+  // different keys than the discarded unit runs did, since its transactions
+  // now see each other's effects). Any entanglement with a kept unit, or an
+  // all-or-nothing failure inside the re-run, falls back to the full serial
+  // replay exactly as before.
+  const std::vector<std::size_t> conflicted = interfering_units(runs);
+  std::vector<bool> in_conflict(runs.size(), false);
+  std::optional<TrackedView> rerun;
+  std::vector<std::size_t> rerun_applied;
+  if (!conflicted.empty()) {
+    std::vector<std::size_t> rerun_txs;
+    for (const std::size_t u : conflicted) {
+      in_conflict[u] = true;
+      rerun_txs.insert(rerun_txs.end(), runs[u].txs.begin(), runs[u].txs.end());
+    }
+    std::sort(rerun_txs.begin(), rerun_txs.end());
+    rerun.emplace(scratch);
+    for (const std::size_t idx : rerun_txs) {
+      rerun->begin_tx(idx);
+      Status s = rerun->apply(txs[idx], contracts, height, sig_ok[idx] != 0);
+      if (s.ok()) {
+        rerun_applied.push_back(idx);
+      } else if (mode == ApplyMode::kAllOrNothing) {
+        return full_serial();
+      }
+    }
+    for (std::size_t u = 0; u < runs.size(); ++u) {
+      if (!in_conflict[u] &&
+          access_interferes(rerun->access(), runs[u].view.access())) {
+        return full_serial();
+      }
+    }
   }
 
-  // Deterministic merge: fold each unit's delta into scratch in canonical
-  // order (units are disjoint, so only the audit log is order-sensitive —
-  // its records interleave by original block index).
+  // Deterministic merge: fold each kept unit's delta (and the repair
+  // overlay, when one ran) into scratch in canonical order — the sets are
+  // disjoint, so only the audit log is order-sensitive; its records
+  // interleave by original block index.
   BlockApplyOutcome out;
   out.groups = groups.size();
   out.parallel = true;
+  out.repaired = !conflicted.empty();
   out.sig_hits = sig_hits;
   out.sig_misses = sig_misses;
   std::vector<std::pair<std::size_t, StoredAuditRecord>> audits;
-  for (auto& run : runs) {
+  for (std::size_t u = 0; u < runs.size(); ++u) {
+    if (in_conflict[u]) continue;
+    UnitRun& run = runs[u];
     run.view.overlay().commit();
     for (auto& tagged : run.view.audit_records()) {
       audits.push_back(std::move(tagged));
     }
     out.applied.insert(out.applied.end(), run.applied.begin(), run.applied.end());
+  }
+  if (rerun.has_value()) {
+    rerun->overlay().commit();
+    for (auto& tagged : rerun->audit_records()) {
+      audits.push_back(std::move(tagged));
+    }
+    out.applied.insert(out.applied.end(), rerun_applied.begin(),
+                       rerun_applied.end());
   }
   std::stable_sort(audits.begin(), audits.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });

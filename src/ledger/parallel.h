@@ -99,6 +99,10 @@ struct BlockApplyOutcome {
   std::size_t groups = 1;        ///< conflict groups in the partition
   bool parallel = false;         ///< multi-group path ran to completion
   bool serial_fallback = false;  ///< group run discarded, block re-applied serially
+  /// Dynamic conflict resolved by re-running only the conflicting units in
+  /// block order (the non-conflicting units' overlays were kept) instead of
+  /// discarding everything for a full serial replay.
+  bool repaired = false;
   // Both zero when no sig_cache is configured (cacheless verification is
   // not counted).
   std::size_t sig_hits = 0;    ///< signatures vouched for by the sig cache
@@ -110,6 +114,7 @@ struct ValidationStats {
   std::uint64_t applies = 0;           ///< apply_block invocations
   std::uint64_t parallel_applies = 0;  ///< completed via the parallel path
   std::uint64_t serial_fallbacks = 0;  ///< conflicts/failures forcing re-runs
+  std::uint64_t repairs = 0;           ///< conflicts healed by partial re-run
   std::uint64_t conflict_groups = 0;   ///< summed partition sizes
   std::uint64_t sig_cache_hits = 0;    ///< signature checks skipped via cache
   std::uint64_t sig_cache_misses = 0;  ///< signature checks actually performed
@@ -118,6 +123,7 @@ struct ValidationStats {
     ++applies;
     if (outcome.parallel) ++parallel_applies;
     if (outcome.serial_fallback) ++serial_fallbacks;
+    if (outcome.repaired) ++repairs;
     conflict_groups += outcome.groups;
     sig_cache_hits += outcome.sig_hits;
     sig_cache_misses += outcome.sig_misses;

@@ -654,6 +654,14 @@ Status CallContext::transfer(crypto::Address from, crypto::Address to,
   return {};
 }
 
+Status CallContext::burn(crypto::Address from, std::uint64_t amount) {
+  return state_.debit(from, amount);
+}
+
+void CallContext::mint(crypto::Address to, std::uint64_t amount) {
+  state_.credit(to, amount);
+}
+
 void ContractRegistry::install(std::shared_ptr<const Contract> contract) {
   contracts_[contract->name()] = std::move(contract);
 }

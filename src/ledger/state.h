@@ -402,6 +402,15 @@ class CallContext {
   [[nodiscard]] std::uint64_t balance(crypto::Address a) const { return state_.balance(a); }
   [[nodiscard]] Status transfer(crypto::Address from, crypto::Address to,
                                 std::uint64_t amount);
+  /// Remove funds from circulation on this ledger (cross-shard lock). Fails
+  /// exactly like a transfer when `from` cannot cover `amount`. Conservation
+  /// shifts from per-ledger to cross-ledger: the caller must account for the
+  /// burned amount elsewhere (ledger/shard.h tracks it as locked value).
+  [[nodiscard]] Status burn(crypto::Address from, std::uint64_t amount);
+  /// Create funds on this ledger (cross-shard mint against a proven receipt).
+  /// The inverse of burn(); only contracts mediating an audited cross-ledger
+  /// flow should call it.
+  void mint(crypto::Address to, std::uint64_t amount);
 
  private:
   LedgerView& state_;

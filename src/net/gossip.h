@@ -10,10 +10,17 @@
 // high-water mark, so a slow or high-latency mesh bounds its queue instead
 // of amplifying every rumor into an unbounded burst. Withheld relays are
 // surfaced in NetworkStats::backpressure_dropped.
+//
+// Sharded worlds (ledger/shard.h) don't need every node to carry every
+// world's traffic: a node may declare the shard ids it is interested in at
+// join time, and rumors published with a shard tag are routed only through
+// the interested subset — uninterested nodes never receive (let alone relay)
+// them. Untagged rumors and interest-less nodes behave exactly as before.
 #pragma once
 
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -41,11 +48,25 @@ class Gossip {
   /// Register this gossip instance as the message handler of a fresh node.
   NodeId join();
 
+  /// Join with an explicit shard interest set: the node receives and relays
+  /// only rumors tagged with one of `interests` (plus all untagged rumors).
+  /// An empty set is equivalent to join() — interested in everything.
+  NodeId join(std::vector<std::uint32_t> interests);
+
   /// Originate a rumor at `origin`; it is delivered locally then relayed.
   void publish(NodeId origin, const Bytes& payload);
 
+  /// Originate a shard-tagged rumor: it travels only through nodes
+  /// interested in `shard` and is delivered with the tag stripped.
+  void publish(NodeId origin, std::uint32_t shard, const Bytes& payload);
+
   /// Fraction of joined nodes that have seen a given payload.
   [[nodiscard]] double coverage(const Bytes& payload) const;
+
+  /// Fraction of the nodes *interested in `shard`* that have seen a tagged
+  /// payload — uninterested nodes are not part of the denominator because
+  /// routing keeps the rumor away from them by design.
+  [[nodiscard]] double coverage(std::uint32_t shard, const Bytes& payload) const;
 
   [[nodiscard]] std::size_t member_count() const { return members_.size(); }
 
@@ -60,13 +81,20 @@ class Gossip {
   void on_message(const Message& msg);
   /// Forward a rumor to up to `fanout` peers — inline, or as a kGossipRelay
   /// job when a queue is configured. The buffer is shared, not copied: every
-  /// hop of a rumor reuses the original sender's bytes.
-  void relay(NodeId from, const std::shared_ptr<const Bytes>& payload);
+  /// hop of a rumor reuses the original sender's bytes. `shard`, when set,
+  /// restricts the candidate peers to the interested subset and routes the
+  /// rumor on the "gossip.shard" topic.
+  void relay(NodeId from, const std::shared_ptr<const Bytes>& payload,
+             std::optional<std::uint32_t> shard);
   /// The fan-out itself (peer sampling + backpressured sends). Runs on the
   /// simulation thread or a queue worker; relay_mu_ serializes either way.
-  void relay_now(NodeId from, const std::shared_ptr<const Bytes>& payload);
+  void relay_now(NodeId from, const std::shared_ptr<const Bytes>& payload,
+                 std::optional<std::uint32_t> shard);
   /// First-seen bookkeeping; true when `node` had not seen the rumor yet.
   bool mark_seen(NodeId node, const Bytes& payload);
+  /// Whether `node` accepts rumors tagged with `shard` (no interest set or
+  /// empty set = accepts everything).
+  [[nodiscard]] bool interested(NodeId node, std::uint32_t shard) const;
 
   Network& network_;
   /// Guards rng_ and inflight_: queue workers run relay_now while the
@@ -79,6 +107,10 @@ class Gossip {
   std::size_t relay_high_water_;
   JobQueue* queue_;
   std::vector<NodeId> members_;
+  /// Shard interest per node; absent or empty = interested in everything.
+  /// Populated at join time (before traffic), read-only afterwards — safe to
+  /// read from queue workers for the same reason members_ is.
+  std::unordered_map<NodeId, std::unordered_set<std::uint32_t>> interests_;
   std::unordered_map<std::uint64_t, std::unordered_set<NodeId>> seen_;
   std::unordered_map<NodeId, std::size_t> inflight_;
 };

@@ -79,6 +79,7 @@ struct NetworkStats {
   std::uint64_t snapshot_busy_nacks = 0;
   // Swarm catch-up counters (multi-peer striped sync).
   std::uint64_t snapshot_peers_demoted = 0;    ///< reputation strikes reached the cap
+  std::uint64_t snapshot_peers_promoted = 0;   ///< demoted peers recovered via clean serves
   std::uint64_t snapshot_busy_reroutes = 0;    ///< busy NACK re-aimed at another peer
   std::uint64_t snapshot_diff_chunks_reused = 0;  ///< served from the local diff base
   // Subscription protocol counters (net/subscription.h).
@@ -154,6 +155,7 @@ class Network {
   }
   void note_snapshot_busy_nack() { count(&NetworkStats::snapshot_busy_nacks); }
   void note_snapshot_peer_demoted() { count(&NetworkStats::snapshot_peers_demoted); }
+  void note_snapshot_peer_promoted() { count(&NetworkStats::snapshot_peers_promoted); }
   void note_snapshot_busy_reroute() { count(&NetworkStats::snapshot_busy_reroutes); }
   void note_snapshot_diff_chunk_reused() {
     count(&NetworkStats::snapshot_diff_chunks_reused);

@@ -207,6 +207,7 @@ void SnapshotClient::fail(std::string code, std::string message) {
 void SnapshotClient::strike(std::size_t peer_idx) {
   PeerState& p = peers_[peer_idx];
   ++p.strikes;
+  p.clean_streak = 0;
   if (!p.demoted && p.strikes >= config_.demote_after) {
     p.demoted = true;
     network_.note_snapshot_peer_demoted();
@@ -216,9 +217,21 @@ void SnapshotClient::strike(std::size_t peer_idx) {
 void SnapshotClient::strike_out(std::size_t peer_idx) {
   PeerState& p = peers_[peer_idx];
   p.strikes = std::max(p.strikes, config_.demote_after);
+  p.clean_streak = 0;
   if (!p.demoted) {
     p.demoted = true;
     network_.note_snapshot_peer_demoted();
+  }
+}
+
+void SnapshotClient::credit(std::size_t peer_idx) {
+  PeerState& p = peers_[peer_idx];
+  if (!p.demoted || config_.promote_after == 0) return;
+  if (++p.clean_streak >= config_.promote_after) {
+    p.demoted = false;
+    p.strikes = 0;
+    p.clean_streak = 0;
+    network_.note_snapshot_peer_promoted();
   }
 }
 
@@ -506,6 +519,7 @@ void SnapshotClient::on_chunk(const Message& msg) {
   have_[index] = true;
   --peer.inflight;
   ++peer.served;
+  credit(slot->peer);
   slot.reset();
   ++received_;
   if (received_ < have_.size()) {

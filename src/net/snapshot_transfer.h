@@ -57,6 +57,11 @@ struct SnapshotTransferConfig {
   /// Reputation strikes (timeout, corrupt chunk, busy exhaustion, manifest
   /// mismatch) before a peer is demoted to last-resort duty.
   std::size_t demote_after = 3;
+  /// Consecutive clean chunk serves after which a demoted peer is promoted
+  /// back to full duty (strikes forgiven). Demotion is otherwise permanent
+  /// for the sync, which over-penalizes a peer that hit one transient rough
+  /// patch in a long striped transfer. 0 disables promotion.
+  std::size_t promote_after = 8;
 };
 
 /// Serves manifests, chunks, and block suffixes from local callbacks. An
@@ -127,6 +132,7 @@ class SnapshotClient {
     std::size_t inflight = 0;  ///< chunk requests outstanding at this peer
     std::size_t strikes = 0;   ///< reputation: timeouts/corruption/busy caps
     std::size_t served = 0;    ///< chunks that arrived and verified
+    std::size_t clean_streak = 0;  ///< consecutive verified serves since last strike
     bool demoted = false;      ///< strikes reached demote_after
     bool has_manifest = false; ///< advertised the accepted manifest
     bool refused = false;      ///< does not serve this height; never used
@@ -206,6 +212,9 @@ class SnapshotClient {
   void strike(std::size_t peer_idx);
   /// Strike straight to demotion (byzantine manifest, busy exhaustion).
   void strike_out(std::size_t peer_idx);
+  /// One verified serve; promotes a demoted peer back after promote_after
+  /// consecutive clean serves (any strike resets the streak).
+  void credit(std::size_t peer_idx);
   /// Peer index for a sender NodeId, or -1 when it is not in the swarm.
   [[nodiscard]] int peer_index(NodeId id) const;
   /// Best peer with chunk capacity: prefers not-`avoid`, then not demoted,

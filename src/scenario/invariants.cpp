@@ -162,7 +162,7 @@ std::vector<std::string> check_invariants(const ledger::LedgerState& state,
                                           const InvariantOptions& opts,
                                           const ledger::Mempool* pool) {
   std::vector<std::string> out;
-  check_conservation(state, opts, out);
+  if (opts.check_conservation) check_conservation(state, opts, out);
   check_nft(state, opts, out);
   check_dao(state, opts, out);
   check_reputation(state, opts, out);
@@ -173,6 +173,123 @@ std::vector<std::string> check_invariants(const ledger::LedgerState& state,
   }
   if (pool != nullptr && !pool->self_check()) {
     out.push_back("mempool: self_check failed");
+  }
+  return out;
+}
+
+std::vector<std::string> check_sharded_invariants(
+    const ledger::ShardedLedger& ledger, const InvariantOptions& opts) {
+  const std::size_t n = ledger.num_shards();
+  std::vector<std::string> out;
+
+  InvariantOptions per_shard = opts;
+  per_shard.check_conservation = false;
+  std::uint64_t circulating = 0;
+  std::uint64_t burned = 0;
+  std::vector<std::uint64_t> locked_by(n, 0);
+  std::vector<std::uint64_t> minted_from(n, 0);
+
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const ledger::LedgerState& state = ledger.state(s);
+    for (std::string& v : check_invariants(state, per_shard)) {
+      out.push_back("shard " + std::to_string(s) + ": " + std::move(v));
+    }
+    for (const auto& [addr, balance] : state.balances()) circulating += balance;
+    burned += state.burned_fees();
+
+    const auto* store = state.find_store(ledger::kXShardContractName);
+    if (store == nullptr) continue;
+    const auto fetch = [&](const char* key) {
+      const auto it = store->find(key);
+      return it == store->end() ? 0 : dec_u64(it->second);
+    };
+    locked_by[s] = fetch(ledger::kXShardLockedTotalKey);
+    const std::uint64_t next_id = fetch(ledger::kXShardNextIdKey);
+
+    std::uint64_t receipt_records = 0;
+    std::uint64_t locked_in_receipts = 0;
+    for (const auto& [key, value] : *store) {
+      if (starts_with(key, "receipt/")) {
+        ++receipt_records;
+        const auto receipt = ledger::CrossShardReceipt::decode(value);
+        if (!receipt.ok()) {
+          out.push_back("xshard: undecodable receipt at shard " +
+                        std::to_string(s) + " " + key);
+          continue;
+        }
+        if (receipt.value().source_shard != s) {
+          out.push_back("xshard: receipt " + key + " on shard " +
+                        std::to_string(s) + " claims source " +
+                        std::to_string(receipt.value().source_shard));
+        }
+        if (key != ledger::xshard_receipt_key(receipt.value().id)) {
+          out.push_back("xshard: receipt id/key mismatch at " + key);
+        }
+        locked_in_receipts += receipt.value().amount;
+      } else if (starts_with(key, "spent/")) {
+        // "spent/<16-hex source>/<16-hex id>" minted on THIS shard against a
+        // receipt that must exist on the source shard and name this shard.
+        const char* cursor = key.c_str() + std::strlen("spent/");
+        char* end = nullptr;
+        const std::uint64_t src = std::strtoull(cursor, &end, 16);
+        const std::uint64_t id =
+            end != nullptr && *end == '/' ? std::strtoull(end + 1, nullptr, 16)
+                                          : 0;
+        if (src >= n) {
+          out.push_back("xshard: spent marker with bad source shard: " + key);
+          continue;
+        }
+        minted_from[src] += dec_u64(value);
+        const auto* src_store =
+            ledger.state(static_cast<std::uint32_t>(src))
+                .find_store(ledger::kXShardContractName);
+        if (src_store == nullptr) {
+          out.push_back("xshard: spent marker without source receipt: " + key);
+          continue;
+        }
+        const auto rit = src_store->find(ledger::xshard_receipt_key(id));
+        if (rit == src_store->end()) {
+          out.push_back("xshard: spent marker without source receipt: " + key);
+          continue;
+        }
+        const auto receipt = ledger::CrossShardReceipt::decode(rit->second);
+        if (!receipt.ok() || receipt.value().dest_shard != s ||
+            receipt.value().amount != dec_u64(value)) {
+          out.push_back("xshard: spent marker disagrees with receipt: " + key);
+        }
+      }
+    }
+    if (receipt_records != next_id) {
+      out.push_back("xshard: shard " + std::to_string(s) + " has " +
+                    std::to_string(receipt_records) + " receipts but next_id " +
+                    std::to_string(next_id));
+    }
+    if (locked_in_receipts != locked_by[s]) {
+      out.push_back("xshard: shard " + std::to_string(s) +
+                    " receipt amounts sum to " +
+                    std::to_string(locked_in_receipts) + " but locked_total " +
+                    std::to_string(locked_by[s]));
+    }
+  }
+
+  std::uint64_t locked = 0;
+  std::uint64_t minted = 0;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    locked += locked_by[s];
+    minted += minted_from[s];
+    if (minted_from[s] > locked_by[s]) {
+      out.push_back("xshard: shard " + std::to_string(s) + " minted " +
+                    std::to_string(minted_from[s]) + " against only " +
+                    std::to_string(locked_by[s]) + " locked");
+    }
+  }
+  const std::uint64_t total = circulating + burned + locked - minted;
+  if (total != opts.total_supply) {
+    out.push_back(
+        "conservation (sharded): balances(" + std::to_string(circulating) +
+        ") + burned(" + std::to_string(burned) + ") + locked(" +
+        std::to_string(locked) + ") - minted(" + std::to_string(minted) +
+        ") != supply(" + std::to_string(opts.total_supply) + ")");
   }
   return out;
 }

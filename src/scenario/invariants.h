@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ledger/mempool.h"
+#include "ledger/shard.h"
 #include "ledger/state.h"
 
 namespace mv::scenario {
@@ -36,6 +37,10 @@ struct InvariantOptions {
   /// incrementally-maintained commitment. O(accounts log accounts) — on by
   /// default for tests, off for benches.
   bool check_full_rehash = true;
+  /// Per-state token conservation. check_sharded_invariants disables it for
+  /// the per-shard passes (cross-shard transfers make any single shard's sum
+  /// meaningless) and asserts the cross-shard identity itself.
+  bool check_conservation = true;
 };
 
 /// Returns one human-readable string per violated invariant (empty == clean).
@@ -43,5 +48,19 @@ struct InvariantOptions {
 [[nodiscard]] std::vector<std::string> check_invariants(
     const ledger::LedgerState& state, const InvariantOptions& opts,
     const ledger::Mempool* pool = nullptr);
+
+/// Sharded extension: runs the per-shard module checks on every shard, then
+/// asserts the invariants that only make sense across the whole fleet —
+///
+///   - cross-shard conservation: Σ balances + Σ burned_fees
+///     + Σ locked_total − Σ minted_total == total_supply
+///   - receipt ledger shape: per shard, exactly next_id dense receipt
+///     records, each decoding to a receipt naming itself as source
+///   - spent-marker integrity: every "spent/<src>/<id>" marker on a shard
+///     references an existing receipt on shard <src> destined for the
+///     marker's shard with the marked amount, and per source shard the
+///     minted sum never exceeds the locked sum (no mint without a lock)
+[[nodiscard]] std::vector<std::string> check_sharded_invariants(
+    const ledger::ShardedLedger& ledger, const InvariantOptions& opts);
 
 }  // namespace mv::scenario

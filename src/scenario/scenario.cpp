@@ -1,6 +1,8 @@
 #include "scenario/scenario.h"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
 
 #include "nft/contract.h"
 
@@ -25,6 +27,35 @@ constexpr std::int64_t kRugPatience = 8;  ///< rounds before exiting anyway
 const char* kCategories[] = {"gaze", "spatial_map", "mic", "heart_rate"};
 const char* kPurposes[] = {"render", "ads", "analytics"};
 const char* kPets[] = {"laplace(eps=1.0)", "k-anon(5)", "none"};
+
+/// Memoized prefix of one env wallet stream. Wallet derivation (a keypair
+/// per avatar) dominates build_env for large casts, and every record/replay
+/// pair — plus every determinism test sweeping thread counts over the same
+/// seed — re-derives the identical stream. The memo keeps the stream's Rng
+/// so a later call needing a longer prefix extends it instead of starting
+/// over; the derivation order (and thus every byte of every trace) is
+/// unchanged.
+struct WalletStream {
+  Rng rng{0};
+  std::vector<crypto::Wallet> wallets;
+};
+
+std::vector<crypto::Wallet> derive_env_wallets(std::uint64_t stream_seed,
+                                               std::size_t count) {
+  static std::mutex mu;
+  static std::map<std::uint64_t, WalletStream> streams;
+  std::lock_guard<std::mutex> lock(mu);
+  // Distinct seeds are rare (a handful per test binary / bench run); drop
+  // the whole memo rather than track recency if a run somehow churns seeds.
+  if (streams.size() > 64 && !streams.contains(stream_seed)) streams.clear();
+  auto [it, inserted] = streams.try_emplace(stream_seed);
+  WalletStream& s = it->second;
+  if (inserted) s.rng = Rng(stream_seed);
+  s.wallets.reserve(count);
+  while (s.wallets.size() < count) s.wallets.emplace_back(s.rng);
+  return {s.wallets.begin(),
+          s.wallets.begin() + static_cast<std::ptrdiff_t>(count)};
+}
 
 }  // namespace
 
@@ -84,16 +115,17 @@ Result<ScenarioEnv> build_env(const TraceHeader& header) {
   }
   ScenarioEnv env;
   // One wallet stream, fixed derivation order — part of the trace format.
-  Rng wrng(header.seed ^ kEnvSalt);
+  // The stream is memoized per seed: validators, then the moderator, then
+  // the avatars, exactly as the historical inline derivation laid them out.
+  auto wallets = derive_env_wallets(header.seed ^ kEnvSalt,
+                                    header.validators + 1 + header.avatars);
+  auto next = wallets.begin();
   env.validators.reserve(header.validators);
   for (std::uint32_t i = 0; i < header.validators; ++i) {
-    env.validators.emplace_back(wrng);
+    env.validators.push_back(*next++);
   }
-  env.moderator.emplace(wrng);
-  env.avatars.reserve(header.avatars);
-  for (std::uint64_t i = 0; i < header.avatars; ++i) {
-    env.avatars.emplace_back(wrng);
-  }
+  env.moderator.emplace(*next++);
+  env.avatars.assign(next, wallets.end());
   env.moderation.moderator = env.moderator->address();
 
   auto contracts = std::make_shared<ledger::ContractRegistry>();

@@ -1,0 +1,289 @@
+#include "scenario/shard_harness.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/job_queue.h"
+#include "common/rng.h"
+#include "crypto/wallet.h"
+#include "scenario/invariants.h"
+
+namespace mv::scenario {
+
+namespace {
+
+// Independent derivation streams; all fold the trace seed.
+constexpr std::uint64_t kWalletSalt = 0x6d772e77616c6c65;  // "mw.walle"
+constexpr std::uint64_t kMixSalt = 0x6d772e6d69782e31;     // "mw.mix.1"
+constexpr std::uint64_t kSigSalt = 0x6d772e7369672e31;     // "mw.sig.1"
+
+struct Env {
+  std::vector<crypto::Wallet> validators;
+  std::vector<crypto::Wallet> avatars;
+  ledger::LedgerState genesis;
+};
+
+/// Wallet and genesis derivation is a pure function of the header fields;
+/// replay rebuilds the identical environment or refuses to run.
+Env build_env(std::uint64_t seed, std::uint32_t validators,
+              std::uint64_t avatars, std::uint64_t grant) {
+  Env env;
+  Rng wrng(seed ^ kWalletSalt);
+  env.validators.reserve(validators);
+  for (std::uint32_t i = 0; i < validators; ++i) env.validators.emplace_back(wrng);
+  env.avatars.reserve(avatars);
+  for (std::uint64_t i = 0; i < avatars; ++i) {
+    env.avatars.emplace_back(wrng);
+    env.genesis.credit(env.avatars.back().address(), grant);
+  }
+  return env;
+}
+
+ledger::ShardConfig make_shard_config(std::size_t num_shards,
+                                      const Env& env,
+                                      std::uint32_t max_txs_per_block,
+                                      std::uint64_t seed,
+                                      const MultiWorldOptions& opts) {
+  ledger::ShardConfig config;
+  config.num_shards = num_shards;
+  for (const auto& v : env.validators) config.validators.push_back(v.public_key());
+  config.max_txs_per_block = max_txs_per_block;
+  config.seed = seed;
+  if (opts.queue_workers > 0) {
+    JobQueueConfig qc;
+    qc.threads = opts.queue_workers;
+    config.validation.job_queue = std::make_shared<JobQueue>(qc);
+  }
+  return config;
+}
+
+/// The execution core shared by record and replay: submit one round's
+/// transactions, commit the beacon, and insist every shard pool drained (the
+/// all-valid discipline of the single-chain harness, per shard).
+Result<ledger::BeaconHeader> run_round(ledger::ShardedLedger& ledger,
+                                       const std::vector<ledger::Transaction>& txs,
+                                       const crypto::Wallet& proposer,
+                                       Tick timestamp) {
+  for (const auto& tx : txs) {
+    if (Status s = ledger.submit(tx); !s.ok()) {
+      return make_error(errc::kTraceReplayDiverged,
+                        "submit refused: " + s.error().to_string());
+    }
+  }
+  auto beacon = ledger.commit_round(proposer, timestamp);
+  if (!beacon.ok()) return beacon;
+  for (std::uint32_t s = 0; s < ledger.num_shards(); ++s) {
+    if (!ledger.mempool(s).empty()) {
+      return make_error(
+          errc::kTraceReplayDiverged,
+          "shard " + std::to_string(s) + " dropped a submitted tx");
+    }
+  }
+  return beacon;
+}
+
+void run_final_invariants(const ledger::ShardedLedger& ledger,
+                          std::uint64_t total_supply,
+                          MultiWorldResult& result) {
+  InvariantOptions inv;
+  inv.total_supply = total_supply;
+  result.violations = check_sharded_invariants(ledger, inv);
+}
+
+}  // namespace
+
+Result<MultiWorldResult> record_multi_world(const MultiWorldConfig& config,
+                                            const MultiWorldOptions& opts) {
+  if (config.num_shards == 0 || config.validators == 0 ||
+      config.avatars < 2) {
+    return make_error(errc::kShardBadConfig, "multi-world config needs shards, validators, "
+                                 "and at least two avatars");
+  }
+  Env env = build_env(config.seed, config.validators, config.avatars,
+                      config.genesis_grant);
+  ledger::ShardedLedger ledger(
+      make_shard_config(config.num_shards, env, config.max_txs_per_block,
+                        config.seed, opts),
+      env.genesis);
+  const std::size_t shards = ledger.num_shards();
+
+  // Home shard per avatar, avatar groups per shard, and the shards where a
+  // same-world transfer is possible at all.
+  std::vector<std::uint32_t> home(env.avatars.size());
+  std::vector<std::vector<std::size_t>> by_shard(shards);
+  std::unordered_map<std::uint64_t, std::size_t> avatar_of;
+  for (std::size_t i = 0; i < env.avatars.size(); ++i) {
+    home[i] = ledger::shard_of(env.avatars[i].address(), shards);
+    by_shard[home[i]].push_back(i);
+    avatar_of[env.avatars[i].address().value] = i;
+  }
+  std::vector<std::uint32_t> pair_shards;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    if (by_shard[s].size() >= 2) pair_shards.push_back(s);
+  }
+
+  MultiWorldResult result;
+  result.trace.header.scenario =
+      kMultiWorldPrefix + std::to_string(config.num_shards);
+  result.trace.header.seed = config.seed;
+  result.trace.header.avatars = config.avatars;
+  result.trace.header.validators = config.validators;
+  result.trace.header.genesis_grant = config.genesis_grant;
+  result.trace.header.max_txs_per_block = config.max_txs_per_block;
+  result.trace.header.genesis_root = env.genesis.commitment().root;
+
+  Rng mix(config.seed ^ kMixSalt);
+  Rng sig(config.seed ^ kSigSalt);
+  std::vector<std::uint64_t> nonces(env.avatars.size(), 0);
+  std::vector<std::uint64_t> minted_next(shards, 0);
+  std::vector<ledger::Transaction> queued_mints;
+  std::vector<std::size_t> queued_mint_senders;
+
+  for (std::uint32_t round = 0; round < config.rounds; ++round) {
+    TraceRound trace_round;
+    // One tx per sender per round keeps same-sender nonce ordering out of
+    // the mempool's hands entirely.
+    std::unordered_set<std::size_t> used(queued_mint_senders.begin(),
+                                         queued_mint_senders.end());
+    queued_mint_senders.clear();
+    // Mints proven against last round's beacon go first.
+    for (auto& tx : queued_mints) trace_round.txs.push_back(std::move(tx));
+    queued_mints.clear();
+
+    const auto pick_unused = [&](const std::vector<std::size_t>& pool)
+        -> std::optional<std::size_t> {
+      for (std::size_t attempt = 0; attempt < 4 * pool.size(); ++attempt) {
+        const std::size_t cand = pool[mix.next_below(pool.size())];
+        if (!used.contains(cand)) return cand;
+      }
+      return std::nullopt;
+    };
+
+    std::vector<std::size_t> everyone(env.avatars.size());
+    for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
+
+    for (std::uint32_t t = 0; t < config.intra_per_round && !pair_shards.empty();
+         ++t) {
+      const auto& group =
+          by_shard[pair_shards[mix.next_below(pair_shards.size())]];
+      const auto sender = pick_unused(group);
+      if (!sender) continue;
+      std::optional<std::size_t> to;
+      for (std::size_t attempt = 0; attempt < 4 * group.size(); ++attempt) {
+        const std::size_t cand = group[mix.next_below(group.size())];
+        if (cand != *sender) { to = cand; break; }
+      }
+      if (!to) continue;
+      used.insert(*sender);
+      const std::uint64_t amount = 1 + mix.next_below(64);
+      trace_round.txs.push_back(ledger::make_transfer(
+          env.avatars[*sender], nonces[*sender]++,
+          env.avatars[*to].address(), amount, /*fee=*/1, sig));
+    }
+
+    for (std::uint32_t t = 0; t < config.cross_per_round && shards > 1; ++t) {
+      const auto sender = pick_unused(everyone);
+      if (!sender) continue;
+      // A recipient on any *other* world.
+      std::optional<std::size_t> to;
+      for (std::size_t attempt = 0; attempt < 4 * everyone.size(); ++attempt) {
+        const std::size_t cand = mix.next_below(everyone.size());
+        if (home[cand] != home[*sender]) { to = cand; break; }
+      }
+      if (!to) continue;
+      used.insert(*sender);
+      const std::uint64_t amount = 1 + mix.next_below(64);
+      trace_round.txs.push_back(ledger::make_xshard_lock(
+          env.avatars[*sender], nonces[*sender]++, home[*to],
+          env.avatars[*to].address(), amount, /*fee=*/1, sig));
+    }
+
+    auto beacon = run_round(ledger, trace_round.txs,
+                            env.validators[round % env.validators.size()],
+                            static_cast<Tick>(round + 1));
+    if (!beacon.ok()) return beacon.error();
+    trace_round.commitment_root = beacon.value().beacon_root;
+    result.beacon_roots.push_back(beacon.value().beacon_root);
+    result.committed_txs += trace_round.txs.size();
+    result.trace.rounds.push_back(std::move(trace_round));
+
+    // Build next round's mints for every receipt this round's beacon covers.
+    if (round + 1 == config.rounds) continue;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      for (std::uint64_t id = minted_next[s]; id < ledger.receipt_count(s);
+           ++id) {
+        auto bundle = ledger.prove_receipt(s, id);
+        if (!bundle.ok()) return bundle.error();
+        const auto receipt =
+            ledger::CrossShardReceipt::decode(bundle.value().receipt);
+        if (!receipt.ok()) return receipt.error();
+        const std::size_t recipient =
+            avatar_of.at(receipt.value().to.value);
+        queued_mints.push_back(ledger::make_xshard_mint(
+            env.avatars[recipient], nonces[recipient]++, bundle.value(),
+            /*fee=*/1, sig));
+        queued_mint_senders.push_back(recipient);
+        ++result.cross_transfers;
+      }
+      minted_next[s] = ledger.receipt_count(s);
+    }
+  }
+
+  if (opts.check_invariants) {
+    run_final_invariants(ledger, config.avatars * config.genesis_grant, result);
+  }
+  return result;
+}
+
+Result<MultiWorldResult> replay_multi_world(const Trace& trace,
+                                            const MultiWorldOptions& opts) {
+  const std::string& name = trace.header.scenario;
+  if (name.rfind(kMultiWorldPrefix, 0) != 0) {
+    return make_error(errc::kShardBadConfig, "not a multi-world trace: " + name);
+  }
+  char* end = nullptr;
+  const unsigned long long shards =
+      std::strtoull(name.c_str() + std::strlen(kMultiWorldPrefix), &end, 10);
+  if (end == nullptr || *end != '\0' || shards == 0 || shards > 1024) {
+    return make_error(errc::kShardBadConfig, "bad shard count in: " + name);
+  }
+
+  Env env = build_env(trace.header.seed, trace.header.validators,
+                      trace.header.avatars, trace.header.genesis_grant);
+  if (env.genesis.commitment().root != trace.header.genesis_root) {
+    return make_error(errc::kTraceGenesisMismatch, "derived genesis root differs from trace");
+  }
+  if (env.validators.empty()) {
+    return make_error(errc::kShardBadConfig, "trace has no validators");
+  }
+  ledger::ShardedLedger ledger(
+      make_shard_config(static_cast<std::size_t>(shards), env,
+                        trace.header.max_txs_per_block, trace.header.seed,
+                        opts),
+      env.genesis);
+
+  MultiWorldResult result;
+  result.trace = trace;
+  for (std::size_t round = 0; round < trace.rounds.size(); ++round) {
+    auto beacon = run_round(ledger, trace.rounds[round].txs,
+                            env.validators[round % env.validators.size()],
+                            static_cast<Tick>(round + 1));
+    if (!beacon.ok()) return beacon.error();
+    result.beacon_roots.push_back(beacon.value().beacon_root);
+    result.committed_txs += trace.rounds[round].txs.size();
+    if (beacon.value().beacon_root != trace.rounds[round].commitment_root) {
+      ++result.mismatched_rounds;
+    }
+  }
+
+  if (opts.check_invariants) {
+    run_final_invariants(
+        ledger, trace.header.avatars * trace.header.genesis_grant, result);
+  }
+  return result;
+}
+
+}  // namespace mv::scenario

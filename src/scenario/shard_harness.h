@@ -1,0 +1,77 @@
+// Multi-world record/replay: the scenario harness idea lifted onto the
+// sharded ledger (ledger/shard.h).
+//
+// A multi-world run drives several shards at once: intra-world transfers
+// stay on their home shard, and every round a few cross-world transfers go
+// through the lock-and-mint receipt protocol — locks land in round r, the
+// matching mints (carrying receipt bytes + MerkleMapProof against the round-r
+// beacon) land in round r+1. The whole run freezes into the SAME Trace wire
+// format as single-chain scenarios ("mv.trace.v1", scenario/trace.h), with
+//
+//   header.scenario        = "multi_world:<num_shards>"
+//   header.genesis_root    = commitment root of the UNSHARDED genesis (the
+//                            partition is a pure function of it)
+//   round.commitment_root  = the round's beacon root (combine_beacon_root
+//                            over the per-shard anchors)
+//
+// so the beacon root sequence is the regression surface: replaying the trace
+// through a fresh ShardedLedger — serial or fanned out on a JobQueue — must
+// reproduce every beacon root bit for bit, which transitively pins every
+// shard's state root, receipt tree, and proof byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ledger/shard.h"
+#include "scenario/trace.h"
+
+namespace mv::scenario {
+
+/// header.scenario prefix identifying a multi-world trace.
+inline constexpr const char* kMultiWorldPrefix = "multi_world:";
+
+/// Generation parameters. Everything derives from `seed`; two configs that
+/// compare equal record byte-identical traces.
+struct MultiWorldConfig {
+  std::size_t num_shards = 2;
+  std::uint64_t seed = 1;
+  std::uint64_t avatars = 16;
+  std::uint32_t validators = 3;
+  std::uint64_t genesis_grant = 1'000'000;
+  std::uint32_t rounds = 6;
+  std::uint32_t intra_per_round = 8;  ///< same-world transfers per round
+  std::uint32_t cross_per_round = 2;  ///< lock(r) -> mint(r+1) pairs per round
+  std::uint32_t max_txs_per_block = 128;
+};
+
+/// Stack knobs swept by the determinism tests; never part of the trace.
+struct MultiWorldOptions {
+  /// Workers on the shared JobQueue fanning shard commits out (0 = serial
+  /// in-thread commits; results are byte-identical either way).
+  std::size_t queue_workers = 0;
+  /// Run check_sharded_invariants after the final round.
+  bool check_invariants = true;
+};
+
+struct MultiWorldResult {
+  Trace trace;
+  /// One beacon root per round (== the trace's commitment_root column).
+  std::vector<crypto::Digest> beacon_roots;
+  std::size_t mismatched_rounds = 0;  ///< replay only; 0 == byte-identical
+  std::size_t committed_txs = 0;
+  std::size_t cross_transfers = 0;  ///< lock/mint pairs completed
+  std::vector<std::string> violations;  ///< sharded invariant checker output
+};
+
+/// Generate and execute a multi-world mix, freezing it into a Trace.
+[[nodiscard]] Result<MultiWorldResult> record_multi_world(
+    const MultiWorldConfig& config, const MultiWorldOptions& opts = {});
+
+/// Re-execute a recorded multi-world trace through a fresh ShardedLedger and
+/// compare every round's beacon root against the recording.
+[[nodiscard]] Result<MultiWorldResult> replay_multi_world(
+    const Trace& trace, const MultiWorldOptions& opts = {});
+
+}  // namespace mv::scenario

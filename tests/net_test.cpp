@@ -231,6 +231,54 @@ TEST(Gossip, DistinctRumorsTrackedSeparately) {
   EXPECT_DOUBLE_EQ(gossip.coverage(Bytes{2}), 0.0);
 }
 
+TEST(Gossip, ShardRoutingStaysInsideInterestedSubset) {
+  // 30 nodes: 12 follow world 0, 12 follow world 1, 6 follow both. A rumor
+  // tagged with world 0 floods the 18 interested nodes and never touches the
+  // 12 that only follow world 1.
+  SimClock clock;
+  Network net(clock, Rng(41), LinkParams{.base_latency = 1.0, .jitter = 1.0, .drop_rate = 0.0});
+  std::unordered_map<std::uint64_t, int> delivered_to;
+  Gossip gossip(net, Rng(42), 30, [&](NodeId node, const Bytes& payload) {
+    ++delivered_to[node.value()];
+    EXPECT_EQ(payload, (Bytes{7, 7, 7}));  // tag stripped before delivery
+  });
+  std::vector<NodeId> world0, world1_only;
+  for (int i = 0; i < 12; ++i) world0.push_back(gossip.join({0}));
+  for (int i = 0; i < 12; ++i) world1_only.push_back(gossip.join({1}));
+  for (int i = 0; i < 6; ++i) world0.push_back(gossip.join({0, 1}));
+
+  gossip.publish(world0.front(), 0, Bytes{7, 7, 7});
+  net.run_until_idle();
+
+  EXPECT_DOUBLE_EQ(gossip.coverage(0, Bytes{7, 7, 7}), 1.0);
+  for (const NodeId n : world0) EXPECT_EQ(delivered_to[n.value()], 1);
+  for (const NodeId n : world1_only) EXPECT_EQ(delivered_to.count(n.value()), 0u);
+  // An identical untagged payload is a distinct rumor with zero coverage.
+  EXPECT_DOUBLE_EQ(gossip.coverage(Bytes{7, 7, 7}), 0.0);
+}
+
+TEST(Gossip, ShardAndPlainRumorsCoexist) {
+  SimClock clock;
+  Network net(clock, Rng(43), LinkParams{.base_latency = 1.0, .jitter = 1.0, .drop_rate = 0.0});
+  std::size_t delivered = 0;
+  Gossip gossip(net, Rng(44), 20, [&](NodeId, const Bytes&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) gossip.join({static_cast<std::uint32_t>(i % 2)});
+  for (int i = 0; i < 10; ++i) gossip.join();  // interest-less: follow all
+
+  // Plain rumors still flood every member regardless of interests.
+  gossip.publish(NodeId(0), Bytes{1});
+  net.run_until_idle();
+  EXPECT_DOUBLE_EQ(gossip.coverage(Bytes{1}), 1.0);
+  EXPECT_EQ(delivered, 20u);
+
+  // A world-1 rumor reaches its 5 followers plus the 10 follow-all nodes.
+  delivered = 0;
+  gossip.publish(NodeId(1), 1, Bytes{2});
+  net.run_until_idle();
+  EXPECT_DOUBLE_EQ(gossip.coverage(1, Bytes{2}), 1.0);
+  EXPECT_EQ(delivered, 15u);
+}
+
 TEST(Gossip, SurvivesModerateLoss) {
   SimClock clock;
   Network net(clock, Rng(15), LinkParams{.base_latency = 1.0, .jitter = 1.0, .drop_rate = 0.1});

@@ -150,6 +150,7 @@ TEST(Scenario, AFullDayInTheMetaverse) {
 
 #include "scenario/harness.h"
 #include "scenario/invariants.h"
+#include "scenario/shard_harness.h"
 
 namespace mv::scenario {
 namespace {
@@ -556,6 +557,97 @@ TEST(ScenarioHarness, UnknownMixAndBadPopulationRejected) {
   auto rec = record(config);
   ASSERT_FALSE(rec.ok());
   EXPECT_EQ(rec.error().code, errc::kTraceBadCount);
+}
+
+// ------------------------------------------------------------ multi-world
+
+MultiWorldConfig small_worlds() {
+  MultiWorldConfig config;
+  config.num_shards = 3;
+  config.seed = 42;
+  config.avatars = 24;
+  config.validators = 3;
+  config.rounds = 6;
+  config.intra_per_round = 6;
+  config.cross_per_round = 3;
+  return config;
+}
+
+TEST(MultiWorldShard, RecordDrivesCrossShardTrafficCleanly) {
+  auto rec = record_multi_world(small_worlds());
+  ASSERT_TRUE(rec.ok()) << rec.error().to_string();
+  EXPECT_EQ(rec.value().trace.header.scenario, "multi_world:3");
+  EXPECT_EQ(rec.value().trace.rounds.size(), 6u);
+  EXPECT_GT(rec.value().committed_txs, 0u);
+  // Locks produced receipts that minted on their destination worlds.
+  EXPECT_GT(rec.value().cross_transfers, 0u);
+  // check_sharded_invariants ran over the final fleet state: conservation
+  // across shards, receipt ledger shape, spent-marker integrity.
+  EXPECT_TRUE(rec.value().violations.empty())
+      << rec.value().violations.front();
+}
+
+TEST(MultiWorldShard, TraceCodecRoundTripsAndReplaysByteIdentically) {
+  auto rec = record_multi_world(small_worlds());
+  ASSERT_TRUE(rec.ok()) << rec.error().to_string();
+
+  // The multi-world trace rides the unmodified mv.trace.v1 codec.
+  const Bytes encoded = rec.value().trace.encode();
+  auto decoded = Trace::decode(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded.value().encode(), encoded);
+
+  // Replay from the decoded bytes: every beacon root must match, serial and
+  // fanned out across JobQueue worker counts alike.
+  for (const std::size_t workers : {0u, 2u, 4u}) {
+    MultiWorldOptions opts;
+    opts.queue_workers = workers;
+    auto run = replay_multi_world(decoded.value(), opts);
+    ASSERT_TRUE(run.ok()) << run.error().to_string();
+    EXPECT_EQ(run.value().mismatched_rounds, 0u) << "workers=" << workers;
+    EXPECT_EQ(run.value().beacon_roots, rec.value().beacon_roots);
+    EXPECT_TRUE(run.value().violations.empty())
+        << run.value().violations.front();
+  }
+}
+
+TEST(MultiWorldShard, SameSeedSameTraceDifferentSeedDifferentTrace) {
+  auto a = record_multi_world(small_worlds());
+  auto b = record_multi_world(small_worlds());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().trace.encode(), b.value().trace.encode());
+
+  MultiWorldConfig other = small_worlds();
+  other.seed = 43;
+  auto c = record_multi_world(other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(c.value().trace.encode(), a.value().trace.encode());
+}
+
+TEST(MultiWorldShard, TamperedBeaconRootIsReported) {
+  auto rec = record_multi_world(small_worlds());
+  ASSERT_TRUE(rec.ok());
+  Trace trace = rec.value().trace;
+  trace.rounds[2].commitment_root[0] ^= 0x01;
+  auto run = replay_multi_world(trace);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  EXPECT_EQ(run.value().mismatched_rounds, 1u);
+}
+
+TEST(MultiWorldShard, ForeignAndMalformedTracesRefused) {
+  // A plain single-chain trace is not a multi-world trace.
+  auto run = replay_multi_world(small_trace());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.error().code, errc::kShardBadConfig);
+
+  // Genesis drift (tampered header) is refused before any round replays.
+  auto rec = record_multi_world(small_worlds());
+  ASSERT_TRUE(rec.ok());
+  Trace trace = rec.value().trace;
+  trace.header.genesis_root[0] ^= 0x01;
+  auto drift = replay_multi_world(trace);
+  ASSERT_FALSE(drift.ok());
+  EXPECT_EQ(drift.error().code, errc::kTraceGenesisMismatch);
 }
 
 }  // namespace

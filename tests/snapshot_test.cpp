@@ -923,6 +923,50 @@ TEST(SnapshotSwarm, ByzantinePeerIsDemotedWhileSyncCompletes) {
   EXPECT_EQ(stats.snapshot_syncs_completed, 1u);
 }
 
+TEST(SnapshotSwarm, DemotedPeerRecoversAndIsPromotedBack) {
+  // Regression for permanent demotion: a peer that hits one transient rough
+  // patch (its first few chunk serves corrupt in flight) is demoted, then
+  // serves clean chunks as last-resort capacity; after promote_after
+  // consecutive clean serves it is promoted back to full duty instead of
+  // carrying the demotion for the rest of the sync.
+  SwarmFixture f(/*drop_rate=*/0.0, /*n_servers=*/2, /*source_blocks=*/24,
+                 /*chunk_size=*/64);
+  const std::int64_t snap_height = f.source.height() - 2;
+  std::size_t faults_left = 2;
+  f.servers[0]->set_chunk_fault([&](std::uint32_t, Bytes& data) {
+    if (faults_left > 0) {
+      --faults_left;
+      data[0] ^= 0xFF;
+    }
+  });
+
+  net::SnapshotTransferConfig cfg{12, 8, 8, 4, /*per_peer_inflight=*/4};
+  cfg.demote_after = 2;
+  cfg.promote_after = 3;
+  SnapshotCatchup catchup(f.net, f.replica, f.lc, cfg);
+  const NodeId client_node =
+      f.net.add_node([&](const net::Message& m) { catchup.handle(m); });
+  catchup.bind(client_node);
+
+  ASSERT_TRUE(catchup.start(f.server_nodes, snap_height).ok());
+  f.run(catchup);
+  ASSERT_TRUE(catchup.done())
+      << (catchup.failure() ? catchup.failure()->to_string() : "timed out");
+  EXPECT_EQ(f.replica.height(), f.source.height());
+  EXPECT_EQ(f.replica.state().commitment(), f.source.state().commitment());
+
+  // The transiently-faulty peer was demoted, recovered through clean
+  // serves, and finished the sync in good standing with real contributions.
+  const auto& peers = catchup.peers();
+  EXPECT_FALSE(peers[0].demoted);
+  EXPECT_EQ(peers[0].strikes, 0u);
+  EXPECT_GT(peers[0].served, cfg.promote_after);
+  const net::NetworkStats& stats = f.net.stats();
+  EXPECT_GE(stats.snapshot_peers_demoted, 1u);
+  EXPECT_GE(stats.snapshot_peers_promoted, 1u);
+  EXPECT_EQ(stats.snapshot_syncs_completed, 1u);
+}
+
 TEST(SnapshotSwarm, BusyPeerReroutesInsteadOfFailing) {
   // Regression for the single-peer dead end: when a server's busy-defer
   // budget ran out the old client failed the sync outright. With a peer
